@@ -1,0 +1,63 @@
+//! Host-side engine throughput: how many simulated instructions per
+//! wall-clock second this *software* implementation of ReSim sustains.
+//!
+//! This is the honest "software simulator" datapoint for Table 2 context:
+//! the same detailed timing model, executed on the host CPU instead of an
+//! FPGA (Criterion's throughput line reads directly in Melem/s =
+//! simulated MIPS; compare against the table's sim-outorder 0.30 MIPS row
+//! on 2006-era hardware).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use resim_core::{Engine, EngineConfig};
+use resim_tracegen::{generate_trace, TraceGenConfig};
+use resim_workloads::{SpecBenchmark, Workload};
+
+fn engine_speed(c: &mut Criterion) {
+    let n = 100_000usize;
+    let mut group = c.benchmark_group("engine_speed");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+
+    for (name, config, tg) in [
+        (
+            "4wide_2lev_perfectmem",
+            EngineConfig::paper_4wide(),
+            TraceGenConfig::paper(),
+        ),
+        (
+            "2wide_perfectbp_32k",
+            EngineConfig::paper_2wide_cached(),
+            TraceGenConfig::perfect(),
+        ),
+    ] {
+        let trace = generate_trace(Workload::spec(SpecBenchmark::Gzip, 2009), n, &tg);
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || Engine::new(config.clone()).expect("valid config"),
+                |mut engine| engine.run(trace.source()),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn trace_generation_speed(c: &mut Criterion) {
+    let n = 100_000usize;
+    let mut group = c.benchmark_group("trace_generation");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    group.bench_function("workload_plus_tagging", |b| {
+        b.iter(|| {
+            generate_trace(
+                Workload::spec(SpecBenchmark::Vpr, 2009),
+                n,
+                &TraceGenConfig::paper(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engine_speed, trace_generation_speed);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Microbenchmarks of the engine's constituent models: branch predictor,
+//! cache, and workload generation — the pieces whose host cost dominates
+//! the software engine's throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use resim_bpred::{BranchPredictor, PredictorConfig};
+use resim_mem::{Cache, CacheConfig};
+use resim_trace::BranchKind;
+use resim_workloads::{SpecBenchmark, Workload};
+
+fn predictor(c: &mut Criterion) {
+    let n = 100_000u64;
+    let mut group = c.benchmark_group("stage_micro");
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(10);
+    group.bench_function("two_level_predict_resolve", |b| {
+        b.iter(|| {
+            let mut bp = BranchPredictor::new(PredictorConfig::paper_two_level());
+            for i in 0..n {
+                let pc = 0x1000 + ((i * 13) % 512) as u32 * 4;
+                let taken = (i / 7) % 3 != 0;
+                bp.predict(pc, BranchKind::Cond, taken, pc + 64);
+                bp.resolve(pc, BranchKind::Cond, taken, pc + 64);
+            }
+            bp.stats()
+        })
+    });
+    group.bench_function("l1_cache_access", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig::l1_32k());
+            for i in 0..n {
+                cache.access(((i * 97) % 65_536) as u32, i % 5 == 0);
+            }
+            cache.stats()
+        })
+    });
+    group.bench_function("workload_generation", |b| {
+        b.iter(|| {
+            let mut w = Workload::spec(SpecBenchmark::Parser, 2009);
+            w.generate(n as usize)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, predictor);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Trace codec throughput: encode/decode rates of the bit-packed B/M/O
+//! wire format (the paper's Table 3 bandwidth analysis assumes the host
+//! can produce the stream at link rate).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use resim_tracegen::{generate_trace, TraceGenConfig};
+use resim_workloads::{SpecBenchmark, Workload};
+
+fn codec(c: &mut Criterion) {
+    let n = 100_000usize;
+    let trace = generate_trace(
+        Workload::spec(SpecBenchmark::Gzip, 2009),
+        n,
+        &TraceGenConfig::paper(),
+    );
+    let encoded = trace.encode();
+
+    let mut group = c.benchmark_group("trace_codec");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(10);
+    group.bench_function("encode", |b| b.iter(|| trace.encode()));
+    group.bench_function("decode", |b| {
+        b.iter(|| encoded.decode().expect("well-formed"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, codec);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Regenerates **Figure 1**: the ReSim block diagram (simulated
+//! microarchitecture) for both evaluated configurations.
+
+use resim_core::{block_diagram, EngineConfig};
+
+fn main() {
+    println!("{}", block_diagram(&EngineConfig::paper_4wide()));
+    println!("{}", block_diagram(&EngineConfig::paper_2wide_cached()));
+}

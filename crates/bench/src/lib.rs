@@ -1,0 +1,116 @@
+//! # resim-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! ReSim paper (Fytraki & Pnevmatikatos, DATE 2009). See `EXPERIMENTS.md`
+//! at the repository root for the paper-vs-measured record.
+//!
+//! Binaries:
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — simulation MIPS, both configurations, V4+V5 |
+//! | `table2` | Table 2 — simulator comparison |
+//! | `table3` | Table 3 — bits/instr, MIPS incl. wrong path, trace MB/s |
+//! | `table4` | Table 4 — per-stage area on xc4vlx40 |
+//! | `fig1`…`fig4` | Figure 1 block diagram, Figures 2–4 pipelines |
+//! | `ablation` | §IV parallel-fetch ablation + pipeline/width sweeps |
+//! | `bandwidth` | §V trace-link feasibility analysis |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use resim_core::{Engine, EngineConfig, SimStats};
+use resim_fpga::{FpgaDevice, SimulationSpeed, ThroughputModel};
+use resim_trace::{Trace, TraceStats};
+use resim_tracegen::{generate_trace, TraceGenConfig};
+use resim_workloads::{SpecBenchmark, Workload};
+
+/// Default instruction budget per benchmark run (correct-path records).
+pub const DEFAULT_INSTRUCTIONS: usize = 1_000_000;
+
+/// Default workload seed — fixed so every table is reproducible.
+pub const DEFAULT_SEED: u64 = 2009;
+
+/// The result of simulating one benchmark under one configuration.
+#[derive(Debug, Clone)]
+pub struct BenchmarkRun {
+    /// Which SPECINT model ran.
+    pub benchmark: SpecBenchmark,
+    /// Engine statistics.
+    pub stats: SimStats,
+    /// Encoded-trace statistics (bits per instruction etc.).
+    pub trace_stats: TraceStats,
+}
+
+impl BenchmarkRun {
+    /// Simulated speed of this run on `device`.
+    pub fn speed(&self, config: &EngineConfig, device: FpgaDevice) -> SimulationSpeed {
+        ThroughputModel::new(device).speed(config, &self.stats, Some(&self.trace_stats))
+    }
+}
+
+/// Generates the tagged trace for `benchmark` under `tracegen` and runs
+/// it through an engine configured as `config`.
+///
+/// # Panics
+///
+/// Panics if `config` is structurally invalid.
+pub fn run_spec(
+    benchmark: SpecBenchmark,
+    config: &EngineConfig,
+    tracegen: &TraceGenConfig,
+    instructions: usize,
+    seed: u64,
+) -> BenchmarkRun {
+    let workload = Workload::spec(benchmark, seed);
+    let trace = generate_trace(workload, instructions, tracegen);
+    run_trace(benchmark, &trace, config)
+}
+
+/// Runs a pre-generated trace through an engine configured as `config`.
+pub fn run_trace(benchmark: SpecBenchmark, trace: &Trace, config: &EngineConfig) -> BenchmarkRun {
+    let mut engine = Engine::new(config.clone()).expect("valid benchmark configuration");
+    let stats = engine.run(trace.source());
+    BenchmarkRun {
+        benchmark,
+        stats,
+        trace_stats: trace.stats(),
+    }
+}
+
+/// The Table 1 (left) experiment configuration: 4-issue, two-level BP,
+/// perfect memory, optimized N+3 pipeline.
+pub fn table1_left() -> (EngineConfig, TraceGenConfig) {
+    (EngineConfig::paper_4wide(), TraceGenConfig::paper())
+}
+
+/// The Table 1 (right) experiment configuration: 2-issue, perfect BP,
+/// 32 KB L1 caches, improved N+4 pipeline.
+pub fn table1_right() -> (EngineConfig, TraceGenConfig) {
+    (EngineConfig::paper_2wide_cached(), TraceGenConfig::perfect())
+}
+
+/// Formats one numeric cell at `prec` decimals, right-aligned to `w`.
+pub fn cell(v: f64, w: usize, prec: usize) -> String {
+    format!("{v:>w$.prec$}")
+}
+
+/// Prints a horizontal rule of `n` dashes.
+pub fn rule(n: usize) -> String {
+    "-".repeat(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_spec_commits_requested_instructions() {
+        let (cfg, tg) = table1_left();
+        let r = run_spec(SpecBenchmark::Gzip, &cfg, &tg, 20_000, 1);
+        assert_eq!(r.stats.committed, 20_000);
+        assert!(r.trace_stats.bits_per_instruction() > 20.0);
+        let sp = r.speed(&cfg, FpgaDevice::Virtex4Lx40);
+        assert!(sp.mips > 0.0);
+    }
+}

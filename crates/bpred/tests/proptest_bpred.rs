@@ -1,0 +1,88 @@
+//! Property tests for the branch-prediction structures.
+
+use proptest::prelude::*;
+use resim_bpred::{BranchPredictor, Btb, BtbConfig, PredictorConfig, Ras};
+use resim_trace::BranchKind;
+
+proptest! {
+    /// The RAS behaves like an unbounded stack truncated to its capacity:
+    /// the most recent `capacity` pushes pop in LIFO order.
+    #[test]
+    fn ras_matches_reference_stack(
+        ops in prop::collection::vec(prop_oneof![
+            (1u32..0xFFFF).prop_map(Some),
+            Just(None),
+        ], 0..200),
+        cap in 1usize..32,
+    ) {
+        let mut ras = Ras::new(cap);
+        let mut model: Vec<u32> = Vec::new();
+        for op in ops {
+            match op {
+                Some(addr) => {
+                    ras.push(addr);
+                    model.push(addr);
+                    // The hardware stack forgets entries deeper than cap.
+                    if model.len() > cap {
+                        let excess = model.len() - cap;
+                        model.drain(0..excess);
+                    }
+                }
+                None => {
+                    prop_assert_eq!(ras.pop(), model.pop());
+                }
+            }
+            prop_assert!(ras.depth() <= cap);
+            prop_assert_eq!(ras.depth(), model.len());
+        }
+    }
+
+    /// A direct-mapped BTB always returns the last installed target for a
+    /// PC whose set saw no other installs since.
+    #[test]
+    fn btb_returns_last_target(pcs in prop::collection::vec(0u32..0x1000, 1..100)) {
+        let mut btb = Btb::new(BtbConfig { entries: 1024, associativity: 1 });
+        // With 1024 sets and pcs < 0x1000 (word-indexed: 1024 words) no
+        // two distinct PCs collide, so every lookup after update hits.
+        for (i, &pc) in pcs.iter().enumerate() {
+            let target = 0x9000_0000 + i as u32;
+            btb.update(pc & !3, target);
+            prop_assert_eq!(btb.peek(pc & !3), Some(target));
+        }
+    }
+
+    /// Prediction outcome classes always partition the branch count.
+    #[test]
+    fn outcome_counts_partition(
+        branches in prop::collection::vec(
+            (0u32..64, any::<bool>(), 0u32..8),
+            1..400,
+        ),
+    ) {
+        let mut bp = BranchPredictor::new(PredictorConfig::paper_two_level());
+        for (site, taken, tgt) in &branches {
+            let pc = 0x1000 + site * 4;
+            let target = 0x8000 + tgt * 16;
+            bp.predict(pc, BranchKind::Cond, *taken, target);
+            bp.resolve(pc, BranchKind::Cond, *taken, target);
+        }
+        let s = bp.stats();
+        prop_assert_eq!(s.branches, branches.len() as u64);
+        prop_assert_eq!(s.correct + s.misfetches + s.dir_mispredicts, s.branches);
+        prop_assert!(s.cond_accuracy() >= 0.0 && s.cond_accuracy() <= 1.0);
+    }
+
+    /// The perfect predictor is never wrong, whatever the stream.
+    #[test]
+    fn perfect_is_perfect(
+        branches in prop::collection::vec((any::<u32>(), any::<bool>(), any::<u32>()), 1..200),
+    ) {
+        let mut bp = BranchPredictor::new(PredictorConfig::perfect());
+        for (pc, taken, target) in &branches {
+            let p = bp.predict(*pc, BranchKind::Cond, *taken, *target);
+            prop_assert!(p.outcome().is_correct());
+            bp.resolve(*pc, BranchKind::Cond, *taken, *target);
+        }
+        prop_assert_eq!(bp.stats().correct, branches.len() as u64);
+    }
+}

@@ -1,0 +1,314 @@
+//! Engine configuration: the "reconfigurable" in ReSim.
+//!
+//! Everything the paper lists as a user parameter of the VHDL generator is
+//! a field here: processor width, IFQ/RB/LSQ sizes, functional-unit mix
+//! and latencies, memory ports, misfetch/misprediction penalties, the full
+//! branch-predictor geometry and the memory system (§III, §V.C).
+
+use crate::pipeline::PipelineOrganization;
+use resim_bpred::PredictorConfig;
+use resim_mem::MemorySystemConfig;
+use std::error::Error;
+use std::fmt;
+
+/// Functional-unit pool configuration.
+///
+/// The paper's reference machine has "four ALUs, one Multiplier and one
+/// Divider with one, three and ten cycle latency respectively" (§V.C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuConfig {
+    /// Number of single-cycle ALUs (also execute branches).
+    pub alus: usize,
+    /// Number of (pipelined) multipliers.
+    pub mults: usize,
+    /// Number of dividers.
+    pub divs: usize,
+    /// ALU latency in cycles.
+    pub alu_latency: u32,
+    /// Multiplier latency in cycles.
+    pub mult_latency: u32,
+    /// Divider latency in cycles.
+    pub div_latency: u32,
+    /// Whether the divider accepts a new operation every cycle; real
+    /// dividers usually do not, so the default is unpipelined.
+    pub div_pipelined: bool,
+}
+
+impl FuConfig {
+    /// The paper's reference FU mix.
+    pub fn paper() -> Self {
+        Self {
+            alus: 4,
+            mults: 1,
+            divs: 1,
+            alu_latency: 1,
+            mult_latency: 3,
+            div_latency: 10,
+            div_pipelined: false,
+        }
+    }
+}
+
+impl Default for FuConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Full configuration of a simulated processor / engine instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Fetch/dispatch/issue/commit width `N`.
+    pub width: usize,
+    /// Instruction fetch queue entries.
+    pub ifq_size: usize,
+    /// Reorder buffer entries (16 in the paper's reference machine).
+    pub rb_size: usize,
+    /// Load/store queue entries (8 in the paper's reference machine).
+    pub lsq_size: usize,
+    /// Functional-unit pool.
+    pub fus: FuConfig,
+    /// D-cache read ports usable by loads each cycle.
+    pub mem_read_ports: usize,
+    /// Memory write ports usable by committing stores each cycle.
+    pub mem_write_ports: usize,
+    /// Fetch-bubble penalty for a misfetch (3 in the paper).
+    pub misfetch_penalty: u32,
+    /// Recovery penalty for a direction misprediction (3 in the paper).
+    pub mispredict_penalty: u32,
+    /// Branch predictor geometry.
+    pub predictor: PredictorConfig,
+    /// Memory system (perfect, or split L1 caches).
+    pub memory: MemorySystemConfig,
+    /// Internal engine pipeline organization (Figures 2–4).
+    pub pipeline: PipelineOrganization,
+}
+
+impl EngineConfig {
+    /// The paper's Table 1 (left) machine: 4-issue, 16-entry RB, 8-entry
+    /// LSQ, two-level predictor, perfect memory, optimized N+3 pipeline.
+    pub fn paper_4wide() -> Self {
+        Self {
+            width: 4,
+            ifq_size: 16,
+            rb_size: 16,
+            lsq_size: 8,
+            fus: FuConfig::paper(),
+            mem_read_ports: 2,
+            mem_write_ports: 1,
+            misfetch_penalty: 3,
+            mispredict_penalty: 3,
+            predictor: PredictorConfig::paper_two_level(),
+            memory: MemorySystemConfig::perfect(),
+            pipeline: PipelineOrganization::OptimizedSerial,
+        }
+    }
+
+    /// The paper's Table 1 (right) machine: 2-issue, perfect branch
+    /// prediction, 32 KB 8-way L1 I+D caches, improved N+4 pipeline —
+    /// the configuration used for the head-to-head with FAST.
+    pub fn paper_2wide_cached() -> Self {
+        Self {
+            width: 2,
+            ifq_size: 8,
+            rb_size: 16,
+            lsq_size: 8,
+            fus: FuConfig {
+                alus: 2,
+                ..FuConfig::paper()
+            },
+            mem_read_ports: 1,
+            mem_write_ports: 1,
+            misfetch_penalty: 3,
+            mispredict_penalty: 3,
+            predictor: PredictorConfig::perfect(),
+            memory: MemorySystemConfig::l1_32k(),
+            pipeline: PipelineOrganization::ImprovedSerial,
+        }
+    }
+
+    /// Validates structural consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when sizes are zero, the RB cannot cover
+    /// one dispatch group, or the optimized pipeline's memory-port
+    /// precondition (≤ N−1 ports, §IV.B) is violated.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.width == 0 {
+            return Err(ConfigError::ZeroWidth);
+        }
+        if self.ifq_size < self.width {
+            return Err(ConfigError::IfqTooSmall {
+                ifq: self.ifq_size,
+                width: self.width,
+            });
+        }
+        if self.rb_size < self.width {
+            return Err(ConfigError::RbTooSmall {
+                rb: self.rb_size,
+                width: self.width,
+            });
+        }
+        if self.lsq_size == 0 {
+            return Err(ConfigError::ZeroLsq);
+        }
+        if self.fus.alus == 0 {
+            return Err(ConfigError::NoAlus);
+        }
+        if self.mem_read_ports == 0 || self.mem_write_ports == 0 {
+            return Err(ConfigError::NoMemPorts);
+        }
+        if self.pipeline == PipelineOrganization::OptimizedSerial {
+            let ports = self.mem_read_ports.max(self.mem_write_ports);
+            if ports > self.width.saturating_sub(1) {
+                return Err(ConfigError::OptimizedPortLimit {
+                    ports,
+                    width: self.width,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The conservative wrong-path block length for this machine:
+    /// "Reorder Buffer size plus IFQ size" (§V.A).
+    pub fn wrong_path_block_len(&self) -> usize {
+        self.rb_size + self.ifq_size
+    }
+
+    /// Minor cycles one simulated cycle costs on this configuration.
+    pub fn minor_cycles_per_major(&self) -> u64 {
+        self.pipeline.minor_cycles_per_major(self.width)
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::paper_4wide()
+    }
+}
+
+/// Structural configuration errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Width must be at least 1.
+    ZeroWidth,
+    /// The IFQ cannot be smaller than one fetch group.
+    IfqTooSmall {
+        /// Configured IFQ entries.
+        ifq: usize,
+        /// Configured width.
+        width: usize,
+    },
+    /// The RB cannot be smaller than one dispatch group.
+    RbTooSmall {
+        /// Configured RB entries.
+        rb: usize,
+        /// Configured width.
+        width: usize,
+    },
+    /// The LSQ needs at least one entry.
+    ZeroLsq,
+    /// At least one ALU is required (branches execute there).
+    NoAlus,
+    /// At least one read and one write port are required.
+    NoMemPorts,
+    /// The optimized N+3 pipeline requires ≤ N−1 memory ports (§IV.B).
+    OptimizedPortLimit {
+        /// Offending port count.
+        ports: usize,
+        /// Configured width.
+        width: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroWidth => write!(f, "processor width must be at least 1"),
+            ConfigError::IfqTooSmall { ifq, width } => {
+                write!(f, "IFQ of {ifq} entries cannot hold a fetch group of {width}")
+            }
+            ConfigError::RbTooSmall { rb, width } => {
+                write!(f, "RB of {rb} entries cannot hold a dispatch group of {width}")
+            }
+            ConfigError::ZeroLsq => write!(f, "LSQ needs at least one entry"),
+            ConfigError::NoAlus => write!(f, "at least one ALU is required"),
+            ConfigError::NoMemPorts => {
+                write!(f, "at least one memory read and write port are required")
+            }
+            ConfigError::OptimizedPortLimit { ports, width } => write!(
+                f,
+                "optimized N+3 pipeline allows at most {} memory ports for width {width}, got {ports}",
+                width - 1
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_validate() {
+        EngineConfig::paper_4wide().validate().unwrap();
+        EngineConfig::paper_2wide_cached().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_reference_numbers() {
+        let c = EngineConfig::paper_4wide();
+        assert_eq!(c.width, 4);
+        assert_eq!(c.rb_size, 16);
+        assert_eq!(c.lsq_size, 8);
+        assert_eq!(c.fus.alus, 4);
+        assert_eq!(c.fus.mult_latency, 3);
+        assert_eq!(c.fus.div_latency, 10);
+        assert_eq!(c.misfetch_penalty, 3);
+        assert_eq!(c.mispredict_penalty, 3);
+        assert_eq!(c.minor_cycles_per_major(), 7); // N+3
+        assert_eq!(c.wrong_path_block_len(), 32); // RB + IFQ
+    }
+
+    #[test]
+    fn two_wide_uses_improved_pipeline() {
+        let c = EngineConfig::paper_2wide_cached();
+        assert_eq!(c.minor_cycles_per_major(), 6); // N+4
+    }
+
+    #[test]
+    fn optimized_rejects_too_many_ports() {
+        let c = EngineConfig {
+            mem_read_ports: 4,
+            ..EngineConfig::paper_4wide()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::OptimizedPortLimit { ports: 4, width: 4 })
+        );
+    }
+
+    #[test]
+    fn zero_sizes_rejected() {
+        let bad = EngineConfig {
+            width: 0,
+            ..EngineConfig::paper_4wide()
+        };
+        assert_eq!(bad.validate(), Err(ConfigError::ZeroWidth));
+        let bad = EngineConfig {
+            rb_size: 2,
+            ..EngineConfig::paper_4wide()
+        };
+        assert!(matches!(bad.validate(), Err(ConfigError::RbTooSmall { .. })));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ConfigError::OptimizedPortLimit { ports: 4, width: 4 };
+        assert!(e.to_string().contains("at most 3"));
+    }
+}

@@ -1,0 +1,68 @@
+//! # resim-core
+//!
+//! The ReSim timing engine — a Rust reproduction of the trace-driven,
+//! reconfigurable ILP processor simulator of Fytraki & Pnevmatikatos
+//! (DATE 2009).
+//!
+//! ReSim simulates the *timing* of a modern out-of-order, speculative
+//! superscalar processor without executing instructions: a pre-decoded
+//! trace (see `resim-trace`) supplies resolved branches and effective
+//! addresses, and the engine replays it through a detailed pipeline model
+//! with an IFQ, rename table, reorder buffer, load/store queue,
+//! reservation-station issue, a parametric branch predictor and tag-only
+//! L1 caches.
+//!
+//! The paper's hardware engine processes the N ways of the simulated
+//! processor *serially*: each simulated **major cycle** is split into
+//! **minor cycles**, and three internal pipeline organizations trade
+//! engine latency for implementation simplicity
+//! ([`PipelineOrganization`], Figures 2–4: `2N+3`, `N+4`, `N+3` minor
+//! cycles). In this reproduction the architectural model is evaluated
+//! once per major cycle and the minor-cycle organization determines the
+//! engine-throughput accounting, exactly as it determines the FPGA
+//! engine's MIPS (`resim-fpga` turns it into simulated MIPS).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use resim_core::{Engine, EngineConfig};
+//! use resim_tracegen::{generate_trace, TraceGenConfig};
+//! use resim_workloads::{SpecBenchmark, Workload};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's reference machine: 4-issue, RB 16, LSQ 8, 2-level BP.
+//! let mut engine = Engine::new(EngineConfig::paper_4wide())?;
+//!
+//! let trace = generate_trace(
+//!     Workload::spec(SpecBenchmark::Bzip2, 42),
+//!     50_000,
+//!     &TraceGenConfig::paper(),
+//! );
+//! let stats = engine.run(trace.source());
+//!
+//! println!("{}", stats.report());
+//! assert!(stats.ipc() > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod describe;
+mod engine;
+mod lsq;
+mod multicore;
+mod pipeline;
+mod rob;
+mod stats;
+
+pub use config::{ConfigError, EngineConfig, FuConfig};
+pub use describe::block_diagram;
+pub use engine::Engine;
+pub use lsq::{LoadReady, LoadStoreQueue, LsqEntry};
+pub use multicore::MultiCore;
+pub use pipeline::{PipelineOrganization, Schedule, ScheduleRow};
+pub use rob::{InstState, ReorderBuffer, RobEntry};
+pub use stats::SimStats;

@@ -1,0 +1,124 @@
+//! Multi-core simulation: several ReSim engine instances side by side.
+//!
+//! The paper's conclusion: "it is possible to fit multiple ReSim
+//! instances in a single FPGA and simulate multi-core systems" (§VI).
+//! This module provides the software equivalent: a set of independent
+//! engines stepped over the same wall-clock budget, each consuming its
+//! own per-core trace. Cores share nothing architecturally (no coherence
+//! is modelled — the paper proposes none); what is shared on the FPGA is
+//! the fabric, which the `resim-fpga` crate models when it fits
+//! instances into a device.
+
+use crate::config::{ConfigError, EngineConfig};
+use crate::engine::Engine;
+use crate::stats::SimStats;
+use resim_trace::TraceSource;
+
+/// A set of independent per-core engines.
+#[derive(Debug)]
+pub struct MultiCore {
+    engines: Vec<Engine>,
+}
+
+impl MultiCore {
+    /// Builds `cores` engines with identical configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn homogeneous(cores: usize, config: &EngineConfig) -> Result<Self, ConfigError> {
+        assert!(cores > 0, "need at least one core");
+        let engines = (0..cores)
+            .map(|_| Engine::new(config.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { engines })
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Runs every core to completion on its own trace source, returning
+    /// per-core statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of sources differs from the number of cores.
+    pub fn run<S: TraceSource>(&mut self, sources: Vec<S>) -> Vec<SimStats> {
+        assert_eq!(
+            sources.len(),
+            self.engines.len(),
+            "one trace source per core"
+        );
+        self.engines
+            .iter_mut()
+            .zip(sources)
+            .map(|(e, s)| e.run(s))
+            .collect()
+    }
+
+    /// Aggregate committed instructions across cores.
+    pub fn total_committed(stats: &[SimStats]) -> u64 {
+        stats.iter().map(|s| s.committed).sum()
+    }
+
+    /// The slowest core's cycle count — the simulated wall clock of the
+    /// multi-core run (engines on one FPGA advance in lock-step).
+    pub fn makespan_cycles(stats: &[SimStats]) -> u64 {
+        stats.iter().map(|s| s.cycles).max().unwrap_or(0)
+    }
+
+    /// Aggregate throughput in instructions per (lock-step) cycle.
+    pub fn aggregate_ipc(stats: &[SimStats]) -> f64 {
+        let cycles = Self::makespan_cycles(stats);
+        if cycles == 0 {
+            0.0
+        } else {
+            Self::total_committed(stats) as f64 / cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resim_tracegen::{generate_trace, TraceGenConfig};
+    use resim_workloads::{SpecBenchmark, Workload};
+
+    #[test]
+    fn four_cores_run_independent_traces() {
+        let traces: Vec<_> = SpecBenchmark::ALL[..4]
+            .iter()
+            .map(|&b| {
+                generate_trace(Workload::spec(b, 11), 5_000, &TraceGenConfig::paper())
+            })
+            .collect();
+        let mut mc = MultiCore::homogeneous(4, &EngineConfig::paper_4wide()).unwrap();
+        let stats = mc.run(traces.iter().map(|t| t.source()).collect());
+        assert_eq!(stats.len(), 4);
+        for s in &stats {
+            assert_eq!(s.committed, 5_000);
+        }
+        assert_eq!(MultiCore::total_committed(&stats), 20_000);
+        assert!(MultiCore::makespan_cycles(&stats) >= stats[0].cycles);
+        assert!(MultiCore::aggregate_ipc(&stats) > 0.0);
+    }
+
+    #[test]
+    fn multicore_matches_single_core_per_core() {
+        // A core in a multi-core set behaves exactly like a lone engine.
+        let trace = generate_trace(
+            Workload::spec(SpecBenchmark::Gzip, 13),
+            5_000,
+            &TraceGenConfig::paper(),
+        );
+        let solo = Engine::new(EngineConfig::paper_4wide())
+            .unwrap()
+            .run(trace.source());
+        let mut mc = MultiCore::homogeneous(2, &EngineConfig::paper_4wide()).unwrap();
+        let stats = mc.run(vec![trace.source(), trace.source()]);
+        assert_eq!(stats[0], solo);
+        assert_eq!(stats[1], solo);
+    }
+}

@@ -1,0 +1,404 @@
+//! ReSim's internal (minor-cycle) pipeline organizations — the paper's
+//! §IV and Figures 2–4.
+//!
+//! ReSim processes the simulated processor's N ways *serially*: one
+//! **major cycle** (simulated cycle) is split into **minor cycles**, each
+//! handling one stage step for one way. The paper develops three
+//! organizations:
+//!
+//! | Organization | Minor cycles per major | Key idea |
+//! |---|---|---|
+//! | [`SimpleSerial`] (Fig. 2) | `2N + 3` | Writeback → Lsq_refresh → Issue strictly ordered |
+//! | [`ImprovedSerial`] (Fig. 3) | `N + 4` | Writeback pipelined one cycle behind Issue (pipelined control); cache access before writeback |
+//! | [`OptimizedSerial`] (Fig. 4) | `N + 3` | Lsq_refresh in parallel with the first Issue slot; no load may issue in slot 0; requires ≤ N−1 memory ports |
+//!
+//! The organizations are *semantically equivalent*: the simulated
+//! processor's timing is identical under all three (the optimized form
+//! needs its port precondition). What changes is the engine's own
+//! throughput — fewer minor cycles per major cycle means more simulated
+//! MIPS at the same FPGA clock.
+//!
+//! [`SimpleSerial`]: PipelineOrganization::SimpleSerial
+//! [`ImprovedSerial`]: PipelineOrganization::ImprovedSerial
+//! [`OptimizedSerial`]: PipelineOrganization::OptimizedSerial
+
+use std::fmt;
+
+/// The three internal pipeline organizations of §IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineOrganization {
+    /// Figure 2: strict WB → Lsq_refresh → Issue chain, `2N+3`.
+    SimpleSerial,
+    /// Figure 3: Issue/Writeback overlapped via pipelined control, `N+4`.
+    ImprovedSerial,
+    /// Figure 4: Lsq_refresh ∥ first Issue, no load in slot 0, `N+3`.
+    OptimizedSerial,
+}
+
+impl PipelineOrganization {
+    /// All organizations, in presentation order.
+    pub const ALL: [PipelineOrganization; 3] = [
+        PipelineOrganization::SimpleSerial,
+        PipelineOrganization::ImprovedSerial,
+        PipelineOrganization::OptimizedSerial,
+    ];
+
+    /// Minor cycles consumed per major (simulated) cycle for an `N`-wide
+    /// processor.
+    pub fn minor_cycles_per_major(self, width: usize) -> u64 {
+        let n = width as u64;
+        match self {
+            PipelineOrganization::SimpleSerial => 2 * n + 3,
+            PipelineOrganization::ImprovedSerial => n + 4,
+            PipelineOrganization::OptimizedSerial => n + 3,
+        }
+    }
+
+    /// Whether loads are barred from the first issue slot (§IV.B's
+    /// optimization).
+    pub fn restricts_first_slot_loads(self) -> bool {
+        matches!(self, PipelineOrganization::OptimizedSerial)
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PipelineOrganization::SimpleSerial => "simple",
+            PipelineOrganization::ImprovedSerial => "improved",
+            PipelineOrganization::OptimizedSerial => "optimized",
+        }
+    }
+
+    /// The paper figure this organization is drawn in.
+    pub fn figure(self) -> u32 {
+        match self {
+            PipelineOrganization::SimpleSerial => 2,
+            PipelineOrganization::ImprovedSerial => 3,
+            PipelineOrganization::OptimizedSerial => 4,
+        }
+    }
+
+    /// Builds the minor-cycle schedule of one major cycle for an
+    /// `N`-wide processor (the content of Figures 2–4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn schedule(self, width: usize) -> Schedule {
+        assert!(width >= 1, "schedule needs width >= 1");
+        let n = width;
+        let total = self.minor_cycles_per_major(width) as usize;
+        let mut rows: Vec<ScheduleRow> = Vec::new();
+        let mut row = |stage: &'static str, cells: Vec<(usize, String)>| {
+            let mut r = ScheduleRow {
+                stage,
+                cells: vec![None; total],
+            };
+            for (mc, label) in cells {
+                assert!(mc < total, "{stage} slot at {mc} exceeds {total}");
+                r.cells[mc] = Some(label);
+            }
+            rows.push(r);
+        };
+
+        match self {
+            PipelineOrganization::SimpleSerial => {
+                // WB(N) → LSQR(1) → Issue step1(N) / step2 pipelined(+1)
+                // → CA(+1) = 2N+3. Fetch/decouple/dispatch/commit overlap.
+                row("Fetch", (0..n).map(|i| (i, format!("F{i}"))).collect());
+                row("Decouple", (0..n).map(|i| (i + 1, format!("DPL{i}"))).collect());
+                row(
+                    "Dispatch",
+                    (0..n).map(|i| (i + 2, format!("D{i}"))).collect(),
+                );
+                row("Writeback", (0..n).map(|i| (i, format!("W{i}"))).collect());
+                row("Lsq_refresh", vec![(n, "LR".to_owned())]);
+                row(
+                    "Issue-1",
+                    (0..n).map(|i| (n + 1 + i, format!("I{i}"))).collect(),
+                );
+                row(
+                    "Issue-2",
+                    (0..n).map(|i| (n + 2 + i, format!("E{i}"))).collect(),
+                );
+                row(
+                    "CacheAccess",
+                    (0..n).map(|i| (n + 3 + i, format!("CA{i}"))).collect(),
+                );
+                row("Commit", (0..n).map(|i| (i + 2, format!("C{i}"))).collect());
+            }
+            PipelineOrganization::ImprovedSerial => {
+                // LSQR(1) → Issue(N) with CA and WB pipelined two and
+                // three slots behind, bookkeeping in the last slot = N+4.
+                row("Fetch", (0..n).map(|i| (i, format!("F{i}"))).collect());
+                row("Decouple", (0..n).map(|i| (i + 1, format!("DPL{i}"))).collect());
+                row(
+                    "Dispatch",
+                    (0..n).map(|i| (i + 2, format!("D{i}"))).collect(),
+                );
+                row("Lsq_refresh", vec![(0, "LR".to_owned())]);
+                row("Issue", (0..n).map(|i| (1 + i, format!("I{i}"))).collect());
+                row(
+                    "CacheAccess",
+                    (0..n).map(|i| (2 + i, format!("CA{i}"))).collect(),
+                );
+                row(
+                    "Writeback",
+                    (0..n).map(|i| (3 + i, format!("W{i}"))).collect(),
+                );
+                row("Commit", (0..n).map(|i| (i + 1, format!("C{i}"))).collect());
+                row("Bookkeeping", vec![(n + 3, "BK".to_owned())]);
+            }
+            PipelineOrganization::OptimizedSerial => {
+                // LSQR ∥ I0; I0 carries no load so CA starts after I1;
+                // WB pipelined behind CA; bookkeeping folded into the
+                // last slot = N+3.
+                row("Fetch", (0..n).map(|i| (i, format!("F{i}"))).collect());
+                row("Decouple", (0..n).map(|i| (i + 1, format!("DPL{i}"))).collect());
+                row(
+                    "Dispatch",
+                    (0..n).map(|i| (i + 2, format!("D{i}"))).collect(),
+                );
+                row("Lsq_refresh", vec![(0, "LR".to_owned())]);
+                row("Issue", (0..n).map(|i| (i, format!("I{i}"))).collect());
+                row(
+                    "CacheAccess",
+                    (1..n).map(|i| (i + 2, format!("CA{i}"))).collect(),
+                );
+                row(
+                    "Writeback",
+                    (0..n).map(|i| (i + 3, format!("W{i}"))).collect(),
+                );
+                row("Commit", (0..n).map(|i| (i + 1, format!("C{i}"))).collect());
+            }
+        }
+
+        Schedule {
+            organization: self,
+            width,
+            rows,
+        }
+    }
+}
+
+impl fmt::Display for PipelineOrganization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One stage row of a minor-cycle schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleRow {
+    /// Stage name.
+    pub stage: &'static str,
+    /// Activity label per minor cycle (`None` = idle).
+    pub cells: Vec<Option<String>>,
+}
+
+/// A rendered minor-cycle schedule for one major cycle (Figures 2–4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    organization: PipelineOrganization,
+    width: usize,
+    rows: Vec<ScheduleRow>,
+}
+
+impl Schedule {
+    /// The organization this schedule belongs to.
+    pub fn organization(&self) -> PipelineOrganization {
+        self.organization
+    }
+
+    /// Processor width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Minor cycles in the major cycle.
+    pub fn minor_cycles(&self) -> usize {
+        self.rows.first().map_or(0, |r| r.cells.len())
+    }
+
+    /// The stage rows.
+    pub fn rows(&self) -> &[ScheduleRow] {
+        &self.rows
+    }
+
+    /// The minor cycle at which `stage` performs step `label`, if any.
+    pub fn slot_of(&self, stage: &str, label: &str) -> Option<usize> {
+        self.rows
+            .iter()
+            .find(|r| r.stage == stage)?
+            .cells
+            .iter()
+            .position(|c| c.as_deref() == Some(label))
+    }
+
+    /// Renders an ASCII grid in the style of the paper's figures.
+    pub fn render(&self) -> String {
+        let mcs = self.minor_cycles();
+        let cell_w = self
+            .rows
+            .iter()
+            .flat_map(|r| r.cells.iter())
+            .filter_map(|c| c.as_ref().map(|s| s.len()))
+            .max()
+            .unwrap_or(2)
+            .max(4);
+        let stage_w = self
+            .rows
+            .iter()
+            .map(|r| r.stage.len())
+            .max()
+            .unwrap_or(8)
+            .max(11);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} pipeline (Figure {}), {}-wide: {} minor cycles per major cycle\n",
+            self.organization,
+            self.organization.figure(),
+            self.width,
+            mcs
+        ));
+        out.push_str(&format!("{:stage_w$} |", "minor cycle"));
+        for mc in 0..mcs {
+            out.push_str(&format!(" {mc:>cell_w$} |"));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(stage_w + 2 + mcs * (cell_w + 3)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!("{:stage_w$} |", r.stage));
+            for c in &r.cells {
+                match c {
+                    Some(s) => out.push_str(&format!(" {s:>cell_w$} |")),
+                    None => out.push_str(&format!(" {:>cell_w$} |", "")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_match_paper_formulas() {
+        // The paper's worked example is the 4-wide machine: 11 / 8 / 7.
+        assert_eq!(
+            PipelineOrganization::SimpleSerial.minor_cycles_per_major(4),
+            11
+        );
+        assert_eq!(
+            PipelineOrganization::ImprovedSerial.minor_cycles_per_major(4),
+            8
+        );
+        assert_eq!(
+            PipelineOrganization::OptimizedSerial.minor_cycles_per_major(4),
+            7
+        );
+        // And the 2-wide cached configuration of Table 1 right: N+4 = 6.
+        assert_eq!(
+            PipelineOrganization::ImprovedSerial.minor_cycles_per_major(2),
+            6
+        );
+        for w in 1..=16 {
+            let n = w as u64;
+            assert_eq!(
+                PipelineOrganization::SimpleSerial.minor_cycles_per_major(w),
+                2 * n + 3
+            );
+            assert_eq!(
+                PipelineOrganization::ImprovedSerial.minor_cycles_per_major(w),
+                n + 4
+            );
+            assert_eq!(
+                PipelineOrganization::OptimizedSerial.minor_cycles_per_major(w),
+                n + 3
+            );
+        }
+    }
+
+    #[test]
+    fn schedules_fit_their_budget() {
+        for org in PipelineOrganization::ALL {
+            for w in 1..=8 {
+                let s = org.schedule(w);
+                assert_eq!(s.minor_cycles() as u64, org.minor_cycles_per_major(w));
+                for r in s.rows() {
+                    assert_eq!(r.cells.len(), s.minor_cycles());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simple_orders_wb_before_lsqr_before_issue() {
+        // §IV.A: "first Writeback is performed ... Then Lsq_refresh ...
+        // Then Issue can proceed".
+        let s = PipelineOrganization::SimpleSerial.schedule(4);
+        let last_wb = s.slot_of("Writeback", "W3").unwrap();
+        let lr = s.slot_of("Lsq_refresh", "LR").unwrap();
+        let first_issue = s.slot_of("Issue-1", "I0").unwrap();
+        assert!(last_wb < lr);
+        assert!(lr < first_issue);
+    }
+
+    #[test]
+    fn improved_issues_before_writeback() {
+        // §IV.B: "the Issue minor-cycle is performed before the Writeback
+        // minor-cycle during a major-cycle", and CA precedes WB.
+        let s = PipelineOrganization::ImprovedSerial.schedule(4);
+        for i in 0..4 {
+            let issue = s.slot_of("Issue", &format!("I{i}")).unwrap();
+            let ca = s.slot_of("CacheAccess", &format!("CA{i}")).unwrap();
+            let wb = s.slot_of("Writeback", &format!("W{i}")).unwrap();
+            assert!(issue < ca, "issue slot {i} must precede its cache access");
+            assert!(ca < wb, "cache access {i} must precede its writeback");
+        }
+        // Bookkeeping is the last minor cycle.
+        assert_eq!(s.slot_of("Bookkeeping", "BK"), Some(s.minor_cycles() - 1));
+    }
+
+    #[test]
+    fn optimized_runs_lsqr_with_first_issue_and_bars_slot0_loads() {
+        // §IV.B: "we allow the execution of Lsq_refresh and of the first
+        // Issue to be performed in parallel" and "we disallow the issue
+        // and execution of a load instruction in the first slot".
+        let s = PipelineOrganization::OptimizedSerial.schedule(4);
+        assert_eq!(
+            s.slot_of("Lsq_refresh", "LR"),
+            s.slot_of("Issue", "I0"),
+            "LSQR and first issue share a minor cycle"
+        );
+        assert_eq!(
+            s.slot_of("CacheAccess", "CA0"),
+            None,
+            "slot 0 has no cache access because it cannot carry a load"
+        );
+        assert!(PipelineOrganization::OptimizedSerial.restricts_first_slot_loads());
+        assert!(!PipelineOrganization::ImprovedSerial.restricts_first_slot_loads());
+    }
+
+    #[test]
+    fn render_contains_all_labels() {
+        let s = PipelineOrganization::OptimizedSerial.schedule(4);
+        let text = s.render();
+        for label in ["LR", "I0", "I3", "W0", "CA1", "F0", "C3"] {
+            assert!(text.contains(label), "render must include {label}:\n{text}");
+        }
+        assert!(text.contains("7 minor cycles"));
+    }
+
+    #[test]
+    fn names_and_figures() {
+        assert_eq!(PipelineOrganization::SimpleSerial.figure(), 2);
+        assert_eq!(PipelineOrganization::ImprovedSerial.figure(), 3);
+        assert_eq!(PipelineOrganization::OptimizedSerial.figure(), 4);
+        assert_eq!(PipelineOrganization::OptimizedSerial.to_string(), "optimized");
+    }
+}

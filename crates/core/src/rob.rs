@@ -1,0 +1,260 @@
+//! The Reorder Buffer: in-order allocate / out-of-order complete /
+//! in-order commit window of the simulated processor.
+//!
+//! ReSim's simulated architecture "is based on reservation stations"
+//! with a Reorder Buffer (Figure 1); this model folds the reservation
+//! stations into the RB entries (an RUU-style organization, as in
+//! SimpleScalar): each entry tracks the producer tags it still waits on,
+//! its execution state and its completion time.
+
+use resim_trace::TraceRecord;
+
+/// Execution state of an in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstState {
+    /// Dispatched; waiting for operands (or for issue bandwidth).
+    Waiting,
+    /// Issued to a functional unit; result available at `done_at`.
+    Executing {
+        /// Cycle the result becomes broadcastable.
+        done_at: u64,
+    },
+    /// Result written back (broadcast) at cycle `at`.
+    Completed {
+        /// Writeback cycle — commit must happen strictly later (the
+        /// paper's "flag" that stops same-cycle commit, §IV.B).
+        at: u64,
+    },
+}
+
+/// One Reorder Buffer entry.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Global age tag (unique, monotonically increasing).
+    pub seq: u64,
+    /// The pre-decoded instruction.
+    pub record: TraceRecord,
+    /// Execution state.
+    pub state: InstState,
+    /// Producer tags this instruction still waits on (≤ 2).
+    pub pending: Vec<u64>,
+    /// Whether the instruction occupies an LSQ slot.
+    pub in_lsq: bool,
+    /// Set on an (untagged) branch that the trace marks as mispredicted:
+    /// its writeback triggers recovery.
+    pub mispredicted_branch: bool,
+}
+
+impl RobEntry {
+    /// Whether every source operand is available.
+    pub fn operands_ready(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Whether the entry has written back.
+    pub fn is_completed(&self) -> bool {
+        matches!(self.state, InstState::Completed { .. })
+    }
+
+    /// Whether the entry is waiting to issue.
+    pub fn is_waiting(&self) -> bool {
+        self.state == InstState::Waiting
+    }
+}
+
+/// A circular, age-ordered Reorder Buffer.
+#[derive(Debug, Clone)]
+pub struct ReorderBuffer {
+    entries: std::collections::VecDeque<RobEntry>,
+    capacity: usize,
+}
+
+impl ReorderBuffer {
+    /// Creates an empty RB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RB capacity must be non-zero");
+        Self {
+            entries: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no instructions are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether allocation would fail.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Allocates at the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if full or if `entry.seq` does not exceed the current tail
+    /// seq (ages must be monotone).
+    pub fn push(&mut self, entry: RobEntry) {
+        assert!(!self.is_full(), "RB overflow");
+        if let Some(tail) = self.entries.back() {
+            assert!(entry.seq > tail.seq, "RB ages must increase");
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// The oldest entry.
+    pub fn head(&self) -> Option<&RobEntry> {
+        self.entries.front()
+    }
+
+    /// Removes and returns the oldest entry.
+    pub fn pop_head(&mut self) -> Option<RobEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Looks up an entry by age tag.
+    pub fn find(&self, seq: u64) -> Option<&RobEntry> {
+        self.entries.iter().find(|e| e.seq == seq)
+    }
+
+    /// Mutable lookup by age tag.
+    pub fn find_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
+        self.entries.iter_mut().find(|e| e.seq == seq)
+    }
+
+    /// Whether `seq` names a producer whose result is still outstanding
+    /// (present and not completed). Absent entries have committed (or
+    /// been squashed along with every possible consumer).
+    pub fn is_outstanding(&self, seq: u64) -> bool {
+        self.find(seq).is_some_and(|e| !e.is_completed())
+    }
+
+    /// Iterates oldest → youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.entries.iter()
+    }
+
+    /// Mutable iteration oldest → youngest.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut RobEntry> {
+        self.entries.iter_mut()
+    }
+
+    /// Broadcasts a completed producer: removes `seq` from every pending
+    /// list (the wakeup of §III's Writeback).
+    pub fn broadcast(&mut self, seq: u64) {
+        for e in &mut self.entries {
+            e.pending.retain(|&p| p != seq);
+        }
+    }
+
+    /// Squashes every entry younger than `seq`, returning them
+    /// (youngest last).
+    pub fn squash_younger(&mut self, seq: u64) -> Vec<RobEntry> {
+        let keep = self.entries.iter().take_while(|e| e.seq <= seq).count();
+        self.entries.split_off(keep).into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resim_trace::{OpClass, OtherRecord};
+
+    fn entry(seq: u64) -> RobEntry {
+        RobEntry {
+            seq,
+            record: TraceRecord::Other(OtherRecord {
+                pc: (seq as u32) * 4,
+                class: OpClass::IntAlu,
+                dest: None,
+                src1: None,
+                src2: None,
+                wrong_path: false,
+            }),
+            state: InstState::Waiting,
+            pending: Vec::new(),
+            in_lsq: false,
+            mispredicted_branch: false,
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let mut rb = ReorderBuffer::new(4);
+        for s in 1..=4 {
+            rb.push(entry(s));
+        }
+        assert!(rb.is_full());
+        assert_eq!(rb.head().unwrap().seq, 1);
+        assert_eq!(rb.pop_head().unwrap().seq, 1);
+        assert_eq!(rb.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "RB overflow")]
+    fn overflow_panics() {
+        let mut rb = ReorderBuffer::new(1);
+        rb.push(entry(1));
+        rb.push(entry(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "ages must increase")]
+    fn non_monotone_age_panics() {
+        let mut rb = ReorderBuffer::new(4);
+        rb.push(entry(5));
+        rb.push(entry(3));
+    }
+
+    #[test]
+    fn broadcast_clears_pending() {
+        let mut rb = ReorderBuffer::new(4);
+        rb.push(entry(1));
+        let mut e2 = entry(2);
+        e2.pending = vec![1];
+        rb.push(e2);
+        let mut e3 = entry(3);
+        e3.pending = vec![1, 2];
+        rb.push(e3);
+        rb.broadcast(1);
+        assert!(rb.find(2).unwrap().operands_ready());
+        assert_eq!(rb.find(3).unwrap().pending, vec![2]);
+    }
+
+    #[test]
+    fn squash_younger_keeps_older() {
+        let mut rb = ReorderBuffer::new(8);
+        for s in 1..=6 {
+            rb.push(entry(s));
+        }
+        let squashed = rb.squash_younger(3);
+        assert_eq!(squashed.iter().map(|e| e.seq).collect::<Vec<_>>(), [4, 5, 6]);
+        assert_eq!(rb.len(), 3);
+        assert_eq!(rb.head().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn outstanding_tracks_completion() {
+        let mut rb = ReorderBuffer::new(4);
+        rb.push(entry(1));
+        assert!(rb.is_outstanding(1));
+        rb.find_mut(1).unwrap().state = InstState::Completed { at: 5 };
+        assert!(!rb.is_outstanding(1));
+        assert!(!rb.is_outstanding(99), "absent entries are not outstanding");
+    }
+}

@@ -1,0 +1,216 @@
+//! Simulation statistics — the engine's equivalent of `sim-outorder`'s
+//! counter dump (§V.B).
+//!
+//! "To avoid overflow problems we use 64-bits registers for statistics"
+//! — all counters here are `u64`. The set mirrors what the paper lists:
+//! general counts (instructions, memory operations, branches, cache
+//! hits), occupancy statistics for IFQ / Reorder Buffer / LSQ, and
+//! detailed branch information.
+
+use resim_bpred::PredictorStats;
+use resim_mem::MemorySystemStats;
+
+/// 64-bit statistics collected during a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    // --- progress ---
+    /// Simulated (major) cycles elapsed.
+    pub cycles: u64,
+    /// Minor cycles the engine spent (cycles × pipeline latency).
+    pub minor_cycles: u64,
+    /// Correct-path instructions committed.
+    pub committed: u64,
+    /// All instructions fetched (correct + wrong path).
+    pub fetched: u64,
+    /// Wrong-path instructions fetched (later squashed).
+    pub wrong_path_fetched: u64,
+    /// Wrong-path trace records delivered but discarded unfetched at the
+    /// branch resolution point (§V.A).
+    pub wrong_path_discarded: u64,
+
+    // --- committed mix ---
+    /// Committed loads.
+    pub committed_loads: u64,
+    /// Committed stores.
+    pub committed_stores: u64,
+    /// Committed branches.
+    pub committed_branches: u64,
+
+    // --- speculation ---
+    /// Direction-misprediction recoveries performed.
+    pub mispredict_recoveries: u64,
+    /// Misfetches detected at fetch (target wrong/unknown).
+    pub misfetches: u64,
+    /// Instructions squashed from the pipeline on recovery.
+    pub squashed: u64,
+
+    // --- pipeline pressure ---
+    /// Dispatch stalls because the RB was full.
+    pub dispatch_stall_rb: u64,
+    /// Dispatch stalls because the LSQ was full.
+    pub dispatch_stall_lsq: u64,
+    /// Cycles fetch was stalled (penalties, I-cache misses, wrong-path
+    /// exhaustion).
+    pub fetch_stall_cycles: u64,
+    /// Loads satisfied by LSQ store-to-load forwarding.
+    pub load_forwards: u64,
+    /// Instructions issued to functional units.
+    pub issued: u64,
+
+    // --- occupancy accumulators (divide by `cycles` for averages) ---
+    /// Sum over cycles of IFQ occupancy.
+    pub ifq_occupancy_sum: u64,
+    /// Sum over cycles of RB occupancy.
+    pub rb_occupancy_sum: u64,
+    /// Sum over cycles of LSQ occupancy.
+    pub lsq_occupancy_sum: u64,
+
+    // --- component statistics ---
+    /// Branch predictor counters.
+    pub predictor: PredictorStats,
+    /// Cache / memory-system counters.
+    pub memory: MemorySystemStats,
+}
+
+impl SimStats {
+    /// Committed instructions per simulated cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Instructions *processed* per cycle including wrong-path work —
+    /// the rate Table 3 reports ("simulation throughput including
+    /// mis-speculated instructions ... the total trace instruction
+    /// demands").
+    pub fn processed_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.trace_records_consumed() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total trace records pulled from the trace source.
+    pub fn trace_records_consumed(&self) -> u64 {
+        self.committed + self.wrong_path_fetched + self.wrong_path_discarded
+    }
+
+    /// Fraction of consumed trace records that were wrong-path (the
+    /// paper measures ≈ 10 % on average).
+    pub fn wrong_path_fraction(&self) -> f64 {
+        let total = self.trace_records_consumed();
+        if total == 0 {
+            0.0
+        } else {
+            (self.wrong_path_fetched + self.wrong_path_discarded) as f64 / total as f64
+        }
+    }
+
+    /// Mean IFQ occupancy.
+    pub fn avg_ifq_occupancy(&self) -> f64 {
+        self.avg(self.ifq_occupancy_sum)
+    }
+
+    /// Mean RB occupancy.
+    pub fn avg_rb_occupancy(&self) -> f64 {
+        self.avg(self.rb_occupancy_sum)
+    }
+
+    /// Mean LSQ occupancy.
+    pub fn avg_lsq_occupancy(&self) -> f64 {
+        self.avg(self.lsq_occupancy_sum)
+    }
+
+    fn avg(&self, sum: u64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Renders a `sim-outorder`-style statistics dump.
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        let mut line = |k: &str, v: String| s.push_str(&format!("{k:<28} {v}\n"));
+        line("sim_cycle", self.cycles.to_string());
+        line("sim_minor_cycle", self.minor_cycles.to_string());
+        line("sim_num_insn", self.committed.to_string());
+        line("sim_IPC", format!("{:.4}", self.ipc()));
+        line("sim_num_loads", self.committed_loads.to_string());
+        line("sim_num_stores", self.committed_stores.to_string());
+        line("sim_num_branches", self.committed_branches.to_string());
+        line("fetch_num_insn", self.fetched.to_string());
+        line("fetch_wrong_path", self.wrong_path_fetched.to_string());
+        line("fetch_discarded", self.wrong_path_discarded.to_string());
+        line("recovery_count", self.mispredict_recoveries.to_string());
+        line("misfetch_count", self.misfetches.to_string());
+        line("squashed_insn", self.squashed.to_string());
+        line("lsq_forwards", self.load_forwards.to_string());
+        line("ifq_occupancy_avg", format!("{:.3}", self.avg_ifq_occupancy()));
+        line("rb_occupancy_avg", format!("{:.3}", self.avg_rb_occupancy()));
+        line("lsq_occupancy_avg", format!("{:.3}", self.avg_lsq_occupancy()));
+        line(
+            "bpred_addr_rate",
+            format!("{:.4}", self.predictor.address_accuracy()),
+        );
+        line(
+            "bpred_dir_rate",
+            format!("{:.4}", self.predictor.cond_accuracy()),
+        );
+        line("il1_accesses", self.memory.l1i.accesses().to_string());
+        line("il1_hit_rate", format!("{:.4}", self.memory.l1i.hit_rate()));
+        line("dl1_accesses", self.memory.l1d.accesses().to_string());
+        line("dl1_hit_rate", format!("{:.4}", self.memory.l1d.hit_rate()));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_on_empty_stats_are_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.processed_per_cycle(), 0.0);
+        assert_eq!(s.wrong_path_fraction(), 0.0);
+        assert_eq!(s.avg_rb_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let s = SimStats {
+            cycles: 100,
+            committed: 250,
+            wrong_path_fetched: 40,
+            wrong_path_discarded: 10,
+            rb_occupancy_sum: 800,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert_eq!(s.trace_records_consumed(), 300);
+        assert!((s.processed_per_cycle() - 3.0).abs() < 1e-12);
+        assert!((s.wrong_path_fraction() - 50.0 / 300.0).abs() < 1e-12);
+        assert!((s.avg_rb_occupancy() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_contains_key_counters() {
+        let s = SimStats {
+            cycles: 10,
+            committed: 20,
+            ..SimStats::default()
+        };
+        let r = s.report();
+        assert!(r.contains("sim_num_insn"));
+        assert!(r.contains("sim_IPC"));
+        assert!(r.contains("2.0000"));
+        assert!(r.contains("bpred_dir_rate"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests over the engine's architectural invariants, driven by
+//! randomly-parameterised synthetic workloads.
+
+use proptest::prelude::*;
+use resim_core::{Engine, EngineConfig, FuConfig, PipelineOrganization};
+use resim_tracegen::{generate_trace, TraceGenConfig};
+use resim_workloads::{Workload, WorkloadProfile};
+
+/// A randomised but always-valid workload profile.
+fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        0.05f64..0.30,  // frac_load
+        0.02f64..0.15,  // frac_store
+        0.0f64..0.03,   // frac_mult
+        0.0f64..0.005,  // frac_div
+        0.2f64..3.0,    // dep_distance_mean
+        0.0f64..0.8,    // frac_addr_dep
+        0.0f64..0.15,   // frac_random_branches
+        0.80f64..0.99,  // bias_strength
+        2u32..60,       // mean_loop_trips
+        50usize..400,   // num_blocks
+    )
+        .prop_map(
+            |(load, store, mult, div, dep, addr, random, bias, trips, blocks)| WorkloadProfile {
+                frac_load: load,
+                frac_store: store,
+                frac_mult: mult,
+                frac_div: div,
+                dep_distance_mean: dep,
+                frac_addr_dep: addr,
+                frac_random_branches: random,
+                bias_strength: bias,
+                mean_loop_trips: trips,
+                num_blocks: blocks,
+                ..WorkloadProfile::generic()
+            },
+        )
+}
+
+fn arb_config() -> impl Strategy<Value = EngineConfig> {
+    (
+        prop_oneof![Just(2usize), Just(4), Just(8)],
+        prop_oneof![Just(8usize), Just(16), Just(32)],
+        prop_oneof![Just(4usize), Just(8), Just(16)],
+    )
+        .prop_map(|(width, rb, lsq)| EngineConfig {
+            width,
+            rb_size: rb.max(width),
+            lsq_size: lsq,
+            ifq_size: 16,
+            fus: FuConfig {
+                alus: width,
+                ..FuConfig::paper()
+            },
+            mem_read_ports: (width - 1).max(1),
+            pipeline: if width == 1 {
+                PipelineOrganization::ImprovedSerial
+            } else {
+                PipelineOrganization::OptimizedSerial
+            },
+            ..EngineConfig::paper_4wide()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation laws: every fetched instruction either commits or is
+    /// squashed wrong-path work; every trace record is consumed; IPC
+    /// never exceeds the width; occupancies never exceed capacities.
+    #[test]
+    fn conservation_and_bounds(
+        profile in arb_profile(),
+        config in arb_config(),
+        seed in 0u64..1000,
+    ) {
+        let n = 6_000usize;
+        let trace = generate_trace(Workload::new(&profile, seed), n, &TraceGenConfig::paper());
+        let mut engine = Engine::new(config.clone()).expect("generated configs are valid");
+        let stats = engine.run(trace.source());
+
+        prop_assert_eq!(stats.committed, n as u64);
+        prop_assert_eq!(stats.fetched, stats.committed + stats.wrong_path_fetched);
+        prop_assert_eq!(stats.trace_records_consumed(), trace.len() as u64);
+        prop_assert!(stats.ipc() <= config.width as f64 + 1e-9);
+        prop_assert!(stats.avg_rb_occupancy() <= config.rb_size as f64);
+        prop_assert!(stats.avg_lsq_occupancy() <= config.lsq_size as f64);
+        prop_assert!(stats.avg_ifq_occupancy() <= config.ifq_size as f64);
+        // Wrong-path work only exists if something mispredicted.
+        if stats.wrong_path_fetched > 0 {
+            prop_assert!(stats.mispredict_recoveries > 0);
+        }
+    }
+
+    /// The three §IV pipeline organizations always produce identical
+    /// simulated timing (given the optimized port precondition), while
+    /// their minor-cycle totals scale as 2N+3 : N+4 : N+3.
+    #[test]
+    fn pipeline_organizations_agree(
+        profile in arb_profile(),
+        seed in 0u64..1000,
+        width in prop_oneof![Just(2usize), Just(4)],
+    ) {
+        let trace = generate_trace(Workload::new(&profile, seed), 4_000, &TraceGenConfig::paper());
+        let mut results = Vec::new();
+        for org in PipelineOrganization::ALL {
+            let config = EngineConfig {
+                width,
+                fus: FuConfig { alus: width, ..FuConfig::paper() },
+                mem_read_ports: width - 1,
+                pipeline: org,
+                ..EngineConfig::paper_4wide()
+            };
+            let stats = Engine::new(config.clone()).unwrap().run(trace.source());
+            results.push((org, stats));
+        }
+        let base = &results[0].1;
+        for (org, stats) in &results[1..] {
+            prop_assert_eq!(stats.cycles, base.cycles, "org {} timing differs", org);
+            prop_assert_eq!(stats.committed, base.committed);
+            prop_assert_eq!(stats.mispredict_recoveries, base.mispredict_recoveries);
+        }
+        for (org, stats) in &results {
+            prop_assert_eq!(
+                stats.minor_cycles,
+                stats.cycles * org.minor_cycles_per_major(width)
+            );
+        }
+    }
+
+    /// Determinism: identical inputs produce identical statistics.
+    #[test]
+    fn engine_is_deterministic(profile in arb_profile(), seed in 0u64..1000) {
+        let trace = generate_trace(Workload::new(&profile, seed), 3_000, &TraceGenConfig::paper());
+        let a = Engine::new(EngineConfig::paper_4wide()).unwrap().run(trace.source());
+        let b = Engine::new(EngineConfig::paper_4wide()).unwrap().run(trace.source());
+        prop_assert_eq!(a, b);
+    }
+
+    /// A perfect branch predictor never loses to the real one on the same
+    /// (untagged) trace, and perfect memory never loses to caches.
+    #[test]
+    fn oracle_dominance(profile in arb_profile(), seed in 0u64..500) {
+        let trace = generate_trace(Workload::new(&profile, seed), 5_000, &TraceGenConfig::perfect());
+        let perfect_bp = EngineConfig {
+            predictor: resim_bpred::PredictorConfig::perfect(),
+            ..EngineConfig::paper_4wide()
+        };
+        let real_bp = EngineConfig::paper_4wide();
+        let a = Engine::new(perfect_bp.clone()).unwrap().run(trace.source());
+        let b = Engine::new(real_bp).unwrap().run(trace.source());
+        // Same untagged trace: the only difference is misfetch bubbles.
+        prop_assert!(a.cycles <= b.cycles, "perfect BP {} vs real {}", a.cycles, b.cycles);
+
+        let cached = EngineConfig {
+            memory: resim_mem::MemorySystemConfig::l1_32k(),
+            ..perfect_bp.clone()
+        };
+        let c = Engine::new(cached).unwrap().run(trace.source());
+        prop_assert!(a.cycles <= c.cycles, "perfect mem {} vs cached {}", a.cycles, c.cycles);
+    }
+}

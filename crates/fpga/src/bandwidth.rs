@@ -1,0 +1,104 @@
+//! Trace-delivery bandwidth models — the paper's Table 3 analysis.
+//!
+//! "While this throughput (1.1 Gbps) exceeds the available bandwidth of
+//! regular Gigabit Ethernet network, tightly coupled CPU–FPGA systems —
+//! such as the DRC board — are available and use busses that offer
+//! substantially higher I/O bandwidth" (§V). [`TraceLink`] models those
+//! options and [`effective_mips`] computes the delivered simulation speed
+//! when the link, not the engine, is the bottleneck.
+
+/// A host-to-FPGA trace delivery channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceLink {
+    /// Regular Gigabit Ethernet (1 Gb/s line rate).
+    GigabitEthernet,
+    /// DRC-style HyperTransport socket module (the platform FAST uses);
+    /// ~12.8 Gb/s usable.
+    DrcHyperTransport,
+    /// PCI Express ×4 gen1 (~8 Gb/s usable).
+    PcieX4Gen1,
+    /// Traces pre-loaded in on-board memory: effectively unlimited.
+    OnBoardMemory,
+}
+
+impl TraceLink {
+    /// All modelled links.
+    pub const ALL: [TraceLink; 4] = [
+        TraceLink::GigabitEthernet,
+        TraceLink::DrcHyperTransport,
+        TraceLink::PcieX4Gen1,
+        TraceLink::OnBoardMemory,
+    ];
+
+    /// Usable payload bandwidth in bits per second.
+    pub fn bits_per_sec(self) -> f64 {
+        match self {
+            TraceLink::GigabitEthernet => 1.0e9,
+            TraceLink::DrcHyperTransport => 12.8e9,
+            TraceLink::PcieX4Gen1 => 8.0e9,
+            TraceLink::OnBoardMemory => f64::INFINITY,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceLink::GigabitEthernet => "Gigabit Ethernet",
+            TraceLink::DrcHyperTransport => "DRC HyperTransport",
+            TraceLink::PcieX4Gen1 => "PCIe x4 gen1",
+            TraceLink::OnBoardMemory => "on-board memory",
+        }
+    }
+}
+
+impl std::fmt::Display for TraceLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The simulation speed actually delivered when the engine wants
+/// `engine_mips` (including wrong-path records) and every record costs
+/// `bits_per_instruction` on `link`.
+///
+/// Returns MIPS (possibly link-limited).
+pub fn effective_mips(engine_mips: f64, bits_per_instruction: f64, link: TraceLink) -> f64 {
+    assert!(bits_per_instruction > 0.0, "records cannot be free");
+    let link_mips = link.bits_per_sec() / bits_per_instruction / 1e6;
+    engine_mips.min(link_mips)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gige_throttles_the_paper_demand() {
+        // Table 3: ~25.5 MIPS at ~43.4 bits/instr = ~1.1 Gb/s demand,
+        // which "exceeds the available bandwidth of regular Gigabit
+        // Ethernet".
+        let demand_gbps = 25.51 * 43.44 / 1000.0;
+        assert!(demand_gbps > 1.0, "paper demand is {demand_gbps:.2} Gb/s");
+        let got = effective_mips(25.51, 43.44, TraceLink::GigabitEthernet);
+        assert!(got < 25.51, "GigE must throttle");
+        assert!((got - 1000.0 / 43.44).abs() < 0.1);
+    }
+
+    #[test]
+    fn drc_bus_sustains_full_speed() {
+        let got = effective_mips(25.51, 43.44, TraceLink::DrcHyperTransport);
+        assert_eq!(got, 25.51);
+    }
+
+    #[test]
+    fn on_board_memory_never_limits() {
+        let got = effective_mips(1e6, 64.0, TraceLink::OnBoardMemory);
+        assert_eq!(got, 1e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "records cannot be free")]
+    fn zero_bits_rejected() {
+        effective_mips(1.0, 0.0, TraceLink::GigabitEthernet);
+    }
+}

@@ -1,0 +1,453 @@
+//! A tiny two-pass assembler with symbolic labels.
+//!
+//! Programs are built programmatically (there is no textual parser — the
+//! builder *is* the assembly language). Labels may be referenced before
+//! they are defined; `assemble` resolves them and rejects danglers.
+
+use crate::inst::{Inst, TEXT_BASE};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// An assembled, executable program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    insts: Vec<Inst>,
+    entry: u32,
+}
+
+impl Program {
+    /// The instructions, indexed from 0.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Entry point as an instruction index.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// The PC of instruction index `idx` in the text segment.
+    pub fn pc_of(&self, idx: u32) -> u32 {
+        TEXT_BASE + idx * 4
+    }
+}
+
+/// Errors reported by [`Assembler::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A register operand is out of the 0–31 range.
+    BadRegister(u8),
+    /// The program contains no instructions.
+    Empty,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::BadRegister(r) => write!(f, "register r{r} out of range 0..32"),
+            AsmError::Empty => write!(f, "program has no instructions"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// Pending control-flow instruction awaiting label resolution.
+#[derive(Debug, Clone)]
+enum Pending {
+    Done(Inst),
+    Beq(u8, u8, String),
+    Bne(u8, u8, String),
+    Blt(u8, u8, String),
+    Bge(u8, u8, String),
+    J(String),
+    Jal(String),
+}
+
+/// Two-pass builder for [`Program`]s.
+///
+/// # Example
+///
+/// ```
+/// use resim_isa::{Assembler, FunctionalSimulator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut a = Assembler::new();
+/// a.addi(1, 0, 5);          // r1 = 5
+/// a.addi(2, 0, 0);          // r2 = 0 (accumulator)
+/// a.label("loop")?;
+/// a.add(2, 2, 1);           // r2 += r1
+/// a.addi(1, 1, -1);         // r1 -= 1
+/// a.bne(1, 0, "loop");
+/// a.halt();
+/// let program = a.assemble()?;
+///
+/// let mut sim = FunctionalSimulator::new(&program);
+/// sim.run(1000)?;
+/// assert_eq!(sim.reg(2), 15); // 5+4+3+2+1
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    pending: Vec<Pending>,
+    labels: HashMap<String, u32>,
+    error: Option<AsmError>,
+}
+
+macro_rules! reg3 {
+    ($($(#[$doc:meta])* $method:ident => $variant:ident),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $method(&mut self, rd: u8, rs: u8, rt: u8) -> &mut Self {
+                self.check_regs(&[rd, rs, rt]);
+                self.emit(Inst::$variant(rd, rs, rt))
+            }
+        )*
+    };
+}
+
+macro_rules! mem_op {
+    ($($(#[$doc:meta])* $method:ident => $variant:ident),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $method(&mut self, rt: u8, base: u8, offset: i16) -> &mut Self {
+                self.check_regs(&[rt, base]);
+                self.emit(Inst::$variant(rt, base, offset))
+            }
+        )*
+    };
+}
+
+macro_rules! branch_op {
+    ($($(#[$doc:meta])* $method:ident => $variant:ident),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $method(&mut self, rs: u8, rt: u8, label: &str) -> &mut Self {
+                self.check_regs(&[rs, rt]);
+                self.pending.push(Pending::$variant(rs, rt, label.to_owned()));
+                self
+            }
+        )*
+    };
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn emit(&mut self, inst: Inst) -> &mut Self {
+        self.pending.push(Pending::Done(inst));
+        self
+    }
+
+    fn check_regs(&mut self, regs: &[u8]) {
+        for &r in regs {
+            if r >= 32 && self.error.is_none() {
+                self.error = Some(AsmError::BadRegister(r));
+            }
+        }
+    }
+
+    /// Defines `name` at the current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::DuplicateLabel`] if `name` was already defined.
+    pub fn label(&mut self, name: &str) -> Result<&mut Self, AsmError> {
+        if self
+            .labels
+            .insert(name.to_owned(), self.pending.len() as u32)
+            .is_some()
+        {
+            return Err(AsmError::DuplicateLabel(name.to_owned()));
+        }
+        Ok(self)
+    }
+
+    /// Current instruction index (useful for computed jumps).
+    pub fn here(&self) -> u32 {
+        self.pending.len() as u32
+    }
+
+    reg3! {
+        /// `rd = rs + rt`.
+        add => Add,
+        /// `rd = rs - rt`.
+        sub => Sub,
+        /// `rd = rs & rt`.
+        and => And,
+        /// `rd = rs | rt`.
+        or => Or,
+        /// `rd = rs ^ rt`.
+        xor => Xor,
+        /// `rd = (rs < rt)` signed.
+        slt => Slt,
+        /// `rd = rs << rt`.
+        sllv => Sllv,
+        /// `rd = rs >> rt` logical.
+        srlv => Srlv,
+        /// `rd = rs * rt` (multiplier class).
+        mult => Mult,
+        /// `rd = rs / rt` (divider class).
+        div => Div,
+        /// `rd = rs % rt` (divider class).
+        rem => Rem,
+    }
+
+    /// `rd = rs + imm`.
+    pub fn addi(&mut self, rd: u8, rs: u8, imm: i16) -> &mut Self {
+        self.check_regs(&[rd, rs]);
+        self.emit(Inst::Addi(rd, rs, imm))
+    }
+
+    /// `rd = rs & imm`.
+    pub fn andi(&mut self, rd: u8, rs: u8, imm: u16) -> &mut Self {
+        self.check_regs(&[rd, rs]);
+        self.emit(Inst::Andi(rd, rs, imm))
+    }
+
+    /// `rd = rs | imm`.
+    pub fn ori(&mut self, rd: u8, rs: u8, imm: u16) -> &mut Self {
+        self.check_regs(&[rd, rs]);
+        self.emit(Inst::Ori(rd, rs, imm))
+    }
+
+    /// `rd = rs ^ imm`.
+    pub fn xori(&mut self, rd: u8, rs: u8, imm: u16) -> &mut Self {
+        self.check_regs(&[rd, rs]);
+        self.emit(Inst::Xori(rd, rs, imm))
+    }
+
+    /// `rd = (rs < imm)` signed.
+    pub fn slti(&mut self, rd: u8, rs: u8, imm: i16) -> &mut Self {
+        self.check_regs(&[rd, rs]);
+        self.emit(Inst::Slti(rd, rs, imm))
+    }
+
+    /// `rd = rs << shamt`.
+    pub fn slli(&mut self, rd: u8, rs: u8, shamt: u8) -> &mut Self {
+        self.check_regs(&[rd, rs]);
+        self.emit(Inst::Slli(rd, rs, shamt))
+    }
+
+    /// `rd = rs >> shamt` logical.
+    pub fn srli(&mut self, rd: u8, rs: u8, shamt: u8) -> &mut Self {
+        self.check_regs(&[rd, rs]);
+        self.emit(Inst::Srli(rd, rs, shamt))
+    }
+
+    /// `rd = rs >> shamt` arithmetic.
+    pub fn srai(&mut self, rd: u8, rs: u8, shamt: u8) -> &mut Self {
+        self.check_regs(&[rd, rs]);
+        self.emit(Inst::Srai(rd, rs, shamt))
+    }
+
+    /// `rd = imm << 16`.
+    pub fn lui(&mut self, rd: u8, imm: u16) -> &mut Self {
+        self.check_regs(&[rd]);
+        self.emit(Inst::Lui(rd, imm))
+    }
+
+    /// Loads `imm` (full 32-bit) into `rd` via `lui`/`ori`.
+    pub fn li(&mut self, rd: u8, imm: u32) -> &mut Self {
+        if imm <= 0x7FFF {
+            self.addi(rd, 0, imm as i16)
+        } else {
+            self.lui(rd, (imm >> 16) as u16);
+            self.ori(rd, rd, (imm & 0xFFFF) as u16)
+        }
+    }
+
+    mem_op! {
+        /// `rt = mem32[base + offset]`.
+        lw => Lw,
+        /// `rt = sign_extend(mem8[base + offset])`.
+        lb => Lb,
+        /// `rt = zero_extend(mem8[base + offset])`.
+        lbu => Lbu,
+        /// `rt = sign_extend(mem16[base + offset])`.
+        lh => Lh,
+        /// `mem32[base + offset] = rt`.
+        sw => Sw,
+        /// `mem8[base + offset] = rt`.
+        sb => Sb,
+        /// `mem16[base + offset] = rt`.
+        sh => Sh,
+    }
+
+    branch_op! {
+        /// Branch to `label` if `rs == rt`.
+        beq => Beq,
+        /// Branch to `label` if `rs != rt`.
+        bne => Bne,
+        /// Branch to `label` if `rs < rt` signed.
+        blt => Blt,
+        /// Branch to `label` if `rs >= rt` signed.
+        bge => Bge,
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn j(&mut self, label: &str) -> &mut Self {
+        self.pending.push(Pending::J(label.to_owned()));
+        self
+    }
+
+    /// Call `label` (return address in r31).
+    pub fn jal(&mut self, label: &str) -> &mut Self {
+        self.pending.push(Pending::Jal(label.to_owned()));
+        self
+    }
+
+    /// Jump through `rs` (a return when `rs` is r31).
+    pub fn jr(&mut self, rs: u8) -> &mut Self {
+        self.check_regs(&[rs]);
+        self.emit(Inst::Jr(rs))
+    }
+
+    /// Indirect call through `rs`, return address into `rd`.
+    pub fn jalr(&mut self, rd: u8, rs: u8) -> &mut Self {
+        self.check_regs(&[rd, rs]);
+        self.emit(Inst::Jalr(rd, rs))
+    }
+
+    /// Return (`jr r31`).
+    pub fn ret(&mut self) -> &mut Self {
+        self.jr(crate::sim::RA)
+    }
+
+    /// No-operation.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Inst::Nop)
+    }
+
+    /// Stop execution.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Inst::Halt)
+    }
+
+    /// Resolves labels and produces the executable program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first recorded operand error, an
+    /// [`AsmError::UndefinedLabel`] for dangling references, or
+    /// [`AsmError::Empty`] for an instruction-less program.
+    pub fn assemble(&self) -> Result<Program, AsmError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        if self.pending.is_empty() {
+            return Err(AsmError::Empty);
+        }
+        let resolve = |label: &str| -> Result<u32, AsmError> {
+            self.labels
+                .get(label)
+                .copied()
+                .ok_or_else(|| AsmError::UndefinedLabel(label.to_owned()))
+        };
+        let mut insts = Vec::with_capacity(self.pending.len());
+        for p in &self.pending {
+            let inst = match p {
+                Pending::Done(i) => *i,
+                Pending::Beq(a, b, l) => Inst::Beq(*a, *b, resolve(l)?),
+                Pending::Bne(a, b, l) => Inst::Bne(*a, *b, resolve(l)?),
+                Pending::Blt(a, b, l) => Inst::Blt(*a, *b, resolve(l)?),
+                Pending::Bge(a, b, l) => Inst::Bge(*a, *b, resolve(l)?),
+                Pending::J(l) => Inst::J(resolve(l)?),
+                Pending::Jal(l) => Inst::Jal(resolve(l)?),
+            };
+            insts.push(inst);
+        }
+        Ok(Program { insts, entry: 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut a = Assembler::new();
+        a.j("fwd");
+        a.label("back").unwrap();
+        a.nop();
+        a.label("fwd").unwrap();
+        a.beq(0, 0, "back");
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.insts()[0], Inst::J(2));
+        assert_eq!(p.insts()[2], Inst::Beq(0, 0, 1));
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let mut a = Assembler::new();
+        a.j("nowhere");
+        assert_eq!(
+            a.assemble(),
+            Err(AsmError::UndefinedLabel("nowhere".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut a = Assembler::new();
+        a.label("x").unwrap();
+        assert!(matches!(a.label("x"), Err(AsmError::DuplicateLabel(_))));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        let mut a = Assembler::new();
+        a.add(32, 0, 0);
+        a.halt();
+        assert_eq!(a.assemble(), Err(AsmError::BadRegister(32)));
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(Assembler::new().assemble(), Err(AsmError::Empty));
+    }
+
+    #[test]
+    fn li_small_and_large() {
+        let mut a = Assembler::new();
+        a.li(1, 42);
+        a.li(2, 0x1234_5678);
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.insts()[0], Inst::Addi(1, 0, 42));
+        assert_eq!(p.insts()[1], Inst::Lui(2, 0x1234));
+        assert_eq!(p.insts()[2], Inst::Ori(2, 2, 0x5678));
+    }
+
+    #[test]
+    fn pc_mapping() {
+        let mut a = Assembler::new();
+        a.nop().nop().halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.pc_of(0), TEXT_BASE);
+        assert_eq!(p.pc_of(2), TEXT_BASE + 8);
+    }
+}

@@ -1,0 +1,157 @@
+//! The mini-PISA instruction set.
+//!
+//! A register-register RISC with PISA's flavour: 32 general registers
+//! (`r0` hardwired to zero), word-addressed code at [`TEXT_BASE`], and the
+//! operation classes ReSim's functional-unit mix distinguishes (ALU,
+//! multiply, divide, memory, control flow).
+
+/// Base address of the text (code) segment, PISA-style.
+pub const TEXT_BASE: u32 = 0x0040_0000;
+
+/// One mini-PISA instruction.
+///
+/// Register operands are architectural indices 0–31. Immediate fields are
+/// sign-extended 16-bit values unless noted. Branch/jump targets are
+/// instruction indices resolved by the assembler (absolute word addresses
+/// in the text segment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    // --- ALU register-register (1-cycle class) ---
+    /// `rd = rs + rt` (wrapping).
+    Add(u8, u8, u8),
+    /// `rd = rs - rt` (wrapping).
+    Sub(u8, u8, u8),
+    /// `rd = rs & rt`.
+    And(u8, u8, u8),
+    /// `rd = rs | rt`.
+    Or(u8, u8, u8),
+    /// `rd = rs ^ rt`.
+    Xor(u8, u8, u8),
+    /// `rd = (rs as i32) < (rt as i32)`.
+    Slt(u8, u8, u8),
+    /// `rd = rs << (rt & 31)`.
+    Sllv(u8, u8, u8),
+    /// `rd = rs >> (rt & 31)` (logical).
+    Srlv(u8, u8, u8),
+
+    // --- ALU immediate (1-cycle class) ---
+    /// `rd = rs + imm` (sign-extended, wrapping).
+    Addi(u8, u8, i16),
+    /// `rd = rs & imm` (zero-extended).
+    Andi(u8, u8, u16),
+    /// `rd = rs | imm` (zero-extended).
+    Ori(u8, u8, u16),
+    /// `rd = rs ^ imm` (zero-extended).
+    Xori(u8, u8, u16),
+    /// `rd = (rs as i32) < imm`.
+    Slti(u8, u8, i16),
+    /// `rd = rs << shamt`.
+    Slli(u8, u8, u8),
+    /// `rd = rs >> shamt` (logical).
+    Srli(u8, u8, u8),
+    /// `rd = rs >> shamt` (arithmetic).
+    Srai(u8, u8, u8),
+    /// `rd = imm << 16`.
+    Lui(u8, u16),
+
+    // --- Long-latency arithmetic ---
+    /// `rd = rs * rt` (low 32 bits; multiplier class, 3-cycle default).
+    Mult(u8, u8, u8),
+    /// `rd = rs / rt` signed (divider class, 10-cycle default; x/0 = 0).
+    Div(u8, u8, u8),
+    /// `rd = rs % rt` signed (divider class; x%0 = x).
+    Rem(u8, u8, u8),
+
+    // --- Memory ---
+    /// `rt = mem32[rs + imm]`.
+    Lw(u8, u8, i16),
+    /// `rt = sign_extend(mem8[rs + imm])`.
+    Lb(u8, u8, i16),
+    /// `rt = zero_extend(mem8[rs + imm])`.
+    Lbu(u8, u8, i16),
+    /// `rt = sign_extend(mem16[rs + imm])`.
+    Lh(u8, u8, i16),
+    /// `mem32[rs + imm] = rt`.
+    Sw(u8, u8, i16),
+    /// `mem8[rs + imm] = rt & 0xFF`.
+    Sb(u8, u8, i16),
+    /// `mem16[rs + imm] = rt & 0xFFFF`.
+    Sh(u8, u8, i16),
+
+    // --- Control flow (targets are instruction indices) ---
+    /// Branch if `rs == rt`.
+    Beq(u8, u8, u32),
+    /// Branch if `rs != rt`.
+    Bne(u8, u8, u32),
+    /// Branch if `(rs as i32) < (rt as i32)`.
+    Blt(u8, u8, u32),
+    /// Branch if `(rs as i32) >= (rt as i32)`.
+    Bge(u8, u8, u32),
+    /// Unconditional jump.
+    J(u32),
+    /// Call: `r31 = return address; pc = target`.
+    Jal(u32),
+    /// Jump through register (a return when `rs == 31`).
+    Jr(u8),
+    /// Indirect call: `rd = return address; pc = rs`.
+    Jalr(u8, u8),
+
+    // --- Misc ---
+    /// No operation.
+    Nop,
+    /// Stop execution.
+    Halt,
+}
+
+impl Inst {
+    /// Whether this instruction ends a program path.
+    pub fn is_halt(&self) -> bool {
+        matches!(self, Inst::Halt)
+    }
+
+    /// Whether this instruction is a control-flow transfer.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Inst::Beq(..)
+                | Inst::Bne(..)
+                | Inst::Blt(..)
+                | Inst::Bge(..)
+                | Inst::J(..)
+                | Inst::Jal(..)
+                | Inst::Jr(..)
+                | Inst::Jalr(..)
+        )
+    }
+
+    /// Whether this instruction reads or writes memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(
+            self,
+            Inst::Lw(..)
+                | Inst::Lb(..)
+                | Inst::Lbu(..)
+                | Inst::Lh(..)
+                | Inst::Sw(..)
+                | Inst::Sb(..)
+                | Inst::Sh(..)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Inst::Beq(1, 2, 0).is_control());
+        assert!(Inst::Jal(0).is_control());
+        assert!(!Inst::Add(1, 2, 3).is_control());
+        assert!(Inst::Lw(1, 2, 0).is_mem());
+        assert!(Inst::Sb(1, 2, 0).is_mem());
+        assert!(!Inst::Mult(1, 2, 3).is_mem());
+        assert!(Inst::Halt.is_halt());
+        assert!(!Inst::Nop.is_halt());
+    }
+}

@@ -1,0 +1,46 @@
+//! # resim-isa
+//!
+//! A from-scratch mini-PISA instruction set, assembler and functional
+//! simulator: the trace-producing substrate for ReSim
+//! (Fytraki & Pnevmatikatos, DATE 2009).
+//!
+//! The paper generates traces with a modified SimpleScalar functional
+//! simulator (`sim-bpred`) running SPEC binaries. We do not have
+//! SimpleScalar or SPEC, so this crate provides the closest synthetic
+//! equivalent: a small PISA-flavoured RISC (32 general registers, ALU /
+//! multiply / divide, loads/stores, branches and calls), an
+//! [`Assembler`] with labels, and a [`FunctionalSimulator`] that executes
+//! programs and emits the *pre-decoded dynamic instruction stream*
+//! ([`resim_trace::TraceRecord`]s on the correct path) that the trace
+//! generator consumes. Because ReSim is trace-driven and almost
+//! ISA-independent (§V.A), any ISA that projects onto the B/M/O record
+//! formats exercises the same engine paths.
+//!
+//! A library of [`programs`] (sorting, matrix multiply, recursive calls,
+//! string search, CRC, sieve) provides real — if small — workloads for
+//! end-to-end tests and the quickstart example; the large calibrated
+//! SPECINT-like workloads live in `resim-workloads`.
+//!
+//! ## Example
+//!
+//! ```
+//! use resim_isa::{programs, FunctionalSimulator};
+//!
+//! let program = programs::fibonacci(10);
+//! let mut sim = FunctionalSimulator::new(&program);
+//! let stream = sim.run(100_000).expect("program halts");
+//! assert!(stream.len() > 50);
+//! assert_eq!(sim.reg(2), 55); // fib(10) left in r2
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod inst;
+pub mod programs;
+mod sim;
+
+pub use asm::{AsmError, Assembler, Program};
+pub use inst::{Inst, TEXT_BASE};
+pub use sim::{ExecError, FunctionalSimulator, RA, SP};

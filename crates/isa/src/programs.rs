@@ -1,0 +1,442 @@
+//! A library of small, real programs for the mini-PISA ISA.
+//!
+//! These exercise every engine path end-to-end — loop branches, calls and
+//! returns (RAS), data-dependent control flow, long dependence chains,
+//! multiplier/divider traffic and cache-hostile memory patterns — and are
+//! used by the quickstart example and the integration tests. The large
+//! calibrated SPECINT-like workloads live in `resim-workloads`.
+
+use crate::asm::{Assembler, Program};
+
+/// Data-segment base used by the array programs.
+pub const DATA_BASE: u32 = 0x0001_0000;
+
+/// Iterative Fibonacci: leaves `fib(n)` in r2.
+///
+/// A tight dependence-chain loop — good for measuring issue-limited IPC.
+pub fn fibonacci(n: u16) -> Program {
+    let mut a = Assembler::new();
+    a.addi(1, 0, n as i16); // counter
+    a.addi(2, 0, 0); // fib(0)
+    a.addi(3, 0, 1); // fib(1)
+    a.beq(1, 0, "done");
+    a.label("loop").expect("unique label");
+    a.add(4, 2, 3);
+    a.add(2, 3, 0);
+    a.add(3, 4, 0);
+    a.addi(1, 1, -1);
+    a.bne(1, 0, "loop");
+    a.label("done").expect("unique label");
+    a.halt();
+    a.assemble().expect("fibonacci assembles")
+}
+
+/// Recursive Fibonacci: leaves `fib(n)` in r2.
+///
+/// Deep call/return chains exercise the RAS and stack traffic.
+pub fn recursive_fib(n: u16) -> Program {
+    let mut a = Assembler::new();
+    a.addi(4, 0, n as i16);
+    a.jal("fib");
+    a.halt();
+    a.label("fib").expect("unique label");
+    a.slti(5, 4, 2);
+    a.beq(5, 0, "rec");
+    a.add(2, 4, 0); // base case: return n
+    a.ret();
+    a.label("rec").expect("unique label");
+    a.addi(crate::sim::SP, crate::sim::SP, -8);
+    a.sw(crate::sim::RA, crate::sim::SP, 0);
+    a.sw(4, crate::sim::SP, 4);
+    a.addi(4, 4, -1);
+    a.jal("fib");
+    a.lw(4, crate::sim::SP, 4);
+    a.sw(2, crate::sim::SP, 4); // stash fib(n-1)
+    a.addi(4, 4, -2);
+    a.jal("fib");
+    a.lw(5, crate::sim::SP, 4);
+    a.add(2, 2, 5);
+    a.lw(crate::sim::RA, crate::sim::SP, 0);
+    a.addi(crate::sim::SP, crate::sim::SP, 8);
+    a.ret();
+    a.assemble().expect("recursive_fib assembles")
+}
+
+/// Bubble-sorts an `n`-element descending array ascending.
+///
+/// Heavy load/store traffic with data-dependent swap branches (the swap
+/// is taken on every comparison for a descending input).
+pub fn bubble_sort(n: u16) -> Program {
+    let mut a = Assembler::new();
+    a.li(1, DATA_BASE);
+    a.addi(2, 0, n as i16);
+    // init: a[i] = n - i
+    a.addi(3, 0, 0);
+    a.label("init").expect("unique label");
+    a.bge(3, 2, "init_done");
+    a.sub(4, 2, 3);
+    a.slli(5, 3, 2);
+    a.add(5, 5, 1);
+    a.sw(4, 5, 0);
+    a.addi(3, 3, 1);
+    a.j("init");
+    a.label("init_done").expect("unique label");
+    // outer: i in 0..n-1
+    a.addi(6, 0, 0);
+    a.label("outer").expect("unique label");
+    a.addi(7, 2, -1);
+    a.bge(6, 7, "done");
+    a.addi(8, 0, 0); // j
+    a.label("inner").expect("unique label");
+    a.sub(9, 2, 6);
+    a.addi(9, 9, -1);
+    a.bge(8, 9, "inner_done");
+    a.slli(10, 8, 2);
+    a.add(10, 10, 1);
+    a.lw(11, 10, 0);
+    a.lw(12, 10, 4);
+    a.bge(12, 11, "noswap");
+    a.sw(12, 10, 0);
+    a.sw(11, 10, 4);
+    a.label("noswap").expect("unique label");
+    a.addi(8, 8, 1);
+    a.j("inner");
+    a.label("inner_done").expect("unique label");
+    a.addi(6, 6, 1);
+    a.j("outer");
+    a.label("done").expect("unique label");
+    a.halt();
+    a.assemble().expect("bubble_sort assembles")
+}
+
+/// `n × n` integer matrix multiply with `A[i][j] = i+1`, `B[i][j] = j+1`,
+/// so `C[i][j] = (i+1)(j+1)n`.
+///
+/// Multiplier-heavy with regular, prefetch-friendly access patterns.
+pub fn matmul(n: u16) -> Program {
+    let mut a = Assembler::new();
+    a.li(1, DATA_BASE); // A
+    a.li(2, DATA_BASE + 0x1_0000); // B
+    a.li(3, DATA_BASE + 0x2_0000); // C
+    a.addi(4, 0, n as i16);
+    // init loops
+    a.addi(5, 0, 0);
+    a.label("ia").expect("unique label");
+    a.bge(5, 4, "ia_done");
+    a.addi(6, 0, 0);
+    a.label("ja").expect("unique label");
+    a.bge(6, 4, "ja_done");
+    a.mult(7, 5, 4);
+    a.add(7, 7, 6);
+    a.slli(7, 7, 2);
+    a.add(8, 7, 1);
+    a.addi(9, 5, 1);
+    a.sw(9, 8, 0);
+    a.add(8, 7, 2);
+    a.addi(9, 6, 1);
+    a.sw(9, 8, 0);
+    a.addi(6, 6, 1);
+    a.j("ja");
+    a.label("ja_done").expect("unique label");
+    a.addi(5, 5, 1);
+    a.j("ia");
+    a.label("ia_done").expect("unique label");
+    // multiply loops
+    a.addi(5, 0, 0);
+    a.label("mi").expect("unique label");
+    a.bge(5, 4, "mdone");
+    a.addi(6, 0, 0);
+    a.label("mj").expect("unique label");
+    a.bge(6, 4, "mj_done");
+    a.addi(10, 0, 0); // acc
+    a.addi(11, 0, 0); // k
+    a.label("mk").expect("unique label");
+    a.bge(11, 4, "mk_done");
+    a.mult(7, 5, 4);
+    a.add(7, 7, 11);
+    a.slli(7, 7, 2);
+    a.add(7, 7, 1);
+    a.lw(8, 7, 0); // A[i][k]
+    a.mult(7, 11, 4);
+    a.add(7, 7, 6);
+    a.slli(7, 7, 2);
+    a.add(7, 7, 2);
+    a.lw(9, 7, 0); // B[k][j]
+    a.mult(12, 8, 9);
+    a.add(10, 10, 12);
+    a.addi(11, 11, 1);
+    a.j("mk");
+    a.label("mk_done").expect("unique label");
+    a.mult(7, 5, 4);
+    a.add(7, 7, 6);
+    a.slli(7, 7, 2);
+    a.add(7, 7, 3);
+    a.sw(10, 7, 0); // C[i][j]
+    a.addi(6, 6, 1);
+    a.j("mj");
+    a.label("mj_done").expect("unique label");
+    a.addi(5, 5, 1);
+    a.j("mi");
+    a.label("mdone").expect("unique label");
+    a.halt();
+    a.assemble().expect("matmul assembles")
+}
+
+/// Sieve of Eratosthenes up to `n`; leaves the prime count in r2.
+///
+/// Byte stores with growing strides and a divider-free inner loop; the
+/// flag scan at the end has hard-to-predict branches.
+pub fn sieve(n: u16) -> Program {
+    let mut a = Assembler::new();
+    a.li(1, DATA_BASE + 0x4_0000);
+    a.addi(2, 0, n as i16);
+    a.addi(3, 0, 2); // p
+    a.addi(8, 0, 1); // the composite marker
+    a.label("outer").expect("unique label");
+    a.mult(4, 3, 3);
+    a.bge(4, 2, "scan");
+    a.add(5, 1, 3);
+    a.lbu(6, 5, 0);
+    a.bne(6, 0, "next"); // already composite
+    a.add(7, 4, 0); // k = p*p
+    a.label("mark").expect("unique label");
+    a.bge(7, 2, "next");
+    a.add(5, 1, 7);
+    a.sb(8, 5, 0);
+    a.add(7, 7, 3);
+    a.j("mark");
+    a.label("next").expect("unique label");
+    a.addi(3, 3, 1);
+    a.j("outer");
+    a.label("scan").expect("unique label");
+    a.addi(9, 0, 0); // count
+    a.addi(3, 0, 2);
+    a.label("count").expect("unique label");
+    a.bge(3, 2, "cdone");
+    a.add(5, 1, 3);
+    a.lbu(6, 5, 0);
+    a.bne(6, 0, "notp");
+    a.addi(9, 9, 1);
+    a.label("notp").expect("unique label");
+    a.addi(3, 3, 1);
+    a.j("count");
+    a.label("cdone").expect("unique label");
+    a.add(2, 9, 0);
+    a.halt();
+    a.assemble().expect("sieve assembles")
+}
+
+/// Naive substring search: builds an `n`-byte periodic text, extracts a
+/// 4-byte pattern from the middle, counts matches into r2.
+///
+/// Byte loads with an inner loop whose exit is data-dependent — the sort
+/// of branch behaviour that dominates `parser`-like workloads.
+pub fn string_search(n: u16) -> Program {
+    let mut a = Assembler::new();
+    a.li(1, DATA_BASE + 0x6_0000); // text
+    a.addi(2, 0, n as i16);
+    // text[i] = (i*7+3) & 63
+    a.addi(3, 0, 0);
+    a.addi(13, 0, 7);
+    a.label("it").expect("unique label");
+    a.bge(3, 2, "it_done");
+    a.mult(4, 3, 13);
+    a.addi(4, 4, 3);
+    a.andi(4, 4, 63);
+    a.add(5, 1, 3);
+    a.sb(4, 5, 0);
+    a.addi(3, 3, 1);
+    a.j("it");
+    a.label("it_done").expect("unique label");
+    // pattern = text[n/2 .. n/2+4]
+    a.li(6, DATA_BASE + 0x6_8000);
+    a.srli(7, 2, 1);
+    a.addi(8, 0, 4);
+    a.addi(3, 0, 0);
+    a.label("ip").expect("unique label");
+    a.bge(3, 8, "ip_done");
+    a.add(9, 7, 3);
+    a.add(9, 9, 1);
+    a.lbu(10, 9, 0);
+    a.add(9, 6, 3);
+    a.sb(10, 9, 0);
+    a.addi(3, 3, 1);
+    a.j("ip");
+    a.label("ip_done").expect("unique label");
+    // search
+    a.addi(11, 0, 0); // matches
+    a.addi(3, 0, 0); // i
+    a.sub(12, 2, 8); // n - 4
+    a.label("si").expect("unique label");
+    a.bge(3, 12, "sdone");
+    a.addi(4, 0, 0); // j
+    a.label("sj").expect("unique label");
+    a.bge(4, 8, "match");
+    a.add(5, 1, 3);
+    a.add(5, 5, 4);
+    a.lbu(9, 5, 0);
+    a.add(5, 6, 4);
+    a.lbu(10, 5, 0);
+    a.bne(9, 10, "nomatch");
+    a.addi(4, 4, 1);
+    a.j("sj");
+    a.label("match").expect("unique label");
+    a.addi(11, 11, 1);
+    a.label("nomatch").expect("unique label");
+    a.addi(3, 3, 1);
+    a.j("si");
+    a.label("sdone").expect("unique label");
+    a.add(2, 11, 0);
+    a.halt();
+    a.assemble().expect("string_search assembles")
+}
+
+/// Builds a `nodes`-element linked cycle (stride-17 permutation, 64-byte
+/// nodes) then chases it `steps` times.
+///
+/// Serialised dependent loads: latency-bound, cache-hostile once the
+/// working set exceeds the L1 (each node is one cache block).
+pub fn pointer_chase(nodes: u16, steps: u16) -> Program {
+    assert!(nodes > 0, "pointer_chase needs at least one node");
+    let mut a = Assembler::new();
+    a.li(1, DATA_BASE + 0x8_0000);
+    a.addi(2, 0, nodes as i16);
+    // next[i] = base + ((i+17) % nodes) * 64
+    a.addi(3, 0, 0);
+    a.label("pi").expect("unique label");
+    a.bge(3, 2, "pi_done");
+    a.addi(4, 3, 17);
+    a.rem(4, 4, 2);
+    a.slli(5, 4, 6);
+    a.add(5, 5, 1);
+    a.slli(6, 3, 6);
+    a.add(6, 6, 1);
+    a.sw(5, 6, 0);
+    a.addi(3, 3, 1);
+    a.j("pi");
+    a.label("pi_done").expect("unique label");
+    a.addi(7, 0, steps as i16);
+    a.add(8, 1, 0);
+    a.label("ch").expect("unique label");
+    a.beq(7, 0, "ch_done");
+    a.lw(8, 8, 0);
+    a.addi(7, 7, -1);
+    a.j("ch");
+    a.label("ch_done").expect("unique label");
+    a.add(2, 8, 0);
+    a.halt();
+    a.assemble().expect("pointer_chase assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::FunctionalSimulator;
+
+    const FUEL: u64 = 20_000_000;
+
+    #[test]
+    fn fibonacci_values() {
+        for (n, want) in [(0u16, 0u32), (1, 1), (2, 1), (10, 55), (20, 6765)] {
+            let p = fibonacci(n);
+            let mut sim = FunctionalSimulator::new(&p);
+            sim.run(FUEL).unwrap();
+            assert_eq!(sim.reg(2), want, "fib({n})");
+        }
+    }
+
+    #[test]
+    fn recursive_fib_matches_iterative() {
+        for n in [1u16, 5, 10, 12] {
+            let pi = fibonacci(n);
+            let mut si = FunctionalSimulator::new(&pi);
+            si.run(FUEL).unwrap();
+            let pr = recursive_fib(n);
+            let mut sr = FunctionalSimulator::new(&pr);
+            sr.run(FUEL).unwrap();
+            assert_eq!(si.reg(2), sr.reg(2), "fib({n})");
+        }
+    }
+
+    #[test]
+    fn bubble_sort_sorts() {
+        let n = 24u16;
+        let p = bubble_sort(n);
+        let mut sim = FunctionalSimulator::new(&p);
+        sim.run(FUEL).unwrap();
+        for i in 0..n as u32 {
+            assert_eq!(
+                sim.read_mem32(DATA_BASE + i * 4),
+                i + 1,
+                "a[{i}] after sorting"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_product_is_correct() {
+        let n = 6u16;
+        let p = matmul(n);
+        let mut sim = FunctionalSimulator::new(&p);
+        sim.run(FUEL).unwrap();
+        let c_base = DATA_BASE + 0x2_0000;
+        for i in 0..n as u32 {
+            for j in 0..n as u32 {
+                let want = (i + 1) * (j + 1) * n as u32;
+                let got = sim.read_mem32(c_base + (i * n as u32 + j) * 4);
+                assert_eq!(got, want, "C[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn sieve_counts_primes() {
+        let p = sieve(100);
+        let mut sim = FunctionalSimulator::new(&p);
+        sim.run(FUEL).unwrap();
+        assert_eq!(sim.reg(2), 25, "pi(99) = 25");
+    }
+
+    #[test]
+    fn string_search_finds_pattern() {
+        let p = string_search(512);
+        let mut sim = FunctionalSimulator::new(&p);
+        sim.run(FUEL).unwrap();
+        // The text has period 64, so the 4-byte pattern appears ~n/64 times.
+        assert!(sim.reg(2) >= 1, "pattern must be found");
+        assert!(sim.reg(2) <= 16, "match count bounded by periodicity");
+    }
+
+    #[test]
+    fn pointer_chase_terminates_in_cycle() {
+        let p = pointer_chase(64, 128);
+        let mut sim = FunctionalSimulator::new(&p);
+        sim.run(FUEL).unwrap();
+        // After any number of steps the pointer stays inside the node pool.
+        let base = DATA_BASE + 0x8_0000;
+        let end = base + 64 * 64;
+        assert!(sim.reg(2) >= base && sim.reg(2) < end);
+    }
+
+    #[test]
+    fn programs_emit_expected_mix() {
+        // bubble_sort must be memory-heavy; matmul must be mult-heavy.
+        let p = bubble_sort(16);
+        let mut sim = FunctionalSimulator::new(&p);
+        let trace = sim.run(FUEL).unwrap();
+        let mems = trace.iter().filter(|r| r.is_load() || r.is_store()).count();
+        assert!(mems * 5 > trace.len(), "sort should be >20% memory ops");
+
+        let p = matmul(8);
+        let mut sim = FunctionalSimulator::new(&p);
+        let trace = sim.run(FUEL).unwrap();
+        let mults = trace
+            .iter()
+            .filter(|r| {
+                matches!(r, resim_trace::TraceRecord::Other(o)
+                    if o.class == resim_trace::OpClass::IntMult)
+            })
+            .count();
+        assert!(mults > 8 * 8 * 8, "matmul must execute n^3 multiplies");
+    }
+}

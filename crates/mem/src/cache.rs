@@ -1,0 +1,437 @@
+//! Tag-only set-associative cache.
+
+/// Replacement policy for a cache set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Replacement {
+    /// Least-recently-used (the paper's structures are LRU-managed).
+    #[default]
+    Lru,
+    /// First-in first-out.
+    Fifo,
+    /// Pseudo-random (deterministic xorshift, so simulations stay
+    /// reproducible).
+    Random,
+}
+
+/// Cache geometry and timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (power of two).
+    pub size_bytes: usize,
+    /// Block (line) size in bytes (power of two).
+    pub block_bytes: usize,
+    /// Ways per set (power of two).
+    pub associativity: usize,
+    /// Replacement policy.
+    pub replacement: Replacement,
+    /// Latency of a hit, in simulated cycles (≥ 1).
+    pub hit_latency: u32,
+    /// Additional latency of a miss (time to fill from the next level).
+    pub miss_penalty: u32,
+}
+
+impl CacheConfig {
+    /// The paper's Table 1 (right) configuration: 32 KB, 8-way, 64 B
+    /// blocks — the same L1 geometry FAST reports.
+    ///
+    /// The miss penalty is not stated in the paper; 20 cycles is the
+    /// conventional SimpleScalar L1-to-memory fill time and is documented
+    /// as a substitution in DESIGN.md.
+    pub fn l1_32k() -> Self {
+        Self {
+            size_bytes: 32 * 1024,
+            block_bytes: 64,
+            associativity: 8,
+            replacement: Replacement::Lru,
+            hit_latency: 1,
+            miss_penalty: 20,
+        }
+    }
+
+    /// The two-way variant mentioned in the paper's §V.C prose.
+    pub fn l1_32k_two_way() -> Self {
+        Self {
+            associativity: 2,
+            ..Self::l1_32k()
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / self.block_bytes / self.associativity
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.size_bytes.is_power_of_two(),
+            "cache size must be a power of two, got {}",
+            self.size_bytes
+        );
+        assert!(
+            self.block_bytes.is_power_of_two() && self.block_bytes >= 4,
+            "block size must be a power of two >= 4, got {}",
+            self.block_bytes
+        );
+        assert!(
+            self.associativity.is_power_of_two(),
+            "associativity must be a power of two, got {}",
+            self.associativity
+        );
+        assert!(
+            self.size_bytes >= self.block_bytes * self.associativity,
+            "cache of {} bytes cannot hold {} ways of {}-byte blocks",
+            self.size_bytes,
+            self.associativity,
+            self.block_bytes
+        );
+        assert!(self.hit_latency >= 1, "hit latency must be at least 1");
+    }
+}
+
+/// Outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the block was present.
+    pub hit: bool,
+    /// Total access latency in simulated cycles.
+    pub latency: u32,
+}
+
+/// 64-bit cache statistics (paper §V.B).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Read hits.
+    pub read_hits: u64,
+    /// Write hits.
+    pub write_hits: u64,
+    /// Blocks evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.read_hits + self.write_hits
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.accesses() - self.hits()
+    }
+
+    /// Hit rate over all accesses (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u32,
+    /// Replacement rank: for LRU, 0 = MRU; for FIFO, insertion order.
+    rank: u32,
+    valid: bool,
+}
+
+/// A tag-only set-associative cache with configurable replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+    fifo_counter: u32,
+    rng_state: u64,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid geometry (see [`CacheConfig`] field docs).
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate();
+        let line = Line {
+            tag: 0,
+            rank: 0,
+            valid: false,
+        };
+        Self {
+            config,
+            sets: vec![vec![line; config.associativity]; config.sets()],
+            stats: CacheStats::default(),
+            fifo_counter: 0,
+            rng_state: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_and_tag(&self, addr: u32) -> (usize, u32) {
+        let block = addr / self.config.block_bytes as u32;
+        let sets = self.config.sets() as u32;
+        ((block % sets) as usize, block / sets)
+    }
+
+    /// Performs one access; allocates on miss (write-allocate).
+    ///
+    /// Returns the hit/miss indication and the access latency — exactly
+    /// what ReSim's tag-only hardware caches provide.
+    pub fn access(&mut self, addr: u32, is_write: bool) -> AccessResult {
+        let (set_idx, tag) = self.set_and_tag(addr);
+        if is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        let hit_way = self.sets[set_idx]
+            .iter()
+            .position(|l| l.valid && l.tag == tag);
+        match hit_way {
+            Some(way) => {
+                if is_write {
+                    self.stats.write_hits += 1;
+                } else {
+                    self.stats.read_hits += 1;
+                }
+                if self.config.replacement == Replacement::Lru {
+                    self.touch_lru(set_idx, way);
+                }
+                AccessResult {
+                    hit: true,
+                    latency: self.config.hit_latency,
+                }
+            }
+            None => {
+                self.fill(set_idx, tag);
+                AccessResult {
+                    hit: false,
+                    latency: self.config.hit_latency + self.config.miss_penalty,
+                }
+            }
+        }
+    }
+
+    /// Whether `addr`'s block is currently resident (no state change).
+    pub fn contains(&self, addr: u32) -> bool {
+        let (set_idx, tag) = self.set_and_tag(addr);
+        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    fn fill(&mut self, set_idx: usize, tag: u32) {
+        let assoc = self.config.associativity;
+        let victim = {
+            let set = &self.sets[set_idx];
+            if let Some(way) = set.iter().position(|l| !l.valid) {
+                way
+            } else {
+                self.stats.evictions += 1;
+                match self.config.replacement {
+                    Replacement::Lru => set
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, l)| l.rank)
+                        .map(|(i, _)| i)
+                        .expect("cache set cannot be empty"),
+                    Replacement::Fifo => set
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, l)| l.rank)
+                        .map(|(i, _)| i)
+                        .expect("cache set cannot be empty"),
+                    Replacement::Random => {
+                        // xorshift64*: deterministic but well mixed.
+                        self.rng_state ^= self.rng_state << 13;
+                        self.rng_state ^= self.rng_state >> 7;
+                        self.rng_state ^= self.rng_state << 17;
+                        (self.rng_state as usize) % assoc
+                    }
+                }
+            }
+        };
+        let rank = match self.config.replacement {
+            Replacement::Fifo => {
+                self.fifo_counter = self.fifo_counter.wrapping_add(1);
+                self.fifo_counter
+            }
+            _ => 0,
+        };
+        self.sets[set_idx][victim] = Line {
+            tag,
+            rank,
+            valid: true,
+        };
+        if self.config.replacement == Replacement::Lru {
+            // A freshly filled line must age every other resident line.
+            self.promote(set_idx, victim, u32::MAX);
+        }
+    }
+
+    fn touch_lru(&mut self, set_idx: usize, way: usize) {
+        let old = self.sets[set_idx][way].rank;
+        self.promote(set_idx, way, old);
+    }
+
+    /// Makes `way` the MRU line, aging every valid line younger than `old`.
+    fn promote(&mut self, set_idx: usize, way: usize, old: u32) {
+        for l in &mut self.sets[set_idx] {
+            if l.valid && l.rank < old {
+                l.rank += 1;
+            }
+        }
+        self.sets[set_idx][way].rank = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(assoc: usize, replacement: Replacement) -> Cache {
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            block_bytes: 32,
+            associativity: assoc,
+            replacement,
+            hit_latency: 1,
+            miss_penalty: 10,
+        })
+    }
+
+    #[test]
+    fn geometry_of_paper_l1() {
+        let c = CacheConfig::l1_32k();
+        assert_eq!(c.sets(), 32 * 1024 / 64 / 8); // 64 sets
+        assert_eq!(CacheConfig::l1_32k_two_way().sets(), 256);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny(2, Replacement::Lru);
+        let a = c.access(0x100, false);
+        assert!(!a.hit);
+        assert_eq!(a.latency, 11);
+        let b = c.access(0x100, false);
+        assert!(b.hit);
+        assert_eq!(b.latency, 1);
+        assert_eq!(c.stats().misses(), 1);
+        assert_eq!(c.stats().hits(), 1);
+    }
+
+    #[test]
+    fn same_block_different_offset_hits() {
+        let mut c = tiny(2, Replacement::Lru);
+        c.access(0x100, false);
+        assert!(c.access(0x11F, true).hit, "0x11F shares the 32-byte block");
+        assert_eq!(c.stats().write_hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 4 sets, 2 ways of 32 B. Set stride is 128 B.
+        let mut c = tiny(2, Replacement::Lru);
+        c.access(0x000, false); // set 0
+        c.access(0x080, false); // set 0 (0x80 = 128)
+        c.access(0x000, false); // touch: 0x080 is now LRU
+        c.access(0x100, false); // set 0 -> evicts 0x080
+        assert!(c.contains(0x000));
+        assert!(!c.contains(0x080));
+        assert!(c.contains(0x100));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_despite_touches() {
+        let mut c = tiny(2, Replacement::Fifo);
+        c.access(0x000, false);
+        c.access(0x080, false);
+        c.access(0x000, false); // touch does not help under FIFO
+        c.access(0x100, false); // evicts 0x000 (oldest insertion)
+        assert!(!c.contains(0x000));
+        assert!(c.contains(0x080));
+    }
+
+    #[test]
+    fn random_replacement_is_deterministic() {
+        let run = || {
+            let mut c = tiny(2, Replacement::Random);
+            for i in 0..64u32 {
+                c.access(i * 32, false);
+            }
+            c.stats()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn working_set_within_capacity_never_misses_after_warmup() {
+        let mut c = Cache::new(CacheConfig::l1_32k());
+        // 16 KB working set in a 32 KB cache.
+        for round in 0..4 {
+            for addr in (0..16 * 1024u32).step_by(64) {
+                let r = c.access(addr, false);
+                if round > 0 {
+                    assert!(r.hit, "warm access to {addr:#x} must hit");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes() {
+        let mut c = Cache::new(CacheConfig::l1_32k());
+        // 64 KB streaming working set in a 32 KB LRU cache: every access
+        // in every round misses (classic LRU streaming pathology).
+        for _ in 0..3 {
+            for addr in (0..64 * 1024u32).step_by(64) {
+                c.access(addr, false);
+            }
+        }
+        assert!(c.stats().hit_rate() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_size_panics() {
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 3000,
+            block_bytes: 64,
+            associativity: 2,
+            replacement: Replacement::Lru,
+            hit_latency: 1,
+            miss_penalty: 10,
+        });
+    }
+
+    #[test]
+    fn stats_conservation() {
+        let mut c = tiny(1, Replacement::Lru);
+        for i in 0..100u32 {
+            c.access(i * 8, i % 3 == 0);
+        }
+        let s = c.stats();
+        assert_eq!(s.accesses(), 100);
+        assert_eq!(s.hits() + s.misses(), 100);
+    }
+}

@@ -1,0 +1,55 @@
+//! Property tests for the tag-only cache model.
+
+use proptest::prelude::*;
+use resim_mem::{Cache, CacheConfig, Replacement};
+use std::collections::VecDeque;
+
+fn tiny(assoc: usize) -> CacheConfig {
+    CacheConfig {
+        size_bytes: 512,
+        block_bytes: 32,
+        associativity: assoc,
+        replacement: Replacement::Lru,
+        hit_latency: 1,
+        miss_penalty: 10,
+    }
+}
+
+proptest! {
+    /// Accesses partition into hits and misses; latency is hit or miss
+    /// latency, nothing else.
+    #[test]
+    fn accounting(addrs in prop::collection::vec((any::<u16>(), any::<bool>()), 1..500)) {
+        let mut c = Cache::new(tiny(2));
+        for (a, w) in &addrs {
+            let r = c.access(u32::from(*a), *w);
+            prop_assert!(r.latency == 1 || r.latency == 11);
+            prop_assert_eq!(r.hit, r.latency == 1);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses(), addrs.len() as u64);
+        prop_assert_eq!(s.hits() + s.misses(), s.accesses());
+    }
+
+    /// The LRU cache agrees with a per-set reference model (a recency
+    /// list of block tags truncated to the associativity).
+    #[test]
+    fn lru_matches_reference(addrs in prop::collection::vec(any::<u16>(), 1..600)) {
+        let cfg = tiny(4);
+        let sets = cfg.sets();
+        let mut c = Cache::new(cfg);
+        let mut model: Vec<VecDeque<u32>> = vec![VecDeque::new(); sets];
+        for a in addrs {
+            let addr = u32::from(a);
+            let block = addr / 32;
+            let set = (block as usize) % sets;
+            let hit_model = model[set].contains(&block);
+            let r = c.access(addr, false);
+            prop_assert_eq!(r.hit, hit_model, "addr {:#x}", addr);
+            // Update recency.
+            model[set].retain(|&b| b != block);
+            model[set].push_front(block);
+            model[set].truncate(4);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Little bit-granular writer/reader used by the trace codec.
+//!
+//! Records are variable-length bit strings ("each with its own fields and
+//! length", paper §V.A), so the codec cannot rely on byte alignment. Bits
+//! are packed LSB-first into a byte vector.
+
+/// Appends values of 1–32 bits into a growing byte buffer, LSB-first.
+///
+/// # Example
+///
+/// ```
+/// use resim_trace::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.put(0b101, 3);
+/// w.put(0xABCD, 16);
+/// let (bytes, bits) = w.finish();
+/// assert_eq!(bits, 19);
+///
+/// let mut r = BitReader::new(&bytes, bits);
+/// assert_eq!(r.get(3), Some(0b101));
+/// assert_eq!(r.get(16), Some(0xABCD));
+/// assert_eq!(r.get(1), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Number of valid bits in `buf`.
+    len_bits: u64,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `nbits` bits of `value` (1–32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbits` is 0 or greater than 32, or if `value` has bits
+    /// set above `nbits`.
+    pub fn put(&mut self, value: u32, nbits: u32) {
+        assert!(
+            (1..=32).contains(&nbits),
+            "bit width {nbits} out of range 1..=32"
+        );
+        if nbits < 32 {
+            assert!(
+                value < (1u32 << nbits),
+                "value {value:#x} does not fit in {nbits} bits"
+            );
+        }
+        for i in 0..nbits {
+            let bit = (value >> i) & 1;
+            let byte_idx = (self.len_bits / 8) as usize;
+            let bit_idx = (self.len_bits % 8) as u32;
+            if bit_idx == 0 {
+                self.buf.push(0);
+            }
+            if bit == 1 {
+                self.buf[byte_idx] |= 1 << bit_idx;
+            }
+            self.len_bits += 1;
+        }
+    }
+
+    /// Appends a single flag bit.
+    pub fn put_bool(&mut self, value: bool) {
+        self.put(u32::from(value), 1);
+    }
+
+    /// Number of bits written so far.
+    pub fn len_bits(&self) -> u64 {
+        self.len_bits
+    }
+
+    /// Finishes, returning the packed bytes and the exact bit count.
+    pub fn finish(self) -> (Vec<u8>, u64) {
+        (self.buf, self.len_bits)
+    }
+}
+
+/// Reads back values packed by [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    len_bits: u64,
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `buf` holding exactly `len_bits` valid bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len_bits` exceeds the buffer capacity.
+    pub fn new(buf: &'a [u8], len_bits: u64) -> Self {
+        assert!(
+            len_bits <= buf.len() as u64 * 8,
+            "len_bits {len_bits} exceeds buffer capacity {}",
+            buf.len() as u64 * 8
+        );
+        Self {
+            buf,
+            len_bits,
+            pos: 0,
+        }
+    }
+
+    /// Reads `nbits` (1–32) bits; `None` if fewer remain.
+    pub fn get(&mut self, nbits: u32) -> Option<u32> {
+        assert!(
+            (1..=32).contains(&nbits),
+            "bit width {nbits} out of range 1..=32"
+        );
+        if self.pos + u64::from(nbits) > self.len_bits {
+            return None;
+        }
+        let mut value = 0u32;
+        for i in 0..nbits {
+            let byte_idx = (self.pos / 8) as usize;
+            let bit_idx = (self.pos % 8) as u32;
+            let bit = (self.buf[byte_idx] >> bit_idx) & 1;
+            value |= u32::from(bit) << i;
+            self.pos += 1;
+        }
+        Some(value)
+    }
+
+    /// Reads one flag bit.
+    pub fn get_bool(&mut self) -> Option<bool> {
+        self.get(1).map(|b| b == 1)
+    }
+
+    /// Bits remaining to be read.
+    pub fn remaining_bits(&self) -> u64 {
+        self.len_bits - self.pos
+    }
+
+    /// Current read position in bits.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.put(1, 1);
+        w.put(0, 1);
+        w.put(0x3F, 6);
+        w.put(0xDEADBEEF, 32);
+        w.put(5, 3);
+        let total = w.len_bits();
+        assert_eq!(total, 1 + 1 + 6 + 32 + 3);
+        let (bytes, bits) = w.finish();
+        assert_eq!(bits, total);
+        let mut r = BitReader::new(&bytes, bits);
+        assert_eq!(r.get(1), Some(1));
+        assert_eq!(r.get(1), Some(0));
+        assert_eq!(r.get(6), Some(0x3F));
+        assert_eq!(r.get(32), Some(0xDEADBEEF));
+        assert_eq!(r.get(3), Some(5));
+        assert_eq!(r.remaining_bits(), 0);
+        assert_eq!(r.get(1), None);
+    }
+
+    #[test]
+    fn empty_reader() {
+        let mut r = BitReader::new(&[], 0);
+        assert_eq!(r.get(1), None);
+        assert_eq!(r.remaining_bits(), 0);
+    }
+
+    #[test]
+    fn bools() {
+        let mut w = BitWriter::new();
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_bool(true);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::new(&bytes, bits);
+        assert_eq!(r.get_bool(), Some(true));
+        assert_eq!(r.get_bool(), Some(false));
+        assert_eq!(r.get_bool(), Some(true));
+        assert_eq!(r.get_bool(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overflow_value_panics() {
+        let mut w = BitWriter::new();
+        w.put(8, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_panics() {
+        let mut w = BitWriter::new();
+        w.put(0, 0);
+    }
+
+    #[test]
+    fn position_tracking() {
+        let mut w = BitWriter::new();
+        w.put(0x7, 3);
+        w.put(0x1, 2);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::new(&bytes, bits);
+        assert_eq!(r.position(), 0);
+        r.get(3);
+        assert_eq!(r.position(), 3);
+        r.get(2);
+        assert_eq!(r.position(), 5);
+    }
+
+    #[test]
+    fn full_u32_values() {
+        let mut w = BitWriter::new();
+        w.put(u32::MAX, 32);
+        w.put(0, 32);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::new(&bytes, bits);
+        assert_eq!(r.get(32), Some(u32::MAX));
+        assert_eq!(r.get(32), Some(0));
+    }
+}

@@ -1,0 +1,500 @@
+//! Bit-exact variable-length trace codec.
+//!
+//! The wire format follows the paper's description (§V.A): three record
+//! formats with distinct lengths, selected by a 2-bit format field, each
+//! carrying the 1-bit mis-speculation Tag. Program counters are
+//! delta-compressed: a record whose PC equals the PC implied by the
+//! previous record (sequential flow, or the previous branch's outcome)
+//! spends a single flag bit; any discontinuity (trace start, wrong-path
+//! block entry/exit, misfetch replay) spends 1 + 32 bits. This is what
+//! keeps the average record in the 40-some-bit range the paper reports in
+//! Table 3 while still carrying full 32-bit effective addresses and branch
+//! targets.
+//!
+//! Layout (LSB-first bit order):
+//!
+//! ```text
+//! common header: fmt(2) tag(1) pc_explicit(1) [pc(32)]
+//! O: class(2) dest?(1[+6]) src1?(1[+6]) src2?(1[+6])
+//! M: kind(1) size(2) addr(32) base?(1[+6]) data?(1[+6])
+//! B: kind(3) taken(1) target(32) src1?(1[+6]) src2?(1[+6])
+//! ```
+//!
+//! Every record is **padded to a byte boundary**, as a hardware trace
+//! decoder (and any practical trace transport) requires: a typical Other
+//! record costs 4 bytes, Memory and Branch records 7, and a record
+//! following a PC discontinuity 4 more. The resulting 40-some bits per
+//! average instruction is the band the paper's Table 3 reports (41–47
+//! bits/instruction on SPECINT).
+
+use crate::bits::{BitReader, BitWriter};
+use crate::record::{
+    BranchKind, BranchRecord, MemKind, MemRecord, MemSize, OpClass, OtherRecord, Reg, TraceRecord,
+};
+use crate::stats::TraceStats;
+use crate::Trace;
+use std::error::Error;
+use std::fmt;
+
+const FMT_OTHER: u32 = 0;
+const FMT_MEM: u32 = 1;
+const FMT_BRANCH: u32 = 2;
+
+/// Streaming encoder producing the bit-packed wire format.
+///
+/// Push records in fetch order and call [`TraceEncoder::finish`] to obtain
+/// the [`EncodedTrace`]. Statistics (per-format record and bit counts) are
+/// accumulated on the fly, so [`TraceEncoder::stats`] can be consulted at
+/// any point — this is how the on-the-fly generation mode meters its link
+/// bandwidth without buffering the whole trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceEncoder {
+    writer: BitWriter,
+    stats: TraceStats,
+    expected_pc: Option<u32>,
+    records: u64,
+}
+
+impl TraceEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes one record.
+    pub fn push(&mut self, record: &TraceRecord) {
+        let before = self.writer.len_bits();
+        let pc = record.pc();
+        let fmt = match record {
+            TraceRecord::Other(_) => FMT_OTHER,
+            TraceRecord::Mem(_) => FMT_MEM,
+            TraceRecord::Branch(_) => FMT_BRANCH,
+        };
+        self.writer.put(fmt, 2);
+        self.writer.put_bool(record.wrong_path());
+        // Branch records always carry their PC: they are the stream's
+        // synchronisation points (misfetch checking and mid-trace seek
+        // need the branch PC without decoding the predecessor chain).
+        let explicit = record.is_branch() || self.expected_pc != Some(pc);
+        self.writer.put_bool(explicit);
+        if explicit {
+            self.writer.put(pc, 32);
+        }
+        match record {
+            TraceRecord::Other(o) => {
+                self.writer.put(o.class.encode(), 2);
+                put_reg(&mut self.writer, o.dest);
+                put_reg(&mut self.writer, o.src1);
+                put_reg(&mut self.writer, o.src2);
+            }
+            TraceRecord::Mem(m) => {
+                self.writer.put(m.kind.encode(), 1);
+                self.writer.put(m.size.encode(), 2);
+                self.writer.put(m.addr, 32);
+                put_reg(&mut self.writer, m.base);
+                put_reg(&mut self.writer, m.data);
+            }
+            TraceRecord::Branch(b) => {
+                self.writer.put(b.kind.encode(), 3);
+                self.writer.put_bool(b.taken);
+                self.writer.put(b.target, 32);
+                put_reg(&mut self.writer, b.src1);
+                put_reg(&mut self.writer, b.src2);
+            }
+        }
+        // Byte-align each record (hardware decoder framing).
+        while self.writer.len_bits() % 8 != 0 {
+            self.writer.put_bool(false);
+        }
+        self.expected_pc = Some(record.implied_next_pc());
+        let bits = self.writer.len_bits() - before;
+        self.stats.account(record, bits);
+        self.records += 1;
+    }
+
+    /// Statistics over everything encoded so far.
+    pub fn stats(&self) -> &TraceStats {
+        &self.stats
+    }
+
+    /// Number of records encoded so far.
+    pub fn len(&self) -> u64 {
+        self.records
+    }
+
+    /// Whether no records have been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Finishes encoding and returns the packed trace.
+    pub fn finish(self) -> EncodedTrace {
+        let (bytes, len_bits) = self.writer.finish();
+        EncodedTrace {
+            bytes,
+            len_bits,
+            records: self.records,
+            stats: self.stats,
+        }
+    }
+}
+
+fn put_reg(w: &mut BitWriter, reg: Option<Reg>) {
+    match reg {
+        Some(r) => {
+            w.put_bool(true);
+            w.put(u32::from(r.index()), 6);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn get_reg(r: &mut BitReader<'_>) -> Result<Option<Reg>, DecodeError> {
+    let present = r.get_bool().ok_or(DecodeError::Truncated)?;
+    if !present {
+        return Ok(None);
+    }
+    let idx = r.get(6).ok_or(DecodeError::Truncated)?;
+    Ok(Some(Reg::new(idx as u8)))
+}
+
+/// A bit-packed, encoded trace plus its accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedTrace {
+    bytes: Vec<u8>,
+    len_bits: u64,
+    records: u64,
+    stats: TraceStats,
+}
+
+impl EncodedTrace {
+    /// The packed bytes (the final byte may be partially used).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Exact number of payload bits.
+    pub fn len_bits(&self) -> u64 {
+        self.len_bits
+    }
+
+    /// Number of records encoded.
+    pub fn len(&self) -> u64 {
+        self.records
+    }
+
+    /// Whether the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Per-format statistics (record counts, bit counts).
+    pub fn stats(&self) -> &TraceStats {
+        &self.stats
+    }
+
+    /// Decodes the whole trace back into record form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the bit stream is truncated or contains
+    /// an invalid format/enum field.
+    pub fn decode(&self) -> Result<Trace, DecodeError> {
+        let mut dec = TraceDecoder::new(&self.bytes, self.len_bits);
+        let mut out = Vec::with_capacity(self.records as usize);
+        while let Some(r) = dec.next_record()? {
+            out.push(r);
+        }
+        Ok(Trace::from_records(out))
+    }
+}
+
+/// Streaming decoder over a packed bit stream.
+#[derive(Debug, Clone)]
+pub struct TraceDecoder<'a> {
+    reader: BitReader<'a>,
+    expected_pc: Option<u32>,
+}
+
+impl<'a> TraceDecoder<'a> {
+    /// Creates a decoder over `bytes` holding `len_bits` valid bits.
+    pub fn new(bytes: &'a [u8], len_bits: u64) -> Self {
+        Self {
+            reader: BitReader::new(bytes, len_bits),
+            expected_pc: None,
+        }
+    }
+
+    /// Decodes the next record; `Ok(None)` at a clean end of stream.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] if the stream ends mid-record;
+    /// [`DecodeError::BadFormat`] / [`DecodeError::BadEnum`] on invalid
+    /// field values.
+    pub fn next_record(&mut self) -> Result<Option<TraceRecord>, DecodeError> {
+        if self.reader.remaining_bits() == 0 {
+            return Ok(None);
+        }
+        // Fewer than a minimal header's worth of bits means padding from
+        // byte alignment was mis-declared: the caller passed a wrong bit
+        // length.
+        let fmt = self.reader.get(2).ok_or(DecodeError::Truncated)?;
+        if fmt > FMT_BRANCH {
+            return Err(DecodeError::BadFormat(fmt as u8));
+        }
+        let wrong_path = self.reader.get_bool().ok_or(DecodeError::Truncated)?;
+        let explicit = self.reader.get_bool().ok_or(DecodeError::Truncated)?;
+        let pc = if explicit {
+            self.reader.get(32).ok_or(DecodeError::Truncated)?
+        } else {
+            self.expected_pc.ok_or(DecodeError::MissingPc)?
+        };
+        let record = match fmt {
+            FMT_OTHER => {
+                let class = self.reader.get(2).ok_or(DecodeError::Truncated)?;
+                let class = OpClass::decode(class).ok_or(DecodeError::BadEnum("op class"))?;
+                let dest = get_reg(&mut self.reader)?;
+                let src1 = get_reg(&mut self.reader)?;
+                let src2 = get_reg(&mut self.reader)?;
+                TraceRecord::Other(OtherRecord {
+                    pc,
+                    class,
+                    dest,
+                    src1,
+                    src2,
+                    wrong_path,
+                })
+            }
+            FMT_MEM => {
+                let kind = self.reader.get(1).ok_or(DecodeError::Truncated)?;
+                let kind = if kind == 0 { MemKind::Load } else { MemKind::Store };
+                let size = self.reader.get(2).ok_or(DecodeError::Truncated)?;
+                let size = MemSize::decode(size).ok_or(DecodeError::BadEnum("mem size"))?;
+                let addr = self.reader.get(32).ok_or(DecodeError::Truncated)?;
+                let base = get_reg(&mut self.reader)?;
+                let data = get_reg(&mut self.reader)?;
+                TraceRecord::Mem(MemRecord {
+                    pc,
+                    addr,
+                    size,
+                    kind,
+                    base,
+                    data,
+                    wrong_path,
+                })
+            }
+            FMT_BRANCH => {
+                let kind = self.reader.get(3).ok_or(DecodeError::Truncated)?;
+                let kind = BranchKind::decode(kind).ok_or(DecodeError::BadEnum("branch kind"))?;
+                let taken = self.reader.get_bool().ok_or(DecodeError::Truncated)?;
+                let target = self.reader.get(32).ok_or(DecodeError::Truncated)?;
+                let src1 = get_reg(&mut self.reader)?;
+                let src2 = get_reg(&mut self.reader)?;
+                TraceRecord::Branch(BranchRecord {
+                    pc,
+                    target,
+                    taken,
+                    kind,
+                    src1,
+                    src2,
+                    wrong_path,
+                })
+            }
+            other => return Err(DecodeError::BadFormat(other as u8)),
+        };
+        // Skip the byte-alignment padding.
+        while self.reader.position() % 8 != 0 {
+            self.reader.get_bool().ok_or(DecodeError::Truncated)?;
+        }
+        self.expected_pc = Some(record.implied_next_pc());
+        Ok(Some(record))
+    }
+}
+
+/// Errors produced when decoding a packed trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The bit stream ended in the middle of a record.
+    Truncated,
+    /// Reserved format tag encountered.
+    BadFormat(u8),
+    /// An enum field held an out-of-range value.
+    BadEnum(&'static str),
+    /// First record used implicit-PC encoding (nothing to inherit from).
+    MissingPc,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "trace bit stream truncated mid-record"),
+            DecodeError::BadFormat(v) => write!(f, "reserved trace format tag {v}"),
+            DecodeError::BadEnum(what) => write!(f, "invalid {what} field value"),
+            DecodeError::MissingPc => {
+                write!(f, "implicit pc encoding with no preceding record")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::Other(OtherRecord {
+                pc: 0x40_0000,
+                class: OpClass::IntAlu,
+                dest: Some(Reg::new(3)),
+                src1: Some(Reg::new(1)),
+                src2: Some(Reg::new(2)),
+                wrong_path: false,
+            }),
+            TraceRecord::Mem(MemRecord {
+                pc: 0x40_0004,
+                addr: 0x1000_0040,
+                size: MemSize::Word,
+                kind: MemKind::Load,
+                base: Some(Reg::new(29)),
+                data: Some(Reg::new(4)),
+                wrong_path: false,
+            }),
+            TraceRecord::Branch(BranchRecord {
+                pc: 0x40_0008,
+                target: 0x40_0100,
+                taken: true,
+                kind: BranchKind::Cond,
+                src1: Some(Reg::new(4)),
+                src2: None,
+                wrong_path: false,
+            }),
+            // Wrong-path block entered at the fall-through (explicit pc).
+            TraceRecord::Other(OtherRecord {
+                pc: 0x40_000C,
+                class: OpClass::Nop,
+                dest: None,
+                src1: None,
+                src2: None,
+                wrong_path: true,
+            }),
+            // Correct path resumes at the target (explicit pc again).
+            TraceRecord::Other(OtherRecord {
+                pc: 0x40_0100,
+                class: OpClass::IntDiv,
+                dest: Some(Reg::new(8)),
+                src1: Some(Reg::new(8)),
+                src2: Some(Reg::new(9)),
+                wrong_path: false,
+            }),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_sample() {
+        let trace = Trace::from_records(sample_records());
+        let enc = trace.encode();
+        assert_eq!(enc.len(), 5);
+        let dec = enc.decode().unwrap();
+        assert_eq!(dec.records(), trace.records());
+    }
+
+    #[test]
+    fn sequential_pc_is_implicit() {
+        // Two sequential ALU ops: second record must not carry a 32-bit pc.
+        let mk = |pc| {
+            TraceRecord::Other(OtherRecord {
+                pc,
+                class: OpClass::IntAlu,
+                dest: None,
+                src1: None,
+                src2: None,
+                wrong_path: false,
+            })
+        };
+        let mut enc = TraceEncoder::new();
+        enc.push(&mk(0x100));
+        let first = enc.stats().total_bits();
+        enc.push(&mk(0x104));
+        let second = enc.stats().total_bits() - first;
+        assert_eq!(second, first - 32, "sequential record should drop the pc");
+        assert_eq!(second % 8, 0, "records are byte-aligned");
+    }
+
+    #[test]
+    fn taken_branch_target_becomes_implicit_base() {
+        let mut enc = TraceEncoder::new();
+        enc.push(&TraceRecord::Branch(BranchRecord {
+            pc: 0x100,
+            target: 0x800,
+            taken: true,
+            kind: BranchKind::Jump,
+            src1: None,
+            src2: None,
+            wrong_path: false,
+        }));
+        let bits_before = enc.stats().total_bits();
+        enc.push(&TraceRecord::Other(OtherRecord {
+            pc: 0x800,
+            class: OpClass::IntAlu,
+            dest: None,
+            src1: None,
+            src2: None,
+            wrong_path: false,
+        }));
+        // Header(4) + class(2) + three absent-reg flags(3) = 9 bits,
+        // byte-aligned to 16.
+        assert_eq!(enc.stats().total_bits() - bits_before, 16);
+        let enc = enc.finish();
+        let dec = enc.decode().unwrap();
+        assert_eq!(dec.records()[1].pc(), 0x800);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let trace = Trace::from_records(sample_records());
+        let enc = trace.encode();
+        let mut dec = TraceDecoder::new(enc.bytes(), enc.len_bits() - 8);
+        let mut err = None;
+        loop {
+            match dec.next_record() {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(err, Some(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bad_format_tag_errors() {
+        let mut w = BitWriter::new();
+        w.put(3, 2); // reserved format
+        w.put(0, 2);
+        let (bytes, bits) = w.finish();
+        let mut dec = TraceDecoder::new(&bytes, bits);
+        assert_eq!(dec.next_record(), Err(DecodeError::BadFormat(3)));
+    }
+
+    #[test]
+    fn empty_stream_decodes_to_empty() {
+        let enc = TraceEncoder::new().finish();
+        assert!(enc.is_empty());
+        let dec = enc.decode().unwrap();
+        assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn stats_match_encoded_size() {
+        let trace = Trace::from_records(sample_records());
+        let enc = trace.encode();
+        assert_eq!(enc.stats().total_bits(), enc.len_bits());
+        assert_eq!(enc.stats().total_records(), enc.len());
+    }
+}

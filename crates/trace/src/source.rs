@@ -1,0 +1,134 @@
+//! Streaming record sources.
+//!
+//! The engine pulls records through the [`TraceSource`] trait rather than
+//! from a concrete buffer so the same front end serves both of the paper's
+//! deployment modes: off-line traces "prepared off-line, for example for
+//! bulk simulations with varying design parameters", and FAST-style
+//! on-the-fly generation "in combination with a fast functional software
+//! simulator" (§I).
+
+use crate::record::TraceRecord;
+
+/// A pull-based supplier of pre-decoded trace records in fetch order.
+///
+/// Returning `None` signals end of trace; sources must keep returning
+/// `None` afterwards (fused behaviour).
+pub trait TraceSource {
+    /// Produces the next record, or `None` at end of trace.
+    fn next_record(&mut self) -> Option<TraceRecord>;
+
+    /// A hint of how many records remain, if known.
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for &mut T {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        (**self).next_record()
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        (**self).len_hint()
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        (**self).next_record()
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        (**self).len_hint()
+    }
+}
+
+/// A [`TraceSource`] over a borrowed record slice.
+#[derive(Debug, Clone)]
+pub struct SliceSource<'a> {
+    records: &'a [TraceRecord],
+    pos: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Creates a source over `records`.
+    pub fn new(records: &'a [TraceRecord]) -> Self {
+        Self { records, pos: 0 }
+    }
+
+    /// Records consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+}
+
+impl TraceSource for SliceSource<'_> {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        let r = self.records.get(self.pos).copied();
+        if r.is_some() {
+            self.pos += 1;
+        }
+        r
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some((self.records.len() - self.pos) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{OpClass, OtherRecord};
+
+    fn recs(n: u32) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| {
+                TraceRecord::Other(OtherRecord {
+                    pc: i * 4,
+                    class: OpClass::IntAlu,
+                    dest: None,
+                    src1: None,
+                    src2: None,
+                    wrong_path: false,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn slice_source_yields_all_then_fuses() {
+        let records = recs(3);
+        let mut s = SliceSource::new(&records);
+        assert_eq!(s.len_hint(), Some(3));
+        assert!(s.next_record().is_some());
+        assert!(s.next_record().is_some());
+        assert_eq!(s.len_hint(), Some(1));
+        assert!(s.next_record().is_some());
+        assert!(s.next_record().is_none());
+        assert!(s.next_record().is_none());
+        assert_eq!(s.consumed(), 3);
+    }
+
+    #[test]
+    fn source_through_mut_ref() {
+        fn drain(mut src: impl TraceSource) -> u32 {
+            let mut n = 0;
+            while src.next_record().is_some() {
+                n += 1;
+            }
+            n
+        }
+        let records = recs(5);
+        let mut s = SliceSource::new(&records);
+        assert_eq!(drain(&mut s), 5);
+    }
+
+    #[test]
+    fn boxed_source() {
+        let records = recs(2);
+        let mut boxed: Box<dyn TraceSource + '_> = Box::new(SliceSource::new(&records));
+        assert_eq!(boxed.len_hint(), Some(2));
+        assert!(boxed.next_record().is_some());
+    }
+}

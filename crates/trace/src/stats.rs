@@ -1,0 +1,283 @@
+//! Trace size accounting: the basis of the paper's Table 3.
+//!
+//! Table 3 reports, per SPECINT benchmark, the average number of trace
+//! *bits per instruction* (41–47), the simulation throughput including
+//! mis-speculated instructions, and the resulting trace bandwidth demand in
+//! MByte/s. [`TraceStats`] provides the first ingredient; the FPGA crate
+//! combines it with the throughput model for the rest.
+
+use crate::record::TraceRecord;
+
+/// Per-format record and bit accounting for an encoded trace.
+///
+/// All counters are 64-bit, mirroring the paper's §V.B decision to use
+/// 64-bit statistics registers to avoid overflow on long runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    branch_records: u64,
+    mem_records: u64,
+    other_records: u64,
+    wrong_path_records: u64,
+    branch_bits: u64,
+    mem_bits: u64,
+    other_bits: u64,
+    loads: u64,
+    stores: u64,
+    taken_branches: u64,
+}
+
+impl TraceStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accounts one encoded record of `bits` length.
+    pub(crate) fn account(&mut self, record: &TraceRecord, bits: u64) {
+        match record {
+            TraceRecord::Branch(b) => {
+                self.branch_records += 1;
+                self.branch_bits += bits;
+                if b.taken {
+                    self.taken_branches += 1;
+                }
+            }
+            TraceRecord::Mem(m) => {
+                self.mem_records += 1;
+                self.mem_bits += bits;
+                if m.is_load() {
+                    self.loads += 1;
+                } else {
+                    self.stores += 1;
+                }
+            }
+            TraceRecord::Other(_) => {
+                self.other_records += 1;
+                self.other_bits += bits;
+            }
+        }
+        if record.wrong_path() {
+            self.wrong_path_records += 1;
+        }
+    }
+
+    /// Total records (all formats, wrong path included).
+    pub fn total_records(&self) -> u64 {
+        self.branch_records + self.mem_records + self.other_records
+    }
+
+    /// Total encoded bits.
+    pub fn total_bits(&self) -> u64 {
+        self.branch_bits + self.mem_bits + self.other_bits
+    }
+
+    /// Branch (B) record count.
+    pub fn branch_records(&self) -> u64 {
+        self.branch_records
+    }
+
+    /// Memory (M) record count.
+    pub fn mem_records(&self) -> u64 {
+        self.mem_records
+    }
+
+    /// Other (O) record count.
+    pub fn other_records(&self) -> u64 {
+        self.other_records
+    }
+
+    /// Wrong-path (Tag = 1) record count.
+    pub fn wrong_path_records(&self) -> u64 {
+        self.wrong_path_records
+    }
+
+    /// Load count.
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// Store count.
+    pub fn stores(&self) -> u64 {
+        self.stores
+    }
+
+    /// Taken-branch count.
+    pub fn taken_branches(&self) -> u64 {
+        self.taken_branches
+    }
+
+    /// Average trace bits per dynamic instruction (Table 3, col. 2).
+    ///
+    /// Returns 0.0 for an empty trace.
+    pub fn bits_per_instruction(&self) -> f64 {
+        let n = self.total_records();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_bits() as f64 / n as f64
+        }
+    }
+
+    /// Average bits of a Branch record.
+    pub fn bits_per_branch(&self) -> f64 {
+        if self.branch_records == 0 {
+            0.0
+        } else {
+            self.branch_bits as f64 / self.branch_records as f64
+        }
+    }
+
+    /// Average bits of a Memory record.
+    pub fn bits_per_mem(&self) -> f64 {
+        if self.mem_records == 0 {
+            0.0
+        } else {
+            self.mem_bits as f64 / self.mem_records as f64
+        }
+    }
+
+    /// Average bits of an Other record.
+    pub fn bits_per_other(&self) -> f64 {
+        if self.other_records == 0 {
+            0.0
+        } else {
+            self.other_bits as f64 / self.other_records as f64
+        }
+    }
+
+    /// Fraction of records that are wrong-path (the paper measures ≈10 %).
+    pub fn wrong_path_fraction(&self) -> f64 {
+        let n = self.total_records();
+        if n == 0 {
+            0.0
+        } else {
+            self.wrong_path_records as f64 / n as f64
+        }
+    }
+
+    /// Merges another statistics block into this one.
+    pub fn merge(&mut self, other: &TraceStats) {
+        self.branch_records += other.branch_records;
+        self.mem_records += other.mem_records;
+        self.other_records += other.other_records;
+        self.wrong_path_records += other.wrong_path_records;
+        self.branch_bits += other.branch_bits;
+        self.mem_bits += other.mem_bits;
+        self.other_bits += other.other_bits;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.taken_branches += other.taken_branches;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::*;
+
+    fn stats_for(records: &[TraceRecord]) -> TraceStats {
+        let mut enc = crate::TraceEncoder::new();
+        for r in records {
+            enc.push(r);
+        }
+        enc.stats().clone()
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = TraceStats::new();
+        assert_eq!(s.total_records(), 0);
+        assert_eq!(s.bits_per_instruction(), 0.0);
+        assert_eq!(s.wrong_path_fraction(), 0.0);
+        assert_eq!(s.bits_per_branch(), 0.0);
+        assert_eq!(s.bits_per_mem(), 0.0);
+        assert_eq!(s.bits_per_other(), 0.0);
+    }
+
+    #[test]
+    fn per_format_counts() {
+        let records = vec![
+            TraceRecord::Other(OtherRecord {
+                pc: 0,
+                class: OpClass::IntAlu,
+                dest: None,
+                src1: None,
+                src2: None,
+                wrong_path: false,
+            }),
+            TraceRecord::Mem(MemRecord {
+                pc: 4,
+                addr: 64,
+                size: MemSize::Word,
+                kind: MemKind::Store,
+                base: None,
+                data: None,
+                wrong_path: true,
+            }),
+            TraceRecord::Branch(BranchRecord {
+                pc: 8,
+                target: 0,
+                taken: true,
+                kind: BranchKind::Cond,
+                src1: None,
+                src2: None,
+                wrong_path: false,
+            }),
+        ];
+        let s = stats_for(&records);
+        assert_eq!(s.total_records(), 3);
+        assert_eq!(s.branch_records(), 1);
+        assert_eq!(s.mem_records(), 1);
+        assert_eq!(s.other_records(), 1);
+        assert_eq!(s.stores(), 1);
+        assert_eq!(s.loads(), 0);
+        assert_eq!(s.taken_branches(), 1);
+        assert_eq!(s.wrong_path_records(), 1);
+        assert!((s.wrong_path_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(s.bits_per_instruction() > 0.0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let r = TraceRecord::Other(OtherRecord {
+            pc: 0,
+            class: OpClass::IntAlu,
+            dest: None,
+            src1: None,
+            src2: None,
+            wrong_path: false,
+        });
+        let a = stats_for(&[r]);
+        let mut b = a.clone();
+        b.merge(&a);
+        assert_eq!(b.total_records(), 2);
+        assert_eq!(b.total_bits(), 2 * a.total_bits());
+    }
+
+    #[test]
+    fn memory_records_are_largest() {
+        // M records carry a 32-bit address, so they must out-weigh O
+        // records; this ordering is what makes memory-heavy benchmarks
+        // (vortex) show the highest bits/instruction in Table 3.
+        let o = TraceRecord::Other(OtherRecord {
+            pc: 0,
+            class: OpClass::IntAlu,
+            dest: Some(Reg::new(1)),
+            src1: Some(Reg::new(2)),
+            src2: Some(Reg::new(3)),
+            wrong_path: false,
+        });
+        let m = TraceRecord::Mem(MemRecord {
+            pc: 0,
+            addr: 0xFFFF,
+            size: MemSize::Word,
+            kind: MemKind::Load,
+            base: Some(Reg::new(2)),
+            data: Some(Reg::new(1)),
+            wrong_path: false,
+        });
+        let so = stats_for(&[o]);
+        let sm = stats_for(&[m]);
+        assert!(sm.bits_per_instruction() > so.bits_per_instruction());
+    }
+}

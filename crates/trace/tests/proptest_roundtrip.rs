@@ -1,0 +1,125 @@
+//! Property tests: the bit-exact codec round-trips arbitrary record
+//! sequences losslessly, and its accounting matches the bit stream.
+
+use proptest::prelude::*;
+use resim_trace::{
+    BranchKind, BranchRecord, MemKind, MemRecord, MemSize, OpClass, OtherRecord, Reg, Trace,
+    TraceRecord,
+};
+
+fn arb_reg() -> impl Strategy<Value = Option<Reg>> {
+    prop_oneof![
+        Just(None),
+        (0u8..64).prop_map(|i| Some(Reg::new(i))),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    let other = (
+        any::<u32>(),
+        0u32..4,
+        arb_reg(),
+        arb_reg(),
+        arb_reg(),
+        any::<bool>(),
+    )
+        .prop_map(|(pc, class, dest, src1, src2, wrong_path)| {
+            TraceRecord::Other(OtherRecord {
+                pc,
+                class: OpClass::ALL[class as usize],
+                dest,
+                src1,
+                src2,
+                wrong_path,
+            })
+        });
+    let mem = (
+        any::<u32>(),
+        any::<u32>(),
+        0u32..4,
+        any::<bool>(),
+        arb_reg(),
+        arb_reg(),
+        any::<bool>(),
+    )
+        .prop_map(|(pc, addr, size, store, base, data, wrong_path)| {
+            TraceRecord::Mem(MemRecord {
+                pc,
+                addr,
+                size: MemSize::ALL[size as usize],
+                kind: if store { MemKind::Store } else { MemKind::Load },
+                base,
+                data,
+                wrong_path,
+            })
+        });
+    let branch = (
+        any::<u32>(),
+        any::<u32>(),
+        any::<bool>(),
+        0u32..6,
+        arb_reg(),
+        arb_reg(),
+        any::<bool>(),
+    )
+        .prop_map(|(pc, target, taken, kind, src1, src2, wrong_path)| {
+            TraceRecord::Branch(BranchRecord {
+                pc,
+                target,
+                taken: taken || BranchKind::ALL[kind as usize].is_unconditional(),
+                kind: BranchKind::ALL[kind as usize],
+                src1,
+                src2,
+                wrong_path,
+            })
+        });
+    prop_oneof![other, mem, branch]
+}
+
+proptest! {
+    /// encode(decode(x)) == x for arbitrary record sequences.
+    #[test]
+    fn roundtrip_lossless(records in prop::collection::vec(arb_record(), 0..200)) {
+        let trace = Trace::from_records(records);
+        let encoded = trace.encode();
+        let decoded = encoded.decode().expect("own encoding must decode");
+        prop_assert_eq!(trace.records(), decoded.records());
+    }
+
+    /// The stats' bit total always equals the stream length, records are
+    /// byte-aligned, and per-format counts sum to the total.
+    #[test]
+    fn accounting_consistent(records in prop::collection::vec(arb_record(), 0..200)) {
+        let trace = Trace::from_records(records.clone());
+        let encoded = trace.encode();
+        let stats = encoded.stats();
+        prop_assert_eq!(stats.total_bits(), encoded.len_bits());
+        prop_assert_eq!(stats.total_records(), records.len() as u64);
+        prop_assert_eq!(encoded.len_bits() % 8, 0);
+        prop_assert_eq!(
+            stats.branch_records() + stats.mem_records() + stats.other_records(),
+            stats.total_records()
+        );
+        let wrong = records.iter().filter(|r| r.wrong_path()).count() as u64;
+        prop_assert_eq!(stats.wrong_path_records(), wrong);
+    }
+
+    /// Concatenating encoders equals one encoder (streaming = batch).
+    #[test]
+    fn incremental_equals_batch(
+        a in prop::collection::vec(arb_record(), 0..60),
+        b in prop::collection::vec(arb_record(), 0..60),
+    ) {
+        let mut both = a.clone();
+        both.extend(b.iter().copied());
+        let batch = Trace::from_records(both).encode();
+
+        let mut enc = resim_trace::TraceEncoder::new();
+        for r in a.iter().chain(b.iter()) {
+            enc.push(r);
+        }
+        let streamed = enc.finish();
+        prop_assert_eq!(batch.bytes(), streamed.bytes());
+        prop_assert_eq!(batch.len_bits(), streamed.len_bits());
+    }
+}

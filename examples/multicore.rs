@@ -1,0 +1,62 @@
+//! Multi-core simulation — the paper's §VI projection: "it is possible
+//! to fit multiple ReSim instances in a single FPGA and simulate
+//! multi-core systems".
+//!
+//! Fits as many engine instances as the area model allows on a large
+//! Virtex-4, runs one SPECINT workload per core, and reports per-core and
+//! aggregate simulated throughput.
+//!
+//! Run with: `cargo run --release --example multicore [instructions]`
+
+use resim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+
+    // How many engine-only (perfect-memory) instances fit?
+    let config = EngineConfig::paper_4wide();
+    let device = FpgaDevice::Virtex4Lx160;
+    let area = AreaModel::new().estimate(&config);
+    let fit = area.instances_on(device);
+    let cores = (fit as usize).min(4);
+    println!(
+        "{device}: one engine needs {:.0} slices / {} BRAMs -> {fit} instances fit; simulating {cores} cores\n",
+        area.total_slices(),
+        area.total_brams()
+    );
+
+    // One benchmark per core.
+    let traces: Vec<Trace> = SpecBenchmark::ALL[..cores]
+        .iter()
+        .map(|&b| generate_trace(Workload::spec(b, 2009), n, &TraceGenConfig::paper()))
+        .collect();
+
+    let mut mc = MultiCore::homogeneous(cores, &config)?;
+    let stats = mc.run(traces.iter().map(|t| t.source()).collect());
+
+    let throughput = ThroughputModel::new(device);
+    println!(
+        "{:8} {:>10} {:>8} {:>10}",
+        "core", "cycles", "IPC", "V4 MIPS"
+    );
+    for (b, s) in SpecBenchmark::ALL[..cores].iter().zip(&stats) {
+        println!(
+            "{:8} {:>10} {:>8.3} {:>10.2}",
+            b.name(),
+            s.cycles,
+            s.ipc(),
+            throughput.speed(&config, s, None).mips
+        );
+    }
+    let aggregate = MultiCore::aggregate_ipc(&stats);
+    let major_mhz = throughput.major_cycle_mhz(&config);
+    println!(
+        "\naggregate: {:.3} instructions/lock-step-cycle -> {:.1} simulated MIPS for the {cores}-core system",
+        aggregate,
+        aggregate * major_mhz
+    );
+    Ok(())
+}

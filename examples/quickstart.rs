@@ -1,0 +1,53 @@
+//! Quickstart: the complete ReSim flow on a real (mini-PISA) program.
+//!
+//! 1. Assemble a program and execute it on the functional simulator
+//!    (the paper's SimpleScalar role) to obtain the dynamic stream.
+//! 2. Run the stream through the `sim-bpred`-style trace generator,
+//!    which tags mispredictions and inserts wrong-path blocks.
+//! 3. Replay the trace on the ReSim timing engine (the paper's 4-wide
+//!    reference machine) and print the statistics dump.
+//! 4. Convert the run into simulated MIPS on the two FPGA devices.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use resim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. functional execution ------------------------------------
+    let program = programs::bubble_sort(64);
+    let mut functional = FunctionalSimulator::new(&program);
+    let stream = functional.run(5_000_000)?;
+    println!(
+        "functional simulation: {} dynamic instructions (sorted 64 elements)",
+        stream.len()
+    );
+
+    // --- 2. trace generation ----------------------------------------
+    let trace = generate_trace(stream, usize::MAX, &TraceGenConfig::paper());
+    println!(
+        "trace: {} records ({} wrong-path), {:.2} bits/instruction\n",
+        trace.len(),
+        trace.wrong_path_len(),
+        trace.stats().bits_per_instruction()
+    );
+
+    // --- 3. timing simulation ---------------------------------------
+    let config = EngineConfig::paper_4wide();
+    println!("{}", block_diagram(&config));
+    let mut engine = Engine::new(config.clone())?;
+    let stats = engine.run(trace.source());
+    println!("{}", stats.report());
+
+    // --- 4. simulated speed -----------------------------------------
+    let trace_stats = trace.stats();
+    for device in FpgaDevice::PAPER {
+        let speed = ThroughputModel::new(device).speed(&config, &stats, Some(&trace_stats));
+        println!(
+            "{device}: {:.2} simulated MIPS ({:.2} incl. wrong path, {:.1} MB/s trace)",
+            speed.mips,
+            speed.mips_including_wrong_path,
+            speed.trace_mbytes_per_sec.unwrap_or(0.0)
+        );
+    }
+    Ok(())
+}
