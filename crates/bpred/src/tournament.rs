@@ -132,11 +132,11 @@ mod tests {
         let mut p = TournamentPredictor::new(TournamentConfig::classic());
         let stream: Vec<bool> = (0..600).map(|i| i % 2 == 0).collect();
         assert!(
-            accuracy(&mut p, 0x200, &stream[200..].to_vec()) > 0.9 || {
+            accuracy(&mut p, 0x200, &stream[200..]) > 0.9 || {
                 // Evaluate on the warmed tail only.
                 let mut q = TournamentPredictor::new(TournamentConfig::classic());
-                let _ = accuracy(&mut q, 0x200, &stream[..400].to_vec());
-                accuracy(&mut q, 0x200, &stream[400..].to_vec()) > 0.9
+                let _ = accuracy(&mut q, 0x200, &stream[..400]);
+                accuracy(&mut q, 0x200, &stream[400..]) > 0.9
             }
         );
     }

@@ -452,7 +452,7 @@ impl Engine {
             // overall timing results".
             if self.config.pipeline.restricts_first_slot_loads() {
                 debug_assert!(
-                    loads_issued <= width - 1,
+                    loads_issued < width,
                     "optimized pipeline issued {loads_issued} loads at width {width}"
                 );
             }

@@ -100,11 +100,7 @@ impl AreaEstimate {
     pub fn instances_on(&self, device: FpgaDevice) -> u64 {
         let by_slices = (device.slices() as f64 / self.total_slices()).floor() as u64;
         let brams = self.total_brams();
-        let by_brams = if brams == 0 {
-            u64::MAX
-        } else {
-            device.brams() / brams
-        };
+        let by_brams = device.brams().checked_div(brams).unwrap_or(u64::MAX);
         by_slices.min(by_brams)
     }
 }

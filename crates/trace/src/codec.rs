@@ -103,7 +103,7 @@ impl TraceEncoder {
             }
         }
         // Byte-align each record (hardware decoder framing).
-        while self.writer.len_bits() % 8 != 0 {
+        while !self.writer.len_bits().is_multiple_of(8) {
             self.writer.put_bool(false);
         }
         self.expected_pc = Some(record.implied_next_pc());
@@ -304,7 +304,7 @@ impl<'a> TraceDecoder<'a> {
             other => return Err(DecodeError::BadFormat(other as u8)),
         };
         // Skip the byte-alignment padding.
-        while self.reader.position() % 8 != 0 {
+        while !self.reader.position().is_multiple_of(8) {
             self.reader.get_bool().ok_or(DecodeError::Truncated)?;
         }
         self.expected_pc = Some(record.implied_next_pc());

@@ -477,12 +477,11 @@ mod tests {
                     assert!(target.0 < i, "loop target must be a back-edge");
                     assert!(trips >= 1);
                 }
-                Terminator::Jump { target } if i + 1 != cfg.main_blocks() => {
+                Terminator::Jump { target } if i + 1 != cfg.main_blocks()
                     // Only the region-closing jump may point backwards.
-                    if i < cfg.main_blocks() && target.0 != 0 {
+                    && i < cfg.main_blocks() && target.0 != 0 => {
                         assert!(target.0 > i);
                     }
-                }
                 _ => {}
             }
         }

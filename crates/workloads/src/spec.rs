@@ -99,11 +99,11 @@ impl SpecBenchmark {
                 frac_fallthrough: 0.22,
                 frac_loop_branches: 0.65,
                 frac_random_branches: 0.005,
-                bias_strength: 0.98,
+                bias_strength: 0.985,
                 mean_loop_trips: 75,
                 num_functions: 8,
                 func_len_blocks: 4,
-                dep_distance_mean: 0.90,
+                dep_distance_mean: 1.50,
                 frac_src2: 0.50,
                 frac_addr_dep: 0.60,
                 working_set_bytes: 96 * 1024,

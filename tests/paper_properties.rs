@@ -7,7 +7,16 @@ use resim_fpga::comparison;
 const N: usize = 120_000;
 
 fn run(b: SpecBenchmark, config: &EngineConfig, tg: &TraceGenConfig) -> (SimStats, f64) {
-    let trace = generate_trace(Workload::spec(b, 2009), N, tg);
+    run_seeded(b, 2009, config, tg)
+}
+
+fn run_seeded(
+    b: SpecBenchmark,
+    seed: u64,
+    config: &EngineConfig,
+    tg: &TraceGenConfig,
+) -> (SimStats, f64) {
+    let trace = generate_trace(Workload::spec(b, seed), N, tg);
     let stats = Engine::new(config.clone()).unwrap().run(trace.source());
     (stats, trace.stats().bits_per_instruction())
 }
@@ -40,11 +49,22 @@ fn table1_left_band_and_device_ratio() {
 
 /// Table 1: bzip2 is the fastest benchmark with perfect memory but loses
 /// its lead in the cached configuration (the paper's crossover).
+///
+/// The synthetic workload models have per-seed structural variance, so
+/// the ordering is asserted on the mean IPC over a few seeds rather than
+/// on one draw.
 #[test]
 fn table1_bzip2_crossover() {
     let (cl, tl) = left();
     let (cr, tr) = right();
-    let ipc = |b, c: &EngineConfig, t: &TraceGenConfig| run(b, c, t).0.ipc();
+    const SEEDS: [u64; 3] = [2009, 2010, 2011];
+    let ipc = |b, c: &EngineConfig, t: &TraceGenConfig| -> f64 {
+        SEEDS
+            .iter()
+            .map(|&seed| run_seeded(b, seed, c, t).0.ipc())
+            .sum::<f64>()
+            / SEEDS.len() as f64
+    };
     let bzip2_l = ipc(SpecBenchmark::Bzip2, &cl, &tl);
     let gzip_l = ipc(SpecBenchmark::Gzip, &cl, &tl);
     let bzip2_r = ipc(SpecBenchmark::Bzip2, &cr, &tr);

@@ -1,0 +1,25 @@
+//! Workspace smoke test: the paper's 4-wide configuration runs a freshly
+//! generated 10k-instruction trace end to end and reports a sane IPC.
+
+use resim::prelude::*;
+
+#[test]
+fn paper_4wide_runs_10k_trace_with_sane_ipc() {
+    let config = EngineConfig::paper_4wide();
+    let trace = generate_trace(
+        Workload::spec(SpecBenchmark::Gzip, 0xDA7E_2009),
+        10_000,
+        &TraceGenConfig::paper(),
+    );
+    let mut engine = Engine::new(config.clone()).expect("paper_4wide is a valid config");
+    let stats = engine.run(trace.source());
+
+    let ipc = stats.ipc();
+    assert!(ipc.is_finite(), "IPC must be finite, got {ipc}");
+    assert!(
+        ipc > 0.0 && ipc <= config.width as f64,
+        "IPC {ipc} outside (0, {}]",
+        config.width
+    );
+    assert_eq!(stats.committed, 10_000, "all correct-path work must commit");
+}

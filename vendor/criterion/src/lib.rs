@@ -1,0 +1,200 @@
+//! Offline, API-compatible subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of criterion its benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], group
+//! `throughput` / `sample_size` / `bench_function` / `finish`, and
+//! [`Bencher::iter`] / [`Bencher::iter_batched`].
+//!
+//! Measurement is deliberately simple — warm up briefly, time
+//! `sample_size` samples, report mean / min wall-clock per iteration and
+//! derived throughput — with no statistical analysis, plotting, or saved
+//! baselines. Benches compile and produce honest first-order numbers;
+//! swap in the real crate for publication-grade statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Units for derived throughput lines.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup cost. The shim times every routine
+/// invocation individually, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Fresh input per iteration, timed individually.
+    PerIteration,
+    /// Small inputs; batched in the real crate.
+    SmallInput,
+    /// Large inputs; batched in the real crate.
+    LargeInput,
+}
+
+/// A black box preventing the optimiser from deleting the benchmark body.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// The top-level benchmark context.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Registers a stand-alone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_one(name, None, sample_size, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work for derived rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` and prints the result.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.throughput, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    f: &mut F,
+) {
+    // Warm-up sample, not recorded.
+    let mut bencher = Bencher { elapsed: Duration::ZERO, iters: 0 };
+    f(&mut bencher);
+
+    let mut total = Duration::ZERO;
+    let mut iters: u64 = 0;
+    let mut best = Duration::MAX;
+    for _ in 0..sample_size {
+        let mut bencher = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut bencher);
+        if bencher.iters > 0 {
+            let per = bencher.elapsed / bencher.iters as u32;
+            best = best.min(per);
+        }
+        total += bencher.elapsed;
+        iters += bencher.iters;
+    }
+    if iters == 0 {
+        println!("  {name}: no iterations");
+        return;
+    }
+    let mean = total.as_secs_f64() / iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!(
+            "  {:10.3} Melem/s",
+            n as f64 / mean / 1e6
+        ),
+        Some(Throughput::Bytes(n)) => format!("  {:10.3} MiB/s", n as f64 / mean / (1 << 20) as f64),
+        None => String::new(),
+    };
+    println!(
+        "  {name}: mean {:12.3} us, best {:12.3} us{rate}",
+        mean * 1e6,
+        best.as_secs_f64() * 1e6
+    );
+}
+
+/// Hands the benchmark body its timing loop.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        hint::black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        hint::black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,585 @@
+//! Offline, API-compatible subset of the
+//! [`proptest`](https://crates.io/crates/proptest) property-testing crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of proptest its test suites use:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`] and
+//!   [`Strategy::boxed`];
+//! * [`any`] for primitive types, ranges as strategies, tuples of
+//!   strategies (up to arity 12), [`Just`], [`prop_oneof!`],
+//!   `prop::collection::vec`;
+//! * the [`proptest!`] test macro with `#![proptest_config(..)]` support,
+//!   plus [`prop_assert!`] / [`prop_assert_eq!`];
+//! * [`ProptestConfig::with_cases`] and the `PROPTEST_CASES` env override.
+//!
+//! Semantics differ from the real crate in one deliberate way: failing
+//! inputs are *not shrunk* — a failing case panics immediately and prints
+//! a `PROPTEST_REPLAY=<test_name>:<seed>` token that reruns exactly that
+//! input for that test (other tests are unaffected). Generation is
+//! deterministic per (test name, case index), so failures reproduce
+//! across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Deterministic test RNG (xoshiro256++ seeded by SplitMix64)
+// ---------------------------------------------------------------------------
+
+/// The deterministic random source handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates the generator for one test case from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        TestRng { s }
+    }
+
+    /// Returns the next random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `u64` in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let mut m = u128::from(self.next_u64()) * u128::from(bound);
+        if (m as u64) < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while (m as u64) < threshold {
+                m = u128::from(self.next_u64()) * u128::from(bound);
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no shrinking: a strategy is just a
+/// deterministic function of a [`TestRng`].
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy so strategies of different concrete types
+    /// can share a collection (as [`prop_oneof!`] arms do).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(move |rng: &mut TestRng| self.generate(rng)),
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+#[derive(Clone)]
+pub struct BoxedStrategy<V> {
+    inner: Rc<dyn Fn(&mut TestRng) -> V>,
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.inner)(rng)
+    }
+}
+
+impl<V> fmt::Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Picks uniformly among its arms; built by [`prop_oneof!`].
+pub struct OneOf<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> OneOf<V> {
+    /// Builds a union from already-boxed arms. Panics when empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+// --- primitive `any` -------------------------------------------------------
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for all values of `T` (`any::<u32>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// --- ranges as strategies --------------------------------------------------
+
+macro_rules! impl_strategy_range_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_strategy_range_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_strategy_range_int!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// --- tuples of strategies --------------------------------------------------
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_tuple!(A);
+impl_strategy_tuple!(A, B);
+impl_strategy_tuple!(A, B, C);
+impl_strategy_tuple!(A, B, C, D);
+impl_strategy_tuple!(A, B, C, D, E);
+impl_strategy_tuple!(A, B, C, D, E, F);
+impl_strategy_tuple!(A, B, C, D, E, F, G);
+impl_strategy_tuple!(A, B, C, D, E, F, G, H);
+impl_strategy_tuple!(A, B, C, D, E, F, G, H, I);
+impl_strategy_tuple!(A, B, C, D, E, F, G, H, I, J);
+impl_strategy_tuple!(A, B, C, D, E, F, G, H, I, J, K);
+impl_strategy_tuple!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// `prop::collection` and friends, re-exported through the prelude as the
+/// real crate does.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with lengths drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Generates a `Vec` whose length is uniform in `size` and whose
+        /// elements come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty vec size range");
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.end - self.size.start) as u64;
+                let len = self.size.start + rng.below(span) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Configuration for a [`proptest!`] block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Prints replay instructions if a test case panics.
+struct FailureContext<'a> {
+    test_name: &'a str,
+    case: u64,
+    seed: u64,
+}
+
+impl Drop for FailureContext<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest: '{}' failed at case {} — replay just this input with \
+                 PROPTEST_REPLAY={}:{:#x}",
+                self.test_name, self.case, self.test_name, self.seed
+            );
+        }
+    }
+}
+
+/// Runs `f` once per case with a deterministic per-case RNG.
+///
+/// `PROPTEST_CASES` in the environment overrides `config.cases`. A
+/// failing case prints a `PROPTEST_REPLAY=<test_name>:<seed>` token;
+/// setting that env var reruns only that input for that test, while
+/// every other test in the binary keeps its normal full-coverage run.
+pub fn run_cases(config: &ProptestConfig, test_name: &str, mut f: impl FnMut(&mut TestRng)) {
+    if let Some(seed) = replay_seed_for(test_name) {
+        let mut rng = TestRng::from_seed(seed);
+        f(&mut rng);
+        return;
+    }
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    // Derive a stable per-test stream so distinct tests in one binary see
+    // different data but reruns are reproducible.
+    let mut name_hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        name_hash ^= u64::from(b);
+        name_hash = name_hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    for case in 0..u64::from(cases) {
+        let seed = name_hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let context = FailureContext { test_name, case, seed };
+        let mut rng = TestRng::from_seed(seed);
+        f(&mut rng);
+        std::mem::forget(context);
+    }
+}
+
+/// Parses `PROPTEST_REPLAY=<test_name>:<seed>`, returning the seed only
+/// when the name matches this test.
+fn replay_seed_for(test_name: &str) -> Option<u64> {
+    let v = std::env::var("PROPTEST_REPLAY").ok()?;
+    let (name, seed) = v.rsplit_once(':')?;
+    if name != test_name {
+        return None;
+    }
+    parse_u64_maybe_hex(seed)
+}
+
+fn parse_u64_maybe_hex(v: &str) -> Option<u64> {
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Picks one of several strategies uniformly. All arms must generate the
+/// same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that draws its arguments from the strategies and
+/// runs the body for each case.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(&config, stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), __rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// The convenient glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0.25f64..0.75, z in 1usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+            prop_assert!((1..=4).contains(&z));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            v in prop::collection::vec(prop_oneof![
+                Just(None),
+                (1u32..10).prop_map(Some),
+            ], 0..50),
+        ) {
+            prop_assert!(v.len() < 50);
+            for x in v.into_iter().flatten() {
+                prop_assert!((1..10).contains(&x));
+            }
+        }
+
+        #[test]
+        fn tuples_generate(t in (any::<bool>(), 0u8..4, (0u16..9).prop_map(u32::from))) {
+            let (_b, small, wide) = t;
+            prop_assert!(small < 4);
+            prop_assert!(wide < 9, "wide {}", wide);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = (0u32..1000, prop::collection::vec(any::<u16>(), 0..20));
+        let mut r1 = crate::TestRng::from_seed(99);
+        let mut r2 = crate::TestRng::from_seed(99);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+}
