@@ -9,13 +9,18 @@
 //! 3. **Width sweep**: how simulated IPC and engine MIPS scale with the
 //!    simulated processor width.
 //!
+//! Sweeps 2 and 3 run through the `resim-sweep` worker pool with one
+//! shared trace cache, so the gzip trace is generated exactly once for
+//! all seven simulated cells.
+//!
 //! Usage: `ablation [instructions]`.
 
 use resim_bench::*;
-use resim_core::{Engine, EngineConfig, FuConfig, PipelineOrganization};
+use resim_core::EngineConfig;
 use resim_fpga::{parallel_fetch_ablation, FpgaDevice, ThroughputModel};
-use resim_tracegen::generate_trace;
-use resim_workloads::{SpecBenchmark, Workload};
+use resim_sweep::{Scenario, SweepRunner, WorkloadPoint};
+use resim_workloads::SpecBenchmark;
+use std::time::Instant;
 
 fn main() {
     let n: usize = std::env::args()
@@ -46,37 +51,45 @@ fn main() {
     }
     println!("(paper's measured point: width 4 -> 4x area, 22% slower)\n");
 
+    // One runner for both sweeps: the shared trace cache generates the
+    // gzip trace once and every cell of both grids reuses it.
+    let t0 = Instant::now();
+    let runner = SweepRunner::new(0);
+    let (_, tg) = table1_left();
+    let gzip = || WorkloadPoint::spec(SpecBenchmark::Gzip);
+
     // --- 2. pipeline organization sweep ------------------------------
     println!("Ablation 2 (SIV.A/B): pipeline organizations, gzip, 4-wide, Virtex-4");
-    let trace = generate_trace(
-        Workload::spec(SpecBenchmark::Gzip, DEFAULT_SEED),
-        n,
-        &table1_left().1,
-    );
+    let org_points = EngineConfig::paper_4wide()
+        .grid()
+        .pipelines(resim_core::PipelineOrganization::ALL)
+        .build();
+    let org_scenario = Scenario::new()
+        .config_grid(org_points.clone(), tg)
+        .workload(gzip())
+        .budgets([n])
+        .seeds([DEFAULT_SEED]);
+    let org_report = runner.run(&org_scenario).expect("pipeline grid is valid");
+
     println!(
         "{:>10} {:>12} {:>12} {:>10} {:>10}",
         "pipeline", "minor/major", "sim cycles", "IPC", "V4 MIPS"
     );
     let mut cycles_seen = Vec::new();
-    for org in PipelineOrganization::ALL {
-        let config = EngineConfig {
-            pipeline: org,
-            ..EngineConfig::paper_4wide()
-        };
-        let mut e = Engine::new(config.clone()).expect("valid config");
-        let stats = e.run(trace.source());
+    for (name, config) in &org_points {
+        let cell = org_report.get(name, "gzip").expect("org cell ran");
         let mips = ThroughputModel::new(FpgaDevice::Virtex4Lx40)
-            .speed(&config, &stats, None)
+            .speed(config, &cell.stats, None)
             .mips;
         println!(
             "{:>10} {:>12} {:>12} {:>10.3} {:>10.2}",
-            org.name(),
+            name,
             config.minor_cycles_per_major(),
-            stats.cycles,
-            stats.ipc(),
+            cell.stats.cycles,
+            cell.stats.ipc(),
             mips
         );
-        cycles_seen.push(stats.cycles);
+        cycles_seen.push(cell.stats.cycles);
     }
     assert!(
         cycles_seen.windows(2).all(|w| w[0] == w[1]),
@@ -86,43 +99,43 @@ fn main() {
 
     // --- 3. width sweep ----------------------------------------------
     println!("Ablation 3: simulated-width sweep, gzip, perfect memory, Virtex-4");
+    let width_points = EngineConfig::paper_4wide()
+        .grid()
+        .widths([1, 2, 4, 8])
+        .build();
+    let width_scenario = Scenario::new()
+        .config_grid(width_points.clone(), tg)
+        .workload(gzip())
+        .budgets([n])
+        .seeds([DEFAULT_SEED]);
+    let width_report = runner.run(&width_scenario).expect("width grid is valid");
+
     println!(
         "{:>6} {:>10} {:>12} {:>10} {:>10}",
         "width", "pipeline", "minor/major", "IPC", "V4 MIPS"
     );
-    for w in [1usize, 2, 4, 8] {
-        // Keep the optimized pipeline legal: at most N-1 memory ports.
-        let (rports, wports) = if w == 1 { (1, 1) } else { (w.min(4) - 1, 1) };
-        let pipeline = if w == 1 {
-            PipelineOrganization::ImprovedSerial
-        } else {
-            PipelineOrganization::OptimizedSerial
-        };
-        let config = EngineConfig {
-            width: w,
-            fus: FuConfig {
-                alus: w.max(2),
-                ..FuConfig::paper()
-            },
-            mem_read_ports: rports,
-            mem_write_ports: wports,
-            pipeline,
-            ..EngineConfig::paper_4wide()
-        };
-        let mut e = Engine::new(config.clone()).expect("valid config");
-        let stats = e.run(trace.source());
+    for (name, config) in &width_points {
+        let cell = width_report.get(name, "gzip").expect("width cell ran");
         let mips = ThroughputModel::new(FpgaDevice::Virtex4Lx40)
-            .speed(&config, &stats, None)
+            .speed(config, &cell.stats, None)
             .mips;
         println!(
             "{:>6} {:>10} {:>12} {:>10.3} {:>10.2}",
-            w,
-            pipeline.name(),
+            config.width,
+            config.pipeline.name(),
             config.minor_cycles_per_major(),
-            stats.ipc(),
+            cell.stats.ipc(),
             mips
         );
     }
     println!("\nNote the engine-throughput sweet spot: wider simulated processors");
     println!("raise IPC sub-linearly but pay N+3 minor cycles per simulated cycle.");
+    println!(
+        "[sweeps: {} cells on {} threads in {:.2?}; traces generated {}, cache hits {}]",
+        org_report.len() + width_report.len(),
+        runner.threads(),
+        t0.elapsed(),
+        runner.cache().misses(),
+        runner.cache().hits(),
+    );
 }

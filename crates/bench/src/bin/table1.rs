@@ -6,10 +6,14 @@
 //! I+D caches, improved N+4 pipeline — plus FAST's reported Muops/s
 //! column for the head-to-head.
 //!
+//! The 2 × 5 grid of (configuration, benchmark) cells runs through the
+//! `resim-sweep` worker pool rather than a hand-rolled serial loop.
+//!
 //! Usage: `table1 [instructions-per-benchmark]` (default 1,000,000).
 
 use resim_bench::*;
 use resim_fpga::{comparison, FpgaDevice};
+use resim_sweep::SweepRunner;
 use resim_workloads::SpecBenchmark;
 
 fn main() {
@@ -44,16 +48,20 @@ fn main() {
     );
     println!("{}", rule(104));
 
-    let (cfg_l, tg_l) = table1_left();
-    let (cfg_r, tg_r) = table1_right();
+    let (cfg_l, _) = table1_left();
+    let (cfg_r, _) = table1_right();
+    let report = SweepRunner::new(0)
+        .run(&table1_scenario(n))
+        .expect("Table 1 grid is valid");
+
     let mut sums = [0.0f64; 5];
     for (i, b) in SpecBenchmark::ALL.into_iter().enumerate() {
-        let rl = run_spec(b, &cfg_l, &tg_l, n, DEFAULT_SEED);
-        let rr = run_spec(b, &cfg_r, &tg_r, n, DEFAULT_SEED);
-        let l4 = rl.speed(&cfg_l, FpgaDevice::Virtex4Lx40).mips;
-        let l5 = rl.speed(&cfg_l, FpgaDevice::Virtex5Lx50t).mips;
-        let r4 = rr.speed(&cfg_r, FpgaDevice::Virtex4Lx40).mips;
-        let r5 = rr.speed(&cfg_r, FpgaDevice::Virtex5Lx50t).mips;
+        let rl = report.get(LEFT, b.name()).expect("left cell ran");
+        let rr = report.get(RIGHT, b.name()).expect("right cell ran");
+        let l4 = cell_speed(rl, &cfg_l, FpgaDevice::Virtex4Lx40).mips;
+        let l5 = cell_speed(rl, &cfg_l, FpgaDevice::Virtex5Lx50t).mips;
+        let r4 = cell_speed(rr, &cfg_r, FpgaDevice::Virtex4Lx40).mips;
+        let r5 = cell_speed(rr, &cfg_r, FpgaDevice::Virtex5Lx50t).mips;
         sums[0] += l4;
         sums[1] += l5;
         sums[2] += r4;
@@ -90,5 +98,12 @@ fn main() {
     println!(
         "\nReSim (2-issue, V4) over FAST: {:.2}x  (paper reports 6.57x for the common technology)",
         (sums[2] / 5.0) / (sums[4] / 5.0)
+    );
+    println!(
+        "[sweep: {} cells on {} threads in {:.2?}; {} traces generated]",
+        report.len(),
+        report.threads,
+        report.wall,
+        report.trace_cache_misses
     );
 }

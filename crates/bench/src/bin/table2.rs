@@ -4,13 +4,13 @@
 //! Literature rows carry the numbers the paper itself cites (mostly as
 //! collected by the FAST paper); the two ReSim rows are computed by this
 //! repository's engine and device model on Virtex-5, exactly like the
-//! paper's Table 2.
+//! paper's Table 2. Both configurations run as one `resim-sweep` grid.
 //!
 //! Usage: `table2 [instructions-per-benchmark]`.
 
 use resim_bench::*;
 use resim_fpga::{comparison, FpgaDevice};
-use resim_workloads::SpecBenchmark;
+use resim_sweep::SweepRunner;
 
 fn main() {
     let n: usize = std::env::args()
@@ -18,22 +18,22 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(DEFAULT_INSTRUCTIONS);
 
+    let (cfg_l, _) = table1_left();
+    let (cfg_r, _) = table1_right();
+    let report = SweepRunner::new(0)
+        .run(&table1_scenario(n))
+        .expect("Table 2 grid is valid");
+
     // Average simulated MIPS over the five benchmarks, per configuration.
-    let avg = |cfg: &resim_core::EngineConfig, tg: &resim_tracegen::TraceGenConfig| -> f64 {
-        SpecBenchmark::ALL
-            .into_iter()
-            .map(|b| {
-                run_spec(b, cfg, tg, n, DEFAULT_SEED)
-                    .speed(cfg, FpgaDevice::Virtex5Lx50t)
-                    .mips
-            })
-            .sum::<f64>()
-            / 5.0
+    let avg = |name: &str, cfg: &resim_core::EngineConfig| -> f64 {
+        let (sum, count) = report
+            .cells_for_config(name)
+            .map(|cell| cell_speed(cell, cfg, FpgaDevice::Virtex5Lx50t).mips)
+            .fold((0.0, 0usize), |(s, c), m| (s + m, c + 1));
+        sum / count as f64
     };
-    let (cfg_l, tg_l) = table1_left();
-    let (cfg_r, tg_r) = table1_right();
-    let resim_4wide = avg(&cfg_l, &tg_l);
-    let resim_2wide = avg(&cfg_r, &tg_r);
+    let resim_4wide = avg(LEFT, &cfg_l);
+    let resim_2wide = avg(RIGHT, &cfg_r);
 
     println!("Table 2: architectural simulator performance ({n} instructions/benchmark)\n");
     println!("{:36} {:>10} {:>11}", "Simulator / ISA", "MIPS", "source");
@@ -66,4 +66,10 @@ fn main() {
         resim_4wide / 0.30
     );
     println!("(the paper reports 'more than a factor of 5' over FAST and A-Ports)");
+    println!(
+        "[sweep: {} cells on {} threads in {:.2?}]",
+        report.len(),
+        report.threads,
+        report.wall
+    );
 }

@@ -1,7 +1,8 @@
 //! Regenerates **Table 3**: ReSim throughput statistics — trace bits per
 //! instruction, simulation throughput *including* mis-speculated
 //! instructions, and the resulting trace bandwidth demand in MByte/s
-//! (4-issue, 2-level BP, perfect memory, Virtex-4).
+//! (4-issue, 2-level BP, perfect memory, Virtex-4). The 1 × 5 benchmark
+//! grid runs through the `resim-sweep` worker pool.
 //!
 //! Also reproduces the §V analysis: the average demand (~1.1 Gb/s in the
 //! paper) exceeds Gigabit Ethernet but fits a DRC-class CPU–FPGA bus.
@@ -10,6 +11,7 @@
 
 use resim_bench::*;
 use resim_fpga::{effective_mips, FpgaDevice, TraceLink};
+use resim_sweep::SweepRunner;
 use resim_workloads::SpecBenchmark;
 
 fn main() {
@@ -34,11 +36,15 @@ fn main() {
     );
     println!("{}", rule(92));
 
-    let (cfg, tg) = table1_left();
+    let (cfg, _) = table1_left();
+    let report = SweepRunner::new(0)
+        .run(&table1_left_scenario(n))
+        .expect("Table 3 grid is valid");
+
     let (mut sb, mut sm, mut st) = (0.0, 0.0, 0.0);
     for (i, b) in SpecBenchmark::ALL.into_iter().enumerate() {
-        let r = run_spec(b, &cfg, &tg, n, DEFAULT_SEED);
-        let sp = r.speed(&cfg, FpgaDevice::Virtex4Lx40);
+        let r = report.get(LEFT, b.name()).expect("cell ran");
+        let sp = cell_speed(r, &cfg, FpgaDevice::Virtex4Lx40);
         let bits = sp.bits_per_instruction.expect("trace stats supplied");
         let mbps = sp.trace_mbytes_per_sec.expect("trace stats supplied");
         sb += bits;
@@ -79,4 +85,10 @@ fn main() {
             eff
         );
     }
+    println!(
+        "[sweep: {} cells on {} threads in {:.2?}]",
+        report.len(),
+        report.threads,
+        report.wall
+    );
 }

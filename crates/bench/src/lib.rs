@@ -21,6 +21,7 @@
 
 use resim_core::{Engine, EngineConfig, SimStats};
 use resim_fpga::{FpgaDevice, SimulationSpeed, ThroughputModel};
+use resim_sweep::{CellResult, Scenario};
 use resim_trace::{Trace, TraceStats};
 use resim_tracegen::{generate_trace, TraceGenConfig};
 use resim_workloads::{SpecBenchmark, Workload};
@@ -90,6 +91,40 @@ pub fn table1_right() -> (EngineConfig, TraceGenConfig) {
     (EngineConfig::paper_2wide_cached(), TraceGenConfig::perfect())
 }
 
+/// Scenario name of the Table 1 left configuration.
+pub const LEFT: &str = "4wide-2lev";
+
+/// Scenario name of the Table 1 right configuration.
+pub const RIGHT: &str = "2wide-perfect";
+
+/// The Table 1 sweep grid: both paper configurations over all five
+/// SPECINT models at `n` instructions, seeded with [`DEFAULT_SEED`].
+pub fn table1_scenario(n: usize) -> Scenario {
+    let (cfg_l, tg_l) = table1_left();
+    let (cfg_r, tg_r) = table1_right();
+    Scenario::new()
+        .config(LEFT, cfg_l, tg_l)
+        .config(RIGHT, cfg_r, tg_r)
+        .all_spec_workloads()
+        .budgets([n])
+        .seeds([DEFAULT_SEED])
+}
+
+/// The Table 1 *left-only* grid (the Table 3 / bandwidth experiments).
+pub fn table1_left_scenario(n: usize) -> Scenario {
+    let (cfg_l, tg_l) = table1_left();
+    Scenario::new()
+        .config(LEFT, cfg_l, tg_l)
+        .all_spec_workloads()
+        .budgets([n])
+        .seeds([DEFAULT_SEED])
+}
+
+/// Simulated speed of one sweep cell on `device`.
+pub fn cell_speed(cell: &CellResult, config: &EngineConfig, device: FpgaDevice) -> SimulationSpeed {
+    ThroughputModel::new(device).speed(config, &cell.stats, Some(&cell.trace_stats))
+}
+
 /// Formats one numeric cell at `prec` decimals, right-aligned to `w`.
 pub fn cell(v: f64, w: usize, prec: usize) -> String {
     format!("{v:>w$.prec$}")
@@ -112,5 +147,31 @@ mod tests {
         assert!(r.trace_stats.bits_per_instruction() > 20.0);
         let sp = r.speed(&cfg, FpgaDevice::Virtex4Lx40);
         assert!(sp.mips > 0.0);
+    }
+
+    #[test]
+    fn table_scenarios_are_valid_grids() {
+        let s = table1_scenario(1_000);
+        assert_eq!(s.len(), 10, "2 configs x 5 benchmarks");
+        s.validate().expect("Table 1 grid validates");
+        let s = table1_left_scenario(1_000);
+        assert_eq!(s.len(), 5);
+        s.validate().expect("Table 3 grid validates");
+    }
+
+    #[test]
+    fn sweep_cell_speed_matches_run_spec() {
+        use resim_sweep::SweepRunner;
+        let n = 10_000;
+        let (cfg, tg) = table1_left();
+        let direct = run_spec(SpecBenchmark::Gzip, &cfg, &tg, n, DEFAULT_SEED);
+        let report = SweepRunner::new(2)
+            .run(&table1_left_scenario(n))
+            .expect("valid grid");
+        let cell = report.get(LEFT, "gzip").expect("gzip cell ran");
+        assert_eq!(cell.stats, direct.stats, "sweep and direct runs must agree");
+        let a = cell_speed(cell, &cfg, FpgaDevice::Virtex4Lx40);
+        let b = direct.speed(&cfg, FpgaDevice::Virtex4Lx40);
+        assert_eq!(a.mips, b.mips);
     }
 }

@@ -5,7 +5,7 @@
 //! generator (§III), so both are parameters here.
 
 /// BTB geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BtbConfig {
     /// Total number of entries (power of two).
     pub entries: usize,
@@ -53,7 +53,7 @@ impl Default for BtbConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct BtbEntry {
     tag: u32,
     target: u32,

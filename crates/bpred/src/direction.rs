@@ -11,7 +11,7 @@
 use crate::counter::SatCounter;
 
 /// Configuration of a two-level adaptive predictor (SimpleScalar `2lev`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TwoLevelConfig {
     /// Number of level-1 history registers (BHT entries); power of two.
     pub l1_size: usize,
@@ -69,7 +69,7 @@ impl TwoLevelConfig {
 }
 
 /// Which direction predictor to instantiate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DirectionConfig {
     /// Always predict the resolved direction (no direction mispredictions).
     Perfect,

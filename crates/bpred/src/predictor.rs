@@ -22,7 +22,7 @@ use crate::ras::Ras;
 use resim_trace::BranchKind;
 
 /// Configuration of the combined predictor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PredictorConfig {
     /// Direction predictor selection.
     pub direction: DirectionConfig,
@@ -101,7 +101,7 @@ impl Resolution {
 }
 
 /// The outcome of predicting one control-flow instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Prediction {
     pred_taken: bool,
     pred_target: Option<u32>,

@@ -132,6 +132,15 @@ pub struct Engine {
     last_commit_cycle: u64,
 }
 
+// The sweep runner (`resim-sweep`) moves engines and their results across
+// worker threads; keep that contract checked at compile time.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Engine>();
+    assert_send::<SimStats>();
+    assert_send::<EngineConfig>();
+};
+
 impl Engine {
     /// Builds an engine for `config`.
     ///
@@ -218,6 +227,9 @@ impl Engine {
         self.stats.ifq_occupancy_sum += self.ifq.len() as u64;
         self.stats.rb_occupancy_sum += self.rob.len() as u64;
         self.stats.lsq_occupancy_sum += self.lsq.len() as u64;
+        self.stats.ifq_occupancy_max = self.stats.ifq_occupancy_max.max(self.ifq.len() as u64);
+        self.stats.rb_occupancy_max = self.stats.rb_occupancy_max.max(self.rob.len() as u64);
+        self.stats.lsq_occupancy_max = self.stats.lsq_occupancy_max.max(self.lsq.len() as u64);
         self.cycle += 1;
     }
 

@@ -52,6 +52,7 @@
 mod config;
 mod describe;
 mod engine;
+mod grid;
 mod lsq;
 mod multicore;
 mod pipeline;
@@ -61,6 +62,7 @@ mod stats;
 pub use config::{ConfigError, EngineConfig, FuConfig};
 pub use describe::block_diagram;
 pub use engine::Engine;
+pub use grid::ConfigGrid;
 pub use lsq::{LoadReady, LoadStoreQueue, LsqEntry};
 pub use multicore::MultiCore;
 pub use pipeline::{PipelineOrganization, Schedule, ScheduleRow};

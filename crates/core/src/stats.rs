@@ -64,6 +64,12 @@ pub struct SimStats {
     pub rb_occupancy_sum: u64,
     /// Sum over cycles of LSQ occupancy.
     pub lsq_occupancy_sum: u64,
+    /// Highest IFQ occupancy observed in any cycle.
+    pub ifq_occupancy_max: u64,
+    /// Highest RB occupancy observed in any cycle.
+    pub rb_occupancy_max: u64,
+    /// Highest LSQ occupancy observed in any cycle.
+    pub lsq_occupancy_max: u64,
 
     // --- component statistics ---
     /// Branch predictor counters.
@@ -154,6 +160,9 @@ impl SimStats {
         line("ifq_occupancy_avg", format!("{:.3}", self.avg_ifq_occupancy()));
         line("rb_occupancy_avg", format!("{:.3}", self.avg_rb_occupancy()));
         line("lsq_occupancy_avg", format!("{:.3}", self.avg_lsq_occupancy()));
+        line("ifq_occupancy_max", self.ifq_occupancy_max.to_string());
+        line("rb_occupancy_max", self.rb_occupancy_max.to_string());
+        line("lsq_occupancy_max", self.lsq_occupancy_max.to_string());
         line(
             "bpred_addr_rate",
             format!("{:.4}", self.predictor.address_accuracy()),

@@ -14,7 +14,7 @@ pub enum Replacement {
 }
 
 /// Cache geometry and timing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Total capacity in bytes (power of two).
     pub size_bytes: usize,
@@ -89,7 +89,7 @@ impl CacheConfig {
 }
 
 /// Outcome of one cache access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AccessResult {
     /// Whether the block was present.
     pub hit: bool,

@@ -3,7 +3,7 @@
 use crate::cache::{AccessResult, Cache, CacheConfig, CacheStats};
 
 /// Memory-system selection (paper §V.C evaluates both).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemorySystemConfig {
     /// Every access hits with the given latency (≥ 1).
     Perfect {

@@ -1,0 +1,237 @@
+//! Sweep results: per-cell statistics plus grid-level aggregates, with
+//! CSV and Markdown rendering.
+
+use resim_core::SimStats;
+use resim_trace::TraceStats;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// The outcome of one grid cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Configuration name.
+    pub config: String,
+    /// Workload name.
+    pub workload: String,
+    /// Correct-path instruction budget.
+    pub budget: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Engine statistics (bit-identical across thread counts).
+    pub stats: SimStats,
+    /// Encoded-trace statistics of the (shared) input trace.
+    pub trace_stats: TraceStats,
+    /// Wall-clock time of this cell's engine run (informational only —
+    /// never part of any determinism contract).
+    pub wall: Duration,
+}
+
+/// Everything a sweep produced, cells in scenario order.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Per-cell results, indexed exactly like
+    /// [`Scenario::cells`](crate::Scenario::cells).
+    pub cells: Vec<CellResult>,
+    /// Worker threads the sweep ran with.
+    pub threads: usize,
+    /// Total wall-clock time including trace generation.
+    pub wall: Duration,
+    /// Trace-cache hits during this sweep (reuse of earlier sweeps'
+    /// traces shows up here when the runner's cache is shared).
+    pub trace_cache_hits: u64,
+    /// Trace-cache misses during this sweep (= traces this sweep
+    /// actually generated).
+    pub trace_cache_misses: u64,
+}
+
+impl SweepReport {
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the report holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Looks up the first cell matching `config` and `workload`.
+    pub fn get(&self, config: &str, workload: &str) -> Option<&CellResult> {
+        self.cells
+            .iter()
+            .find(|c| c.config == config && c.workload == workload)
+    }
+
+    /// Iterates the cells of one configuration, scenario-ordered.
+    pub fn cells_for_config<'a>(
+        &'a self,
+        config: &'a str,
+    ) -> impl Iterator<Item = &'a CellResult> + 'a {
+        self.cells.iter().filter(move |c| c.config == config)
+    }
+
+    /// The per-cell simulated statistics alone — the value the
+    /// determinism contract is stated over.
+    pub fn all_stats(&self) -> Vec<SimStats> {
+        self.cells.iter().map(|c| c.stats).collect()
+    }
+
+    /// Mean IPC over all cells.
+    pub fn mean_ipc(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        self.cells.iter().map(|c| c.stats.ipc()).sum::<f64>() / self.cells.len() as f64
+    }
+
+    /// Lowest cell IPC (0 for an empty report).
+    pub fn min_ipc(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        self.cells
+            .iter()
+            .map(|c| c.stats.ipc())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Highest cell IPC.
+    pub fn max_ipc(&self) -> f64 {
+        self.cells
+            .iter()
+            .map(|c| c.stats.ipc())
+            .fold(0.0, f64::max)
+    }
+
+    /// Total simulated instructions committed across the grid.
+    pub fn total_committed(&self) -> u64 {
+        self.cells.iter().map(|c| c.stats.committed).sum()
+    }
+
+    /// Renders one CSV row per cell (with header).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from(
+            "config,workload,budget,seed,cycles,committed,ipc,wrong_path_frac,bits_per_instr,wall_us\n",
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                s,
+                "{},{},{},{},{},{},{:.4},{:.4},{:.2},{}",
+                c.config,
+                c.workload,
+                c.budget,
+                c.seed,
+                c.stats.cycles,
+                c.stats.committed,
+                c.stats.ipc(),
+                c.stats.wrong_path_fraction(),
+                c.trace_stats.bits_per_instruction(),
+                c.wall.as_micros(),
+            );
+        }
+        s
+    }
+
+    /// Renders a Markdown table of the cells plus an aggregate footer.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::from(
+            "| config | workload | budget | seed | cycles | IPC | wp % | wall |\n\
+             |---|---|---:|---:|---:|---:|---:|---:|\n",
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                s,
+                "| {} | {} | {} | {} | {} | {:.3} | {:.1} | {:.1?} |",
+                c.config,
+                c.workload,
+                c.budget,
+                c.seed,
+                c.stats.cycles,
+                c.stats.ipc(),
+                100.0 * c.stats.wrong_path_fraction(),
+                c.wall,
+            );
+        }
+        let _ = writeln!(
+            s,
+            "\n{} cells on {} threads in {:.2?} — IPC mean {:.3}, min {:.3}, max {:.3}; \
+             traces generated {}, cache hits {}",
+            self.cells.len(),
+            self.threads,
+            self.wall,
+            self.mean_ipc(),
+            self.min_ipc(),
+            self.max_ipc(),
+            self.trace_cache_misses,
+            self.trace_cache_hits,
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(config: &str, workload: &str, ipc_cycles: (u64, u64)) -> CellResult {
+        CellResult {
+            config: config.into(),
+            workload: workload.into(),
+            budget: 1000,
+            seed: 1,
+            stats: SimStats {
+                cycles: ipc_cycles.1,
+                committed: ipc_cycles.0,
+                ..SimStats::default()
+            },
+            trace_stats: TraceStats::default(),
+            wall: Duration::from_micros(10),
+        }
+    }
+
+    fn report() -> SweepReport {
+        SweepReport {
+            cells: vec![cell("a", "gzip", (200, 100)), cell("b", "gzip", (100, 100))],
+            threads: 2,
+            wall: Duration::from_millis(5),
+            trace_cache_hits: 1,
+            trace_cache_misses: 1,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = report();
+        assert_eq!(r.len(), 2);
+        assert!((r.mean_ipc() - 1.5).abs() < 1e-12);
+        assert!((r.min_ipc() - 1.0).abs() < 1e-12);
+        assert!((r.max_ipc() - 2.0).abs() < 1e-12);
+        assert_eq!(r.total_committed(), 300);
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let r = report();
+        assert_eq!(r.get("a", "gzip").unwrap().stats.committed, 200);
+        assert!(r.get("a", "vpr").is_none());
+        assert_eq!(r.cells_for_config("b").count(), 1);
+        assert_eq!(r.all_stats().len(), 2);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = report().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("config,workload"));
+        assert!(lines[1].starts_with("a,gzip,1000,1,100,200,2.0000"));
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = report().to_markdown();
+        assert!(md.contains("| a | gzip |"));
+        assert!(md.contains("2 cells on 2 threads"));
+        assert!(md.contains("IPC mean 1.500"));
+    }
+}

@@ -1,0 +1,239 @@
+//! The deterministic worker-pool sweep runner.
+//!
+//! Cells are dispatched to plain `std::thread` workers pulling indices
+//! from a shared atomic cursor; results land in a slot vector indexed by
+//! cell, so the report order — and, because every cell's seeding comes
+//! from the scenario definition rather than from scheduling — every
+//! [`SimStats`](resim_core::SimStats) is bit-identical regardless of
+//! thread count or interleaving.
+//!
+//! Trace generation runs as a separate phase over the *unique* trace
+//! keys of the grid, so a sweep of many configurations over one
+//! `(workload, seed, budget)` tuple generates (and encodes) its trace
+//! exactly once, shared behind an [`Arc`] via
+//! [`resim_tracegen::TraceCache`].
+
+use crate::report::{CellResult, SweepReport};
+use crate::scenario::{Scenario, ScenarioError};
+use resim_core::Engine;
+use resim_tracegen::{TraceCache, TraceKey};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Multi-threaded scenario-grid runner.
+///
+/// # Example
+///
+/// ```
+/// use resim_core::EngineConfig;
+/// use resim_sweep::{Scenario, SweepRunner, WorkloadPoint};
+/// use resim_tracegen::TraceGenConfig;
+/// use resim_workloads::SpecBenchmark;
+///
+/// let scenario = Scenario::new()
+///     .config("paper-4wide", EngineConfig::paper_4wide(), TraceGenConfig::paper())
+///     .workload(WorkloadPoint::spec(SpecBenchmark::Gzip))
+///     .budgets([5_000])
+///     .seeds([2009]);
+/// let report = SweepRunner::new(2).run(&scenario).expect("valid scenario");
+/// assert_eq!(report.cells.len(), 1);
+/// assert!(report.cells[0].stats.ipc() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct SweepRunner {
+    threads: usize,
+    cache: Arc<TraceCache>,
+}
+
+impl SweepRunner {
+    /// Creates a runner with `threads` workers; `0` selects the host's
+    /// available parallelism.
+    pub fn new(threads: usize) -> Self {
+        Self::with_cache(threads, Arc::new(TraceCache::new()))
+    }
+
+    /// Creates a runner sharing an existing trace cache — use this to
+    /// reuse traces across several sweeps in one process.
+    pub fn with_cache(threads: usize, cache: Arc<TraceCache>) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        Self { threads, cache }
+    }
+
+    /// Worker-thread count this runner uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The shared trace cache.
+    pub fn cache(&self) -> &Arc<TraceCache> {
+        &self.cache
+    }
+
+    /// Runs every cell of `scenario` and collects the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ScenarioError`] from [`Scenario::validate`] without
+    /// running anything.
+    pub fn run(&self, scenario: &Scenario) -> Result<SweepReport, ScenarioError> {
+        scenario.validate()?;
+        let t0 = Instant::now();
+        let (hits0, misses0) = (self.cache.hits(), self.cache.misses());
+        let cells = scenario.cells();
+
+        // Phase 1: generate each unique trace once, in parallel.
+        let mut seen = HashSet::new();
+        let unique: Vec<(TraceKey, usize, u64)> = cells
+            .iter()
+            .filter_map(|c| {
+                let key = scenario.trace_key(c);
+                seen.insert(key.clone())
+                    .then_some((key, c.workload, c.seed))
+            })
+            .collect();
+        self.for_indices(unique.len(), |i| {
+            let (key, workload, seed) = &unique[i];
+            let point = &scenario.workloads()[*workload];
+            self.cache
+                .get_or_generate(key.clone(), || point.instantiate(*seed));
+        });
+
+        // Phase 2: run the cells, each against its shared trace.
+        let slots: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; cells.len()]);
+        self.for_indices(cells.len(), |i| {
+            let cell = &cells[i];
+            let config = &scenario.configs()[cell.config];
+            let cached = self
+                .cache
+                .get(&scenario.trace_key(cell))
+                .expect("phase 1 filled every key");
+            let mut engine =
+                Engine::new(config.engine.clone()).expect("scenario validated every config");
+            let cell_t0 = Instant::now();
+            let stats = engine.run(cached.trace.source());
+            let result = CellResult {
+                config: config.name.clone(),
+                workload: scenario.workloads()[cell.workload].name.clone(),
+                budget: cell.budget,
+                seed: cell.seed,
+                stats,
+                trace_stats: cached.stats.clone(),
+                wall: cell_t0.elapsed(),
+            };
+            slots.lock().expect("result slots poisoned")[i] = Some(result);
+        });
+
+        let cells = slots
+            .into_inner()
+            .expect("result slots poisoned")
+            .into_iter()
+            .map(|r| r.expect("every cell ran"))
+            .collect();
+        Ok(SweepReport {
+            cells,
+            threads: self.threads,
+            wall: t0.elapsed(),
+            trace_cache_hits: self.cache.hits() - hits0,
+            trace_cache_misses: self.cache.misses() - misses0,
+        })
+    }
+
+    /// Runs `work(i)` for every `i in 0..n` across the worker pool.
+    ///
+    /// With one thread (or one item) the work runs inline on the calling
+    /// thread — the serial reference path the determinism tests compare
+    /// against.
+    fn for_indices(&self, n: usize, work: impl Fn(usize) + Sync) {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            for i in 0..n {
+                work(i);
+            }
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    work(i);
+                });
+            }
+        });
+    }
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::WorkloadPoint;
+    use resim_core::EngineConfig;
+    use resim_tracegen::TraceGenConfig;
+    use resim_workloads::SpecBenchmark;
+
+    fn small_grid() -> Scenario {
+        Scenario::new()
+            .config("4wide", EngineConfig::paper_4wide(), TraceGenConfig::paper())
+            .config(
+                "rb32",
+                EngineConfig {
+                    rb_size: 32,
+                    ..EngineConfig::paper_4wide()
+                },
+                TraceGenConfig::paper(),
+            )
+            .workload(WorkloadPoint::spec(SpecBenchmark::Gzip))
+            .budgets([3_000])
+            .seeds([2009])
+    }
+
+    #[test]
+    fn shared_tracegen_generates_one_trace_for_two_configs() {
+        let runner = SweepRunner::new(1);
+        let report = runner.run(&small_grid()).unwrap();
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.trace_cache_misses, 1, "one unique trace key");
+        for cell in &report.cells {
+            assert_eq!(cell.stats.committed, 3_000);
+        }
+        // The bigger RB can only help.
+        assert!(report.cells[1].stats.cycles <= report.cells[0].stats.cycles);
+    }
+
+    #[test]
+    fn cache_reuse_across_sweeps() {
+        let runner = SweepRunner::new(1);
+        let first = runner.run(&small_grid()).unwrap();
+        let second = runner.run(&small_grid()).unwrap();
+        assert_eq!(first.trace_cache_misses, 1);
+        assert_eq!(second.trace_cache_misses, 0, "second sweep generates nothing");
+        assert!(second.trace_cache_hits >= 1, "second sweep reuses the trace");
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_host_parallelism() {
+        assert!(SweepRunner::new(0).threads() >= 1);
+        assert_eq!(SweepRunner::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn invalid_scenario_is_rejected() {
+        let err = SweepRunner::new(1).run(&Scenario::new());
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! The stable-seeding contract: the same `(workload, seed, config)` cell
+//! produces byte-identical `SimStats` whether it runs serially by hand or
+//! through `resim-sweep` at any thread count.
+
+use resim_core::{Engine, EngineConfig, SimStats};
+use resim_sweep::{Scenario, SweepRunner, WorkloadPoint};
+use resim_tracegen::{generate_trace, TraceGenConfig};
+use resim_workloads::SpecBenchmark;
+
+const BUDGET: usize = 10_000;
+
+/// An 8-cell grid: 2 configs × 2 workloads × 1 budget × 2 seeds.
+fn eight_cell_scenario() -> Scenario {
+    Scenario::new()
+        .config("4wide", EngineConfig::paper_4wide(), TraceGenConfig::paper())
+        .config(
+            "rb32",
+            EngineConfig {
+                rb_size: 32,
+                ..EngineConfig::paper_4wide()
+            },
+            TraceGenConfig::paper(),
+        )
+        .workload(WorkloadPoint::spec(SpecBenchmark::Gzip))
+        .workload(WorkloadPoint::spec(SpecBenchmark::Vpr))
+        .budgets([BUDGET])
+        .seeds([2009, 2010])
+}
+
+/// The hand-rolled serial reference: no runner, no cache, no threads —
+/// exactly what every `resim-bench` binary did before the sweep crate.
+fn serial_reference(scenario: &Scenario) -> Vec<SimStats> {
+    let cells = scenario.cells();
+    cells
+        .iter()
+        .map(|cell| {
+            let config = &scenario.configs()[cell.config];
+            let workload = &scenario.workloads()[cell.workload];
+            let trace = generate_trace(
+                workload.instantiate(cell.seed),
+                cell.budget,
+                &config.tracegen,
+            );
+            Engine::new(config.engine.clone())
+                .expect("valid config")
+                .run(trace.source())
+        })
+        .collect()
+}
+
+#[test]
+fn sweep_matches_serial_reference_at_1_2_and_8_threads() {
+    let scenario = eight_cell_scenario();
+    let reference = serial_reference(&scenario);
+    assert_eq!(reference.len(), 8);
+
+    for threads in [1usize, 2, 8] {
+        // A fresh runner (fresh cache) per thread count: nothing shared.
+        let report = SweepRunner::new(threads)
+            .run(&scenario)
+            .expect("scenario is valid");
+        assert_eq!(
+            report.all_stats(),
+            reference,
+            "{threads}-thread sweep diverged from the serial reference"
+        );
+    }
+}
+
+#[test]
+fn repeated_parallel_sweeps_are_bit_identical() {
+    let scenario = eight_cell_scenario();
+    let a = SweepRunner::new(4).run(&scenario).expect("valid");
+    let b = SweepRunner::new(4).run(&scenario).expect("valid");
+    assert_eq!(a.all_stats(), b.all_stats());
+    // Cell metadata is stable too: order, names, budgets, seeds.
+    for (x, y) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(x.config, y.config);
+        assert_eq!(x.workload, y.workload);
+        assert_eq!(x.budget, y.budget);
+        assert_eq!(x.seed, y.seed);
+    }
+}
+
+#[test]
+fn shared_cache_does_not_perturb_results() {
+    // Running two sweeps on one runner (warm cache) must match a cold
+    // runner cell for cell.
+    let scenario = eight_cell_scenario();
+    let runner = SweepRunner::new(2);
+    let cold = runner.run(&scenario).expect("valid");
+    let warm = runner.run(&scenario).expect("valid");
+    assert_eq!(cold.all_stats(), warm.all_stats());
+    assert_eq!(cold.trace_cache_misses, 4, "4 unique (workload, seed) traces");
+    assert_eq!(warm.trace_cache_misses, 0, "warm sweep generates nothing");
+}

@@ -37,9 +37,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod stream;
 mod wrongpath;
 
+pub use cache::{CachedTrace, TraceCache, TraceKey};
 pub use stream::TraceStream;
 pub use wrongpath::WrongPathSynth;
 
@@ -47,7 +49,7 @@ use resim_bpred::{BranchPredictor, PredictorConfig, Resolution};
 use resim_trace::{Trace, TraceRecord};
 
 /// Configuration of the trace generator.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TraceGenConfig {
     /// Predictor replayed during generation (must match the engine's
     /// configuration for the tags to be meaningful).

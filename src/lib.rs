@@ -15,6 +15,7 @@
 //! | [`workloads`] | `resim-workloads` | calibrated synthetic SPECINT CPU2000 models |
 //! | [`tracegen`] | `resim-tracegen` | `sim-bpred`-style trace generation with wrong-path blocks |
 //! | [`core`] | `resim-core` | the out-of-order timing engine and minor-cycle pipeline models |
+//! | [`sweep`] | `resim-sweep` | deterministic multi-threaded scenario-grid sweeps with trace sharing |
 //! | [`fpga`] | `resim-fpga` | device/frequency/area/bandwidth models and Table 2 comparison data |
 //!
 //! ## End-to-end in five lines
@@ -47,6 +48,7 @@ pub use resim_core as core;
 pub use resim_fpga as fpga;
 pub use resim_isa as isa;
 pub use resim_mem as mem;
+pub use resim_sweep as sweep;
 pub use resim_trace as trace;
 pub use resim_tracegen as tracegen;
 pub use resim_workloads as workloads;
@@ -62,7 +64,8 @@ pub mod prelude {
     };
     pub use resim_isa::{programs, Assembler, FunctionalSimulator};
     pub use resim_mem::{CacheConfig, MemorySystem, MemorySystemConfig};
+    pub use resim_sweep::{Scenario, SweepReport, SweepRunner, WorkloadPoint};
     pub use resim_trace::{Trace, TraceRecord, TraceSource};
-    pub use resim_tracegen::{generate_trace, TraceGenConfig, TraceStream};
+    pub use resim_tracegen::{generate_trace, TraceCache, TraceGenConfig, TraceStream};
     pub use resim_workloads::{SpecBenchmark, Workload, WorkloadProfile};
 }
