@@ -15,6 +15,7 @@
 //! | `fig1`…`fig4` | Figure 1 block diagram, Figures 2–4 pipelines |
 //! | `ablation` | §IV parallel-fetch ablation + pipeline/width sweeps |
 //! | `bandwidth` | §V trace-link feasibility analysis |
+//! | `sampling` | sampled-vs-full IPC error and speedup (`resim-sample`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -4,6 +4,8 @@
 //! of entries and the associativity are user parameters of the VHDL
 //! generator (§III), so both are parameters here.
 
+use crate::state::{BtbEntryState, BtbState, StateError};
+
 /// BTB geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BtbConfig {
@@ -177,6 +179,47 @@ impl Btb {
             }
         }
         ways[way].lru = 0;
+    }
+
+    /// Captures the BTB contents set-major (statistics excluded).
+    pub fn state(&self) -> BtbState {
+        BtbState {
+            entries: self
+                .sets
+                .iter()
+                .flatten()
+                .map(|e| BtbEntryState {
+                    tag: e.tag,
+                    target: e.target,
+                    lru: e.lru,
+                    valid: e.valid,
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores contents captured from a BTB of the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`] if the snapshot's entry count differs.
+    pub fn restore_state(&mut self, state: &BtbState) -> Result<(), StateError> {
+        if state.entries.len() != self.config.entries {
+            return Err(StateError {
+                what: "BTB entries",
+                expected: self.config.entries,
+                got: state.entries.len(),
+            });
+        }
+        for (line, snap) in self.sets.iter_mut().flatten().zip(&state.entries) {
+            *line = BtbEntry {
+                tag: snap.tag,
+                target: snap.target,
+                lru: snap.lru,
+                valid: snap.valid,
+            };
+        }
+        Ok(())
     }
 
     /// Lookups performed.

@@ -19,7 +19,8 @@
 use crate::btb::{Btb, BtbConfig};
 use crate::direction::{DirectionConfig, DirectionPredictor};
 use crate::ras::Ras;
-use resim_trace::BranchKind;
+use crate::state::{PredictorState, StateError};
+use resim_trace::{BranchKind, TraceRecord};
 
 /// Configuration of the combined predictor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -145,6 +146,20 @@ pub struct PredictorStats {
 }
 
 impl PredictorStats {
+    /// Field-wise sum of two counter sets — composes the statistics of
+    /// windowed runs (every field is a count; nothing needs weighting).
+    pub fn merge(&self, other: &PredictorStats) -> PredictorStats {
+        PredictorStats {
+            branches: self.branches + other.branches,
+            cond_branches: self.cond_branches + other.cond_branches,
+            correct: self.correct + other.correct,
+            misfetches: self.misfetches + other.misfetches,
+            dir_mispredicts: self.dir_mispredicts + other.dir_mispredicts,
+            ras_predictions: self.ras_predictions + other.ras_predictions,
+            ras_correct: self.ras_correct + other.ras_correct,
+        }
+    }
+
     /// Direction accuracy over conditional branches.
     pub fn cond_accuracy(&self) -> f64 {
         if self.cond_branches == 0 {
@@ -279,6 +294,64 @@ impl BranchPredictor {
         }
     }
 
+    /// Applies one trace record's *training* effects without predicting
+    /// and without touching any statistics counter — the functional-warmup
+    /// entry point of sampled simulation.
+    ///
+    /// Non-branch records are ignored. For a branch, the tables end up as
+    /// a detailed replay would leave them: the direction predictor trains
+    /// on conditionals, the BTB learns taken targets, and calls/returns
+    /// push/pop the RAS (whose internal traffic diagnostics do tick — they
+    /// are not part of [`PredictorStats`] or of the serialized warm
+    /// state).
+    pub fn warm_record(&mut self, record: &TraceRecord) {
+        let TraceRecord::Branch(b) = record else {
+            return;
+        };
+        self.warm(b.pc, b.kind, b.taken, b.target);
+    }
+
+    /// [`BranchPredictor::warm_record`] with the branch fields unpacked.
+    pub fn warm(&mut self, pc: u32, kind: BranchKind, taken: bool, target: u32) {
+        if self.perfect {
+            return; // the oracle keeps no tables
+        }
+        if kind.pops_ras() {
+            let _ = self.ras.pop();
+        }
+        if kind.pushes_ras() {
+            self.ras.push(pc.wrapping_add(4));
+        }
+        if kind == BranchKind::Cond {
+            self.direction.update(pc, taken);
+        }
+        if taken {
+            self.btb.update(pc, target);
+        }
+    }
+
+    /// Captures the complete warm state (tables only; statistics are a
+    /// property of a measurement window, never of the machine state).
+    pub fn state(&self) -> PredictorState {
+        PredictorState {
+            direction: self.direction.state(),
+            btb: self.btb.state(),
+            ras: self.ras.state(),
+        }
+    }
+
+    /// Restores warm state captured from a predictor of identical
+    /// configuration. Statistics counters are left untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`] on any geometry mismatch.
+    pub fn restore_state(&mut self, state: &PredictorState) -> Result<(), StateError> {
+        self.direction.restore_state(&state.direction)?;
+        self.btb.restore_state(&state.btb)?;
+        self.ras.restore_state(&state.ras)
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> PredictorStats {
         self.stats
@@ -388,6 +461,116 @@ mod tests {
         // Target changes: BTB still predicts the old one -> misfetch.
         let o = predict_resolve(&mut bp, 0x400, BranchKind::IndirectJump, true, 0x2000);
         assert_eq!(o, Resolution::Misfetch);
+    }
+
+    /// A deterministic little branch stream covering all RAS/BTB/PHT paths.
+    fn mixed_branches(n: u32) -> Vec<(u32, BranchKind, bool, u32)> {
+        (0..n)
+            .map(|i| match i % 5 {
+                0 => (0x100 + (i % 7) * 4, BranchKind::Cond, i % 3 == 0, 0x40),
+                1 => (0x200 + (i % 3) * 4, BranchKind::Jump, true, 0x900 + i * 8),
+                2 => (0x300, BranchKind::Call, true, 0x800),
+                3 => (0x900, BranchKind::Return, true, 0x304),
+                _ => (0x400 + (i % 11) * 4, BranchKind::Cond, i % 2 == 0, 0x80),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn warm_leaves_same_tables_as_predict_resolve() {
+        let mut detailed = BranchPredictor::new(PredictorConfig::paper_two_level());
+        let mut warmed = BranchPredictor::new(PredictorConfig::paper_two_level());
+        for (pc, kind, taken, target) in mixed_branches(500) {
+            detailed.predict(pc, kind, taken, target);
+            detailed.resolve(pc, kind, taken, target);
+            warmed.warm(pc, kind, taken, target);
+        }
+        assert_eq!(detailed.state(), warmed.state());
+        assert_eq!(warmed.stats(), PredictorStats::default(), "warm is stats-silent");
+        assert!(detailed.stats().branches > 0);
+    }
+
+    #[test]
+    fn warm_record_ignores_non_branches() {
+        use resim_trace::{OpClass, OtherRecord};
+        let mut bp = BranchPredictor::new(PredictorConfig::paper_two_level());
+        let before = bp.state();
+        bp.warm_record(&TraceRecord::Other(OtherRecord {
+            pc: 0x100,
+            class: OpClass::IntAlu,
+            dest: None,
+            src1: None,
+            src2: None,
+            wrong_path: false,
+        }));
+        assert_eq!(bp.state(), before);
+    }
+
+    #[test]
+    fn state_roundtrip_restores_future_behaviour() {
+        let mut warm = BranchPredictor::new(PredictorConfig::paper_two_level());
+        for (pc, kind, taken, target) in mixed_branches(300) {
+            warm.warm(pc, kind, taken, target);
+        }
+        let snap = warm.state();
+        let mut restored = BranchPredictor::new(PredictorConfig::paper_two_level());
+        restored.restore_state(&snap).unwrap();
+        assert_eq!(restored.state(), snap);
+        // Identical behaviour from here on.
+        for (pc, kind, taken, target) in mixed_branches(100) {
+            let a = warm.predict(pc, kind, taken, target);
+            let b = restored.predict(pc, kind, taken, target);
+            assert_eq!(a, b);
+            warm.resolve(pc, kind, taken, target);
+            restored.resolve(pc, kind, taken, target);
+        }
+    }
+
+    #[test]
+    fn restore_rejects_geometry_mismatch() {
+        let small = BranchPredictor::new(PredictorConfig::gshare(4, 256)).state();
+        let mut paper = BranchPredictor::new(PredictorConfig::paper_two_level());
+        let err = paper.restore_state(&small).unwrap_err();
+        assert_eq!(err.what, "direction histories");
+        let mut ras_bad = paper.state();
+        ras_bad.ras.top = 99;
+        assert!(paper.restore_state(&ras_bad).is_err());
+    }
+
+    #[test]
+    fn perfect_predictor_state_is_empty_and_warm_is_noop() {
+        let mut bp = BranchPredictor::new(PredictorConfig::perfect());
+        bp.warm(0x100, BranchKind::Call, true, 0x800);
+        let s = bp.state();
+        assert!(s.direction.counters.is_empty());
+        assert_eq!(s.ras.depth, 0);
+        assert!(s.btb.entries.iter().all(|e| !e.valid));
+    }
+
+    #[test]
+    fn stats_merge_adds_fieldwise() {
+        let a = PredictorStats {
+            branches: 10,
+            cond_branches: 6,
+            correct: 5,
+            misfetches: 2,
+            dir_mispredicts: 3,
+            ras_predictions: 1,
+            ras_correct: 1,
+        };
+        let b = PredictorStats {
+            branches: 1,
+            cond_branches: 1,
+            correct: 1,
+            misfetches: 0,
+            dir_mispredicts: 0,
+            ras_predictions: 0,
+            ras_correct: 0,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.branches, 11);
+        assert_eq!(m.correct, 6);
+        assert_eq!(m.merge(&PredictorStats::default()), m);
     }
 
     #[test]

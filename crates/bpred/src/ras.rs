@@ -4,6 +4,8 @@
 //! oldest entry (standard hardware behaviour), and popping an empty stack
 //! yields no prediction.
 
+use crate::state::{RasState, StateError};
+
 /// A circular return-address stack.
 #[derive(Debug, Clone)]
 pub struct Ras {
@@ -91,6 +93,50 @@ impl Ras {
             let idx = (self.top + self.capacity() - 1) % self.capacity();
             Some(self.entries[idx])
         }
+    }
+
+    /// Captures the stack contents (traffic counters excluded).
+    pub fn state(&self) -> RasState {
+        RasState {
+            entries: self.entries.clone(),
+            top: self.top as u32,
+            depth: self.depth as u32,
+        }
+    }
+
+    /// Restores contents captured from a RAS of the same capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`] if the capacity differs, or if `top`/`depth` are out
+    /// of range for it.
+    pub fn restore_state(&mut self, state: &RasState) -> Result<(), StateError> {
+        let cap = self.capacity();
+        if state.entries.len() != cap {
+            return Err(StateError {
+                what: "RAS entries",
+                expected: cap,
+                got: state.entries.len(),
+            });
+        }
+        if state.top as usize >= cap {
+            return Err(StateError {
+                what: "RAS top index",
+                expected: cap,
+                got: state.top as usize,
+            });
+        }
+        if state.depth as usize > cap {
+            return Err(StateError {
+                what: "RAS depth",
+                expected: cap,
+                got: state.depth as usize,
+            });
+        }
+        self.entries.copy_from_slice(&state.entries);
+        self.top = state.top as usize;
+        self.depth = state.depth as usize;
+        Ok(())
     }
 
     /// Total pushes performed.

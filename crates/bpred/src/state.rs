@@ -1,0 +1,95 @@
+//! Plain-data snapshots of predictor warm state.
+//!
+//! Sampled simulation (SMARTS-style) interleaves cheap functional warmup
+//! with short detailed windows; the warm microarchitectural state crosses
+//! that boundary as a checkpoint. These structs are the predictor's share
+//! of a checkpoint: every table cell a hardware implementation would keep
+//! — direction counters and histories, BTB tags/targets/LRU, the RAS ring
+//! — and **nothing else**. Statistics counters are deliberately excluded:
+//! they describe a measurement run, not the machine state, and a resumed
+//! window must start counting from zero so windowed statistics compose
+//! (see `SimStats::merge` in `resim-core`).
+//!
+//! All fields are public plain data so the owner of a checkpoint (the
+//! engine's `Checkpoint` in `resim-core`) can serialize them bit-exactly.
+
+use std::error::Error;
+use std::fmt;
+
+/// Direction-predictor state: history registers plus raw counter values.
+///
+/// Static predictors (perfect / always-taken / always-not-taken) have no
+/// state; both vectors are empty for them. Bimodal predictors use
+/// `counters` only.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirectionState {
+    /// Level-1 history registers (two-level predictors only).
+    pub histories: Vec<u16>,
+    /// Raw saturating-counter values, table order.
+    pub counters: Vec<u8>,
+}
+
+/// One BTB way.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BtbEntryState {
+    /// Tag (PC word address above the set index).
+    pub tag: u32,
+    /// Predicted target PC.
+    pub target: u32,
+    /// LRU rank within the set (0 = MRU).
+    pub lru: u8,
+    /// Whether the way holds a mapping.
+    pub valid: bool,
+}
+
+/// Full BTB contents, set-major (all ways of set 0, then set 1, ...).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BtbState {
+    /// `sets × associativity` entries.
+    pub entries: Vec<BtbEntryState>,
+}
+
+/// Return-address-stack contents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RasState {
+    /// The circular buffer, full capacity.
+    pub entries: Vec<u32>,
+    /// Index of the next free slot.
+    pub top: u32,
+    /// Live entries (≤ capacity).
+    pub depth: u32,
+}
+
+/// Complete warm state of a [`BranchPredictor`](crate::BranchPredictor).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PredictorState {
+    /// Direction-predictor tables.
+    pub direction: DirectionState,
+    /// BTB contents.
+    pub btb: BtbState,
+    /// RAS contents.
+    pub ras: RasState,
+}
+
+/// A snapshot cannot be restored into a structure of different geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateError {
+    /// Which structure mismatched.
+    pub what: &'static str,
+    /// The size the live structure expects.
+    pub expected: usize,
+    /// The size the snapshot carries.
+    pub got: usize,
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot restore {}: geometry expects {}, snapshot has {}",
+            self.what, self.expected, self.got
+        )
+    }
+}
+
+impl Error for StateError {}

@@ -1,0 +1,411 @@
+//! Serializable warm-state checkpoints.
+//!
+//! A [`Checkpoint`] is the record/replay unit of sampled simulation: the
+//! warm microarchitectural state — branch-direction tables, BTB, RAS and
+//! cache tag arrays — plus the trace position it was taken at. Between
+//! detailed windows the functional warmer advances this state cheaply;
+//! at each sampling point the state is sealed into a checkpoint and a
+//! detailed engine is built from it with [`Engine::resume_from`]
+//! (`crate::Engine::resume_from`).
+//!
+//! Checkpoints serialize to a versioned little-endian byte layout
+//! ([`Checkpoint::to_bytes`] / [`Checkpoint::from_bytes`]) so resumable
+//! sweeps can park warm state on disk. The layout is **pinned by a golden
+//! test** (`crates/sample/tests/golden_checkpoint.rs`): any change must
+//! bump [`CHECKPOINT_VERSION`] and update the golden vector.
+//!
+//! Layout (version 1, all integers little-endian):
+//!
+//! ```text
+//! magic "RSCK" (4) | version u16 | position u64
+//! direction: histories u32-len + u16 each | counters u32-len + u8 each
+//! btb:       u32-len + per entry { tag u32, target u32, lru u8, valid u8 }
+//! ras:       u32-len + u32 each | top u32 | depth u32
+//! l1i, l1d:  present u8, if 1 { lines u32-len + per line { tag u32,
+//!            rank u32, valid u8 }, fifo_counter u32, rng_state u64 }
+//! ```
+
+use crate::config::ConfigError;
+use resim_bpred::{
+    BtbEntryState, BtbState, DirectionState, PredictorState, RasState,
+    StateError as PredictorStateError,
+};
+use resim_mem::{CacheState, LineState, MemoryState, StateError as MemoryStateError};
+use std::error::Error;
+use std::fmt;
+
+/// Magic bytes opening every serialized checkpoint.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"RSCK";
+
+/// Current serialization layout version.
+pub const CHECKPOINT_VERSION: u16 = 1;
+
+/// Warm microarchitectural state at one trace position.
+///
+/// Contains exactly what functional warmup maintains — predictor tables
+/// and cache tag arrays — never in-flight pipeline contents or statistics
+/// (see [`Engine::snapshot`](crate::Engine::snapshot)).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Trace records consumed before this point.
+    pub position: u64,
+    /// Branch predictor warm state.
+    pub predictor: PredictorState,
+    /// Memory-system warm state.
+    pub memory: MemoryState,
+}
+
+impl Checkpoint {
+    /// Serializes into the versioned byte layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.position.to_le_bytes());
+
+        put_len(&mut out, self.predictor.direction.histories.len());
+        for &h in &self.predictor.direction.histories {
+            out.extend_from_slice(&h.to_le_bytes());
+        }
+        put_len(&mut out, self.predictor.direction.counters.len());
+        out.extend_from_slice(&self.predictor.direction.counters);
+
+        put_len(&mut out, self.predictor.btb.entries.len());
+        for e in &self.predictor.btb.entries {
+            out.extend_from_slice(&e.tag.to_le_bytes());
+            out.extend_from_slice(&e.target.to_le_bytes());
+            out.push(e.lru);
+            out.push(u8::from(e.valid));
+        }
+
+        put_len(&mut out, self.predictor.ras.entries.len());
+        for &e in &self.predictor.ras.entries {
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+        out.extend_from_slice(&self.predictor.ras.top.to_le_bytes());
+        out.extend_from_slice(&self.predictor.ras.depth.to_le_bytes());
+
+        put_cache(&mut out, &self.memory.l1i);
+        put_cache(&mut out, &self.memory.l1d);
+        out
+    }
+
+    /// Deserializes a checkpoint produced by [`Checkpoint::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on bad magic, unknown version, truncation, or
+    /// trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        let mut r = ByteReader { buf: bytes, pos: 0 };
+        let magic = [r.u8()?, r.u8()?, r.u8()?, r.u8()?];
+        if magic != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let position = r.u64()?;
+
+        let n = r.len()?;
+        let mut histories = Vec::with_capacity(n);
+        for _ in 0..n {
+            histories.push(r.u16()?);
+        }
+        let n = r.len()?;
+        let mut counters = Vec::with_capacity(n);
+        for _ in 0..n {
+            counters.push(r.u8()?);
+        }
+
+        let n = r.len()?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(BtbEntryState {
+                tag: r.u32()?,
+                target: r.u32()?,
+                lru: r.u8()?,
+                valid: r.u8()? != 0,
+            });
+        }
+
+        let n = r.len()?;
+        let mut ras_entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            ras_entries.push(r.u32()?);
+        }
+        let top = r.u32()?;
+        let depth = r.u32()?;
+
+        let l1i = get_cache(&mut r)?;
+        let l1d = get_cache(&mut r)?;
+        if r.pos != bytes.len() {
+            return Err(CheckpointError::TrailingBytes(bytes.len() - r.pos));
+        }
+        Ok(Checkpoint {
+            position,
+            predictor: PredictorState {
+                direction: DirectionState {
+                    histories,
+                    counters,
+                },
+                btb: BtbState { entries },
+                ras: RasState {
+                    entries: ras_entries,
+                    top,
+                    depth,
+                },
+            },
+            memory: MemoryState { l1i, l1d },
+        })
+    }
+}
+
+fn put_len(out: &mut Vec<u8>, len: usize) {
+    out.extend_from_slice(&u32::try_from(len).expect("table size fits u32").to_le_bytes());
+}
+
+fn put_cache(out: &mut Vec<u8>, cache: &Option<CacheState>) {
+    match cache {
+        None => out.push(0),
+        Some(c) => {
+            out.push(1);
+            put_len(out, c.lines.len());
+            for l in &c.lines {
+                out.extend_from_slice(&l.tag.to_le_bytes());
+                out.extend_from_slice(&l.rank.to_le_bytes());
+                out.push(u8::from(l.valid));
+            }
+            out.extend_from_slice(&c.fifo_counter.to_le_bytes());
+            out.extend_from_slice(&c.rng_state.to_le_bytes());
+        }
+    }
+}
+
+fn get_cache(r: &mut ByteReader<'_>) -> Result<Option<CacheState>, CheckpointError> {
+    if r.u8()? == 0 {
+        return Ok(None);
+    }
+    let n = r.len()?;
+    let mut lines = Vec::with_capacity(n);
+    for _ in 0..n {
+        lines.push(LineState {
+            tag: r.u32()?,
+            rank: r.u32()?,
+            valid: r.u8()? != 0,
+        });
+    }
+    Ok(Some(CacheState {
+        lines,
+        fifo_counter: r.u32()?,
+        rng_state: r.u64()?,
+    }))
+}
+
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl ByteReader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], CheckpointError> {
+        let end = self.pos.checked_add(n).ok_or(CheckpointError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CheckpointError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// A u32 length prefix, sanity-bounded by the bytes actually left so a
+    /// corrupt length cannot trigger a huge allocation.
+    fn len(&mut self) -> Result<usize, CheckpointError> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() - self.pos {
+            return Err(CheckpointError::Truncated);
+        }
+        Ok(n)
+    }
+}
+
+/// Errors deserializing a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The byte stream ended mid-field (or a length prefix was absurd).
+    Truncated,
+    /// The magic bytes are not `"RSCK"`.
+    BadMagic,
+    /// An unsupported layout version.
+    BadVersion(u16),
+    /// Well-formed checkpoint followed by extra bytes.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "checkpoint byte stream truncated"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint (bad magic)"),
+            CheckpointError::BadVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (expected {CHECKPOINT_VERSION})")
+            }
+            CheckpointError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after checkpoint")
+            }
+        }
+    }
+}
+
+impl Error for CheckpointError {}
+
+/// Errors building an engine from a checkpoint
+/// ([`Engine::resume_from`](crate::Engine::resume_from)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeError {
+    /// The engine configuration itself is invalid.
+    Config(ConfigError),
+    /// The checkpoint's predictor state has a different geometry.
+    Predictor(PredictorStateError),
+    /// The checkpoint's memory state has a different geometry.
+    Memory(MemoryStateError),
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::Config(e) => write!(f, "invalid engine configuration: {e}"),
+            ResumeError::Predictor(e) => write!(f, "predictor state mismatch: {e}"),
+            ResumeError::Memory(e) => write!(f, "memory state mismatch: {e}"),
+        }
+    }
+}
+
+impl Error for ResumeError {}
+
+impl From<ConfigError> for ResumeError {
+    fn from(e: ConfigError) -> Self {
+        ResumeError::Config(e)
+    }
+}
+
+impl From<PredictorStateError> for ResumeError {
+    fn from(e: PredictorStateError) -> Self {
+        ResumeError::Predictor(e)
+    }
+}
+
+impl From<MemoryStateError> for ResumeError {
+    fn from(e: MemoryStateError) -> Self {
+        ResumeError::Memory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            position: 0x1234_5678_9ABC,
+            predictor: PredictorState {
+                direction: DirectionState {
+                    histories: vec![0xAA, 0x55],
+                    counters: vec![0, 1, 2, 3],
+                },
+                btb: BtbState {
+                    entries: vec![
+                        BtbEntryState {
+                            tag: 0xDEAD,
+                            target: 0xBEEF,
+                            lru: 1,
+                            valid: true,
+                        },
+                        BtbEntryState::default(),
+                    ],
+                },
+                ras: RasState {
+                    entries: vec![0x100, 0x200],
+                    top: 1,
+                    depth: 1,
+                },
+            },
+            memory: MemoryState {
+                l1i: Some(CacheState {
+                    lines: vec![LineState {
+                        tag: 7,
+                        rank: 0,
+                        valid: true,
+                    }],
+                    fifo_counter: 3,
+                    rng_state: 0x9E37_79B9,
+                }),
+                l1d: None,
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let ck = sample();
+        let bytes = ck.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ck);
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn empty_checkpoint_roundtrips() {
+        let ck = Checkpoint::default();
+        let back = Checkpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn corrupt_streams_are_rejected() {
+        let bytes = sample().to_bytes();
+        assert_eq!(
+            Checkpoint::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(CheckpointError::Truncated)
+        );
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(Checkpoint::from_bytes(&bad_magic), Err(CheckpointError::BadMagic));
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 0xFF;
+        assert!(matches!(
+            Checkpoint::from_bytes(&bad_version),
+            Err(CheckpointError::BadVersion(_))
+        ));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            Checkpoint::from_bytes(&trailing),
+            Err(CheckpointError::TrailingBytes(1))
+        );
+        // A corrupt length prefix must fail cleanly, not allocate wildly.
+        let mut huge_len = bytes;
+        huge_len[14] = 0xFF;
+        huge_len[15] = 0xFF;
+        huge_len[16] = 0xFF;
+        huge_len[17] = 0xFF;
+        assert_eq!(Checkpoint::from_bytes(&huge_len), Err(CheckpointError::Truncated));
+    }
+}

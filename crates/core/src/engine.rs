@@ -32,6 +32,7 @@
 //! instruction, discards the block's unfetched remainder, pays the
 //! misprediction penalty and resumes on the correct path.
 
+use crate::checkpoint::{Checkpoint, ResumeError};
 use crate::config::{ConfigError, EngineConfig};
 use crate::lsq::{LoadReady, LoadStoreQueue, LsqEntry};
 use crate::rob::{InstState, ReorderBuffer, RobEntry};
@@ -45,22 +46,44 @@ use std::collections::VecDeque;
 /// engine assumes a model deadlock and panics with diagnostics.
 const WATCHDOG_CYCLES: u64 = 200_000;
 
-/// One-record lookahead over a [`TraceSource`] — fetch needs to peek at
-/// the next record to detect wrong-path blocks and fetch-group breaks.
+/// A persistent read position over a [`TraceSource`] with the one-record
+/// lookahead fetch needs (wrong-path block detection and fetch-group
+/// breaks peek at the next record).
+///
+/// A cursor outlives a single [`Engine::run_window`] call: windowed
+/// execution ([`Engine::run_window`] … [`Engine::drain`]) threads one
+/// cursor through every window so that no record — including the
+/// buffered lookahead — is lost at window boundaries. This is what makes
+/// a windowed run bit-identical to one [`Engine::run`] call.
 #[derive(Debug)]
-struct Lookahead<S> {
+pub struct TraceCursor<S> {
     src: S,
     buf: Option<TraceRecord>,
     done: bool,
+    consumed: u64,
 }
 
-impl<S: TraceSource> Lookahead<S> {
-    fn new(src: S) -> Self {
+impl<S: TraceSource> TraceCursor<S> {
+    /// Creates a cursor at the start of `src`.
+    pub fn new(src: S) -> Self {
         Self {
             src,
             buf: None,
             done: false,
+            consumed: 0,
         }
+    }
+
+    /// Records handed to the engine so far (the lookahead buffer does not
+    /// count until fetch actually takes it).
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Whether the trace is exhausted (pulls at most one record to find
+    /// out).
+    pub fn is_exhausted(&mut self) -> bool {
+        self.peek().is_none()
     }
 
     fn peek(&mut self) -> Option<&TraceRecord> {
@@ -75,7 +98,11 @@ impl<S: TraceSource> Lookahead<S> {
 
     fn next(&mut self) -> Option<TraceRecord> {
         self.peek();
-        self.buf.take()
+        let r = self.buf.take();
+        if r.is_some() {
+            self.consumed += 1;
+        }
+        r
     }
 }
 
@@ -198,26 +225,110 @@ impl Engine {
 
     /// Runs for at most `max_cycles` simulated cycles.
     pub fn run_for(&mut self, source: impl TraceSource, max_cycles: u64) -> SimStats {
-        let mut la = Lookahead::new(source);
-        while self.cycle < max_cycles {
-            self.step(&mut la);
-            if la.peek().is_none() && self.ifq.is_empty() && self.rob.is_empty() {
+        let mut cursor = TraceCursor::new(source);
+        self.drain_for(&mut cursor, max_cycles)
+    }
+
+    /// Runs until at least `records` further trace records have entered
+    /// the engine, then returns **without draining the pipeline** —
+    /// in-flight instructions stay in flight and continue in the next
+    /// `run_window` (or [`Engine::drain`]) call on the same cursor.
+    ///
+    /// Because fetch groups are atomic, the window may overshoot the
+    /// record budget by up to a fetch group (plus any wrong-path records
+    /// discarded at a recovery inside the final cycle); read
+    /// [`TraceCursor::consumed`] for the exact position. A sequence of
+    /// `run_window` calls followed by one `drain` executes the **exact**
+    /// cycle-by-cycle sequence of a single [`Engine::run`] — this is the
+    /// contiguous fast path of 100 %-coverage sampled simulation, and the
+    /// per-window statistics are deltas of [`Engine::stats`] between
+    /// calls.
+    ///
+    /// Returns the cumulative statistics so far (not the window's delta).
+    pub fn run_window<S: TraceSource>(
+        &mut self,
+        cursor: &mut TraceCursor<S>,
+        records: u64,
+    ) -> SimStats {
+        let target = cursor.consumed().saturating_add(records);
+        while cursor.consumed() < target {
+            if cursor.peek().is_none() && self.ifq.is_empty() && self.rob.is_empty() {
                 break;
             }
-            if !self.rob.is_empty() && self.cycle - self.last_commit_cycle > WATCHDOG_CYCLES {
-                panic!(
-                    "engine deadlock: no commit since cycle {} (now {}); head = {:?}",
-                    self.last_commit_cycle,
-                    self.cycle,
-                    self.rob.head()
-                );
-            }
+            self.step(cursor);
+            self.check_watchdog();
         }
         self.stats()
     }
 
+    /// Runs until the cursor is exhausted and the pipeline is empty —
+    /// the closing counterpart of [`Engine::run_window`].
+    pub fn drain<S: TraceSource>(&mut self, cursor: &mut TraceCursor<S>) -> SimStats {
+        self.drain_for(cursor, u64::MAX)
+    }
+
+    fn drain_for<S: TraceSource>(
+        &mut self,
+        cursor: &mut TraceCursor<S>,
+        max_cycles: u64,
+    ) -> SimStats {
+        while self.cycle < max_cycles {
+            if cursor.peek().is_none() && self.ifq.is_empty() && self.rob.is_empty() {
+                break;
+            }
+            self.step(cursor);
+            self.check_watchdog();
+        }
+        self.stats()
+    }
+
+    fn check_watchdog(&self) {
+        if !self.rob.is_empty() && self.cycle - self.last_commit_cycle > WATCHDOG_CYCLES {
+            panic!(
+                "engine deadlock: no commit since cycle {} (now {}); head = {:?}",
+                self.last_commit_cycle,
+                self.cycle,
+                self.rob.head()
+            );
+        }
+    }
+
+    /// Captures the warm microarchitectural state — predictor tables,
+    /// BTB, RAS and cache tag arrays — as a serializable [`Checkpoint`].
+    ///
+    /// In-flight pipeline contents (IFQ/RB/LSQ entries, rename map) are
+    /// **not** part of a checkpoint: snapshots are meant to be taken at
+    /// drained window boundaries, where the pipeline is architecturally
+    /// empty. `position` is left at 0 — the driver that knows the trace
+    /// offset fills it in.
+    pub fn snapshot(&self) -> Checkpoint {
+        Checkpoint {
+            position: 0,
+            predictor: self.predictor.state(),
+            memory: self.memory.state(),
+        }
+    }
+
+    /// Builds a fresh engine whose predictor and memory system start from
+    /// `checkpoint`'s warm state instead of cold tables.
+    ///
+    /// Statistics, the cycle counter and the pipeline all start from
+    /// zero, so the stats of a resumed window compose with other windows
+    /// through [`SimStats::merge`].
+    ///
+    /// # Errors
+    ///
+    /// [`ResumeError`] if `config` is structurally invalid or the
+    /// checkpoint was taken under a different predictor/memory geometry.
+    pub fn resume_from(config: EngineConfig, checkpoint: &Checkpoint) -> Result<Self, ResumeError> {
+        let mut engine = Engine::new(config)?;
+        engine.predictor.restore_state(&checkpoint.predictor)?;
+        engine.memory.restore_state(&checkpoint.memory)?;
+        Ok(engine)
+    }
+
     /// Advances one simulated (major) cycle.
-    fn step<S: TraceSource>(&mut self, la: &mut Lookahead<S>) {
+    fn step<S: TraceSource>(&mut self, la: &mut TraceCursor<S>) {
         self.commit();
         self.writeback(la);
         self.lsq.refresh(|seq| self.rob.is_outstanding(seq));
@@ -283,7 +394,7 @@ impl Engine {
 
     /// Writeback: select the oldest N finished executions, broadcast
     /// their results (wakeup), and run misprediction recovery (§III).
-    fn writeback<S: TraceSource>(&mut self, la: &mut Lookahead<S>) {
+    fn writeback<S: TraceSource>(&mut self, la: &mut TraceCursor<S>) {
         let done: Vec<u64> = self
             .rob
             .iter()
@@ -309,7 +420,7 @@ impl Engine {
     /// Misprediction recovery at branch writeback: squash younger
     /// instructions, discard the unfetched block remainder, pay the
     /// penalty, resume correct-path fetch.
-    fn recover<S: TraceSource>(&mut self, branch_seq: u64, la: &mut Lookahead<S>) {
+    fn recover<S: TraceSource>(&mut self, branch_seq: u64, la: &mut TraceCursor<S>) {
         self.stats.mispredict_recoveries += 1;
         let squashed = self.rob.squash_younger(branch_seq);
         self.stats.squashed += squashed.len() as u64;
@@ -542,7 +653,7 @@ impl Engine {
     /// Fetch: pull up to N records from the trace into the IFQ, stopping
     /// at a control-flow bubble, an IFQ-full condition, an I-cache miss,
     /// a misfetch bubble or wrong-path exhaustion (§III).
-    fn fetch<S: TraceSource>(&mut self, la: &mut Lookahead<S>) {
+    fn fetch<S: TraceSource>(&mut self, la: &mut TraceCursor<S>) {
         if self.cycle < self.fetch_stall_until {
             self.stats.fetch_stall_cycles += 1;
             return;
@@ -905,5 +1016,137 @@ mod tests {
         let a = run_trace(trace.records().to_vec(), EngineConfig::paper_4wide());
         let b = run_trace(trace.records().to_vec(), EngineConfig::paper_4wide());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn windowed_run_is_bit_identical_to_one_run() {
+        use resim_tracegen::{generate_trace, TraceGenConfig};
+        use resim_workloads::{SpecBenchmark, Workload};
+        let trace = generate_trace(
+            Workload::spec(SpecBenchmark::Parser, 11),
+            25_000,
+            &TraceGenConfig::paper(),
+        );
+        let full = run_trace(trace.records().to_vec(), EngineConfig::paper_4wide());
+
+        for window in [1u64, 777, 5_000, 1 << 40] {
+            let mut engine = Engine::new(EngineConfig::paper_4wide()).unwrap();
+            let mut cursor = TraceCursor::new(trace.source());
+            let mut last_consumed = u64::MAX;
+            while cursor.consumed() != last_consumed {
+                last_consumed = cursor.consumed();
+                engine.run_window(&mut cursor, window);
+            }
+            let windowed = engine.drain(&mut cursor);
+            assert_eq!(windowed, full, "window={window} must replay run exactly");
+            assert_eq!(cursor.consumed(), trace.len() as u64);
+        }
+    }
+
+    #[test]
+    fn window_stats_deltas_merge_back_to_the_full_run() {
+        use resim_tracegen::{generate_trace, TraceGenConfig};
+        use resim_workloads::{SpecBenchmark, Workload};
+        let trace = generate_trace(
+            Workload::spec(SpecBenchmark::Gzip, 3),
+            12_000,
+            &TraceGenConfig::paper(),
+        );
+        let full = run_trace(trace.records().to_vec(), EngineConfig::paper_4wide());
+
+        // Cut the same run into 1k-record windows and re-merge the deltas.
+        let mut engine = Engine::new(EngineConfig::paper_4wide()).unwrap();
+        let mut cursor = TraceCursor::new(trace.source());
+        let mut merged = SimStats::default();
+        let mut prev = SimStats::default();
+        loop {
+            let before = cursor.consumed();
+            engine.run_window(&mut cursor, 1_000);
+            if cursor.consumed() == before {
+                break;
+            }
+            let now = engine.stats();
+            // Counts become deltas; maxima are already cumulative maxima,
+            // so merging the snapshots' maxima is a max over windows too.
+            let delta = SimStats {
+                cycles: now.cycles - prev.cycles,
+                committed: now.committed - prev.committed,
+                rb_occupancy_max: now.rb_occupancy_max,
+                ..SimStats::default()
+            };
+            prev = now;
+            merged = merged.merge(&delta);
+        }
+        let fin = engine.drain(&mut cursor);
+        let tail = SimStats {
+            cycles: fin.cycles - prev.cycles,
+            committed: fin.committed - prev.committed,
+            ..SimStats::default()
+        };
+        merged = merged.merge(&tail);
+        assert_eq!(merged.cycles, full.cycles);
+        assert_eq!(merged.committed, full.committed);
+        assert_eq!(merged.rb_occupancy_max, full.rb_occupancy_max);
+    }
+
+    #[test]
+    fn snapshot_resume_replays_identically_on_warm_state() {
+        use resim_tracegen::{generate_trace, TraceGenConfig};
+        use resim_workloads::{SpecBenchmark, Workload};
+        let config = EngineConfig {
+            memory: resim_mem::MemorySystemConfig::l1_32k(),
+            ..EngineConfig::paper_4wide()
+        };
+        let trace = generate_trace(
+            Workload::spec(SpecBenchmark::Bzip2, 9),
+            10_000,
+            &TraceGenConfig::paper(),
+        );
+        // Warm an engine on the trace, snapshot, resume twice: the two
+        // resumed engines must agree bit-for-bit on a second trace.
+        let mut warm = Engine::new(config.clone()).unwrap();
+        warm.run(trace.source());
+        let mut ck = warm.snapshot();
+        ck.position = trace.len() as u64;
+
+        let ck2 = Checkpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(ck2, ck, "serialization round-trips");
+
+        let probe = generate_trace(
+            Workload::spec(SpecBenchmark::Bzip2, 10),
+            5_000,
+            &TraceGenConfig::paper(),
+        );
+        let mut a = Engine::resume_from(config.clone(), &ck).unwrap();
+        let mut b = Engine::resume_from(config.clone(), &ck2).unwrap();
+        let sa = a.run(probe.source());
+        let sb = b.run(probe.source());
+        assert_eq!(sa, sb);
+        // Warm state matters: a cold engine behaves differently.
+        let cold = Engine::new(config).unwrap().run(probe.source());
+        assert_ne!(sa, cold, "checkpoint must carry real warm state");
+        // Resumed stats start from zero (composability).
+        assert_eq!(sa.committed, 5_000);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_geometry() {
+        let small = Engine::new(EngineConfig {
+            predictor: resim_bpred::PredictorConfig::gshare(4, 256),
+            ..EngineConfig::paper_4wide()
+        })
+        .unwrap()
+        .snapshot();
+        let err = Engine::resume_from(EngineConfig::paper_4wide(), &small);
+        assert!(matches!(err, Err(ResumeError::Predictor(_))));
+        let perfect_mem = Engine::new(EngineConfig::paper_4wide()).unwrap().snapshot();
+        let cached = EngineConfig {
+            memory: resim_mem::MemorySystemConfig::l1_32k(),
+            ..EngineConfig::paper_4wide()
+        };
+        assert!(matches!(
+            Engine::resume_from(cached, &perfect_mem),
+            Err(ResumeError::Memory(_))
+        ));
     }
 }

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod config;
 mod describe;
 mod engine;
@@ -59,9 +60,12 @@ mod pipeline;
 mod rob;
 mod stats;
 
+pub use checkpoint::{
+    Checkpoint, CheckpointError, ResumeError, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
 pub use config::{ConfigError, EngineConfig, FuConfig};
 pub use describe::block_diagram;
-pub use engine::Engine;
+pub use engine::{Engine, TraceCursor};
 pub use grid::ConfigGrid;
 pub use lsq::{LoadReady, LoadStoreQueue, LsqEntry};
 pub use multicore::MultiCore;

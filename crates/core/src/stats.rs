@@ -79,6 +79,47 @@ pub struct SimStats {
 }
 
 impl SimStats {
+    /// Composes the statistics of two runs (or of two windows of one run)
+    /// into the statistics of the concatenated run: every count — cycles
+    /// included — adds, occupancy *sums* add, occupancy *maxima* take the
+    /// max, and the nested predictor/memory counter sets merge field-wise.
+    ///
+    /// This is what makes windowed execution compose: a full run split
+    /// into windows (each window's engine starting its counters from
+    /// zero rather than inheriting a nonzero base) merges back to the
+    /// full run's statistics. Sampled simulation merges its detailed
+    /// windows through this, and `resim-sample`'s full-coverage property
+    /// test pins the round trip bit-exactly.
+    pub fn merge(&self, other: &SimStats) -> SimStats {
+        SimStats {
+            cycles: self.cycles + other.cycles,
+            minor_cycles: self.minor_cycles + other.minor_cycles,
+            committed: self.committed + other.committed,
+            fetched: self.fetched + other.fetched,
+            wrong_path_fetched: self.wrong_path_fetched + other.wrong_path_fetched,
+            wrong_path_discarded: self.wrong_path_discarded + other.wrong_path_discarded,
+            committed_loads: self.committed_loads + other.committed_loads,
+            committed_stores: self.committed_stores + other.committed_stores,
+            committed_branches: self.committed_branches + other.committed_branches,
+            mispredict_recoveries: self.mispredict_recoveries + other.mispredict_recoveries,
+            misfetches: self.misfetches + other.misfetches,
+            squashed: self.squashed + other.squashed,
+            dispatch_stall_rb: self.dispatch_stall_rb + other.dispatch_stall_rb,
+            dispatch_stall_lsq: self.dispatch_stall_lsq + other.dispatch_stall_lsq,
+            fetch_stall_cycles: self.fetch_stall_cycles + other.fetch_stall_cycles,
+            load_forwards: self.load_forwards + other.load_forwards,
+            issued: self.issued + other.issued,
+            ifq_occupancy_sum: self.ifq_occupancy_sum + other.ifq_occupancy_sum,
+            rb_occupancy_sum: self.rb_occupancy_sum + other.rb_occupancy_sum,
+            lsq_occupancy_sum: self.lsq_occupancy_sum + other.lsq_occupancy_sum,
+            ifq_occupancy_max: self.ifq_occupancy_max.max(other.ifq_occupancy_max),
+            rb_occupancy_max: self.rb_occupancy_max.max(other.rb_occupancy_max),
+            lsq_occupancy_max: self.lsq_occupancy_max.max(other.lsq_occupancy_max),
+            predictor: self.predictor.merge(&other.predictor),
+            memory: self.memory.merge(&other.memory),
+        }
+    }
+
     /// Committed instructions per simulated cycle.
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {
@@ -207,6 +248,39 @@ mod tests {
         assert!((s.processed_per_cycle() - 3.0).abs() < 1e-12);
         assert!((s.wrong_path_fraction() - 50.0 / 300.0).abs() < 1e-12);
         assert!((s.avg_rb_occupancy() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_maxes_occupancy() {
+        let a = SimStats {
+            cycles: 100,
+            committed: 250,
+            committed_loads: 40,
+            rb_occupancy_sum: 800,
+            rb_occupancy_max: 12,
+            lsq_occupancy_max: 3,
+            ..SimStats::default()
+        };
+        let b = SimStats {
+            cycles: 50,
+            committed: 50,
+            committed_loads: 5,
+            rb_occupancy_sum: 100,
+            rb_occupancy_max: 7,
+            lsq_occupancy_max: 8,
+            ..SimStats::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.cycles, 150);
+        assert_eq!(m.committed, 300);
+        assert_eq!(m.committed_loads, 45);
+        assert_eq!(m.rb_occupancy_sum, 900);
+        assert_eq!(m.rb_occupancy_max, 12, "maxima take the max");
+        assert_eq!(m.lsq_occupancy_max, 8);
+        assert!((m.ipc() - 2.0).abs() < 1e-12);
+        // Identity and symmetry.
+        assert_eq!(a.merge(&SimStats::default()), a);
+        assert_eq!(a.merge(&b), b.merge(&a));
     }
 
     #[test]

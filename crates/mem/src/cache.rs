@@ -1,5 +1,8 @@
 //! Tag-only set-associative cache.
 
+use std::error::Error;
+use std::fmt;
+
 /// Replacement policy for a cache set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Replacement {
@@ -113,6 +116,18 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Field-wise sum of two counter sets — composes the statistics of
+    /// windowed runs.
+    pub fn merge(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+            read_hits: self.read_hits + other.read_hits,
+            write_hits: self.write_hits + other.write_hits,
+            evictions: self.evictions + other.evictions,
+        }
+    }
+
     /// Total accesses.
     pub fn accesses(&self) -> u64 {
         self.reads + self.writes
@@ -224,11 +239,35 @@ impl Cache {
                 }
             }
             None => {
-                self.fill(set_idx, tag);
+                if self.fill(set_idx, tag) {
+                    self.stats.evictions += 1;
+                }
                 AccessResult {
                     hit: false,
                     latency: self.config.hit_latency + self.config.miss_penalty,
                 }
+            }
+        }
+    }
+
+    /// Performs the tag-array and replacement-state effects of one access
+    /// without touching any statistics counter or computing a latency —
+    /// the functional-warmup entry point of sampled simulation: between
+    /// detailed windows the warmer keeps the tag arrays current so a
+    /// resumed window sees realistic hit rates instead of cold misses.
+    pub fn warm(&mut self, addr: u32) {
+        let (set_idx, tag) = self.set_and_tag(addr);
+        let hit_way = self.sets[set_idx]
+            .iter()
+            .position(|l| l.valid && l.tag == tag);
+        match hit_way {
+            Some(way) => {
+                if self.config.replacement == Replacement::Lru {
+                    self.touch_lru(set_idx, way);
+                }
+            }
+            None => {
+                self.fill(set_idx, tag);
             }
         }
     }
@@ -239,14 +278,17 @@ impl Cache {
         self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
     }
 
-    fn fill(&mut self, set_idx: usize, tag: u32) {
+    /// Fills `tag` into `set_idx`, returning whether a valid line was
+    /// evicted (the caller decides whether that counts as a statistic).
+    fn fill(&mut self, set_idx: usize, tag: u32) -> bool {
         let assoc = self.config.associativity;
+        let mut evicted = false;
         let victim = {
             let set = &self.sets[set_idx];
             if let Some(way) = set.iter().position(|l| !l.valid) {
                 way
             } else {
-                self.stats.evictions += 1;
+                evicted = true;
                 match self.config.replacement {
                     Replacement::Lru => set
                         .iter()
@@ -286,6 +328,53 @@ impl Cache {
             // A freshly filled line must age every other resident line.
             self.promote(set_idx, victim, u32::MAX);
         }
+        evicted
+    }
+
+    /// Captures the tag/replacement state (statistics excluded — they
+    /// describe a measurement window, not the machine state).
+    pub fn state(&self) -> CacheState {
+        CacheState {
+            lines: self
+                .sets
+                .iter()
+                .flatten()
+                .map(|l| LineState {
+                    tag: l.tag,
+                    rank: l.rank,
+                    valid: l.valid,
+                })
+                .collect(),
+            fifo_counter: self.fifo_counter,
+            rng_state: self.rng_state,
+        }
+    }
+
+    /// Restores state captured from a cache of the same geometry.
+    /// Statistics counters are left untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`] if the snapshot's line count differs.
+    pub fn restore_state(&mut self, state: &CacheState) -> Result<(), StateError> {
+        let lines = self.config.sets() * self.config.associativity;
+        if state.lines.len() != lines {
+            return Err(StateError {
+                what: "cache lines",
+                expected: lines,
+                got: state.lines.len(),
+            });
+        }
+        for (line, snap) in self.sets.iter_mut().flatten().zip(&state.lines) {
+            *line = Line {
+                tag: snap.tag,
+                rank: snap.rank,
+                valid: snap.valid,
+            };
+        }
+        self.fifo_counter = state.fifo_counter;
+        self.rng_state = state.rng_state;
+        Ok(())
     }
 
     fn touch_lru(&mut self, set_idx: usize, way: usize) {
@@ -303,6 +392,52 @@ impl Cache {
         self.sets[set_idx][way].rank = 0;
     }
 }
+
+/// One cache line's snapshot (see [`Cache::state`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineState {
+    /// Block tag.
+    pub tag: u32,
+    /// Replacement rank (LRU: 0 = MRU; FIFO: insertion order).
+    pub rank: u32,
+    /// Whether the line holds a block.
+    pub valid: bool,
+}
+
+/// Plain-data snapshot of a cache's tag array and replacement state,
+/// set-major (all ways of set 0, then set 1, ...).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheState {
+    /// `sets × associativity` line snapshots.
+    pub lines: Vec<LineState>,
+    /// FIFO insertion counter.
+    pub fifo_counter: u32,
+    /// Deterministic replacement-RNG state.
+    pub rng_state: u64,
+}
+
+/// A snapshot cannot be restored into a cache of different geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateError {
+    /// Which structure mismatched.
+    pub what: &'static str,
+    /// The size the live structure expects.
+    pub expected: usize,
+    /// The size the snapshot carries.
+    pub got: usize,
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot restore {}: geometry expects {}, snapshot has {}",
+            self.what, self.expected, self.got
+        )
+    }
+}
+
+impl Error for StateError {}
 
 #[cfg(test)]
 mod tests {
@@ -422,6 +557,64 @@ mod tests {
             hit_latency: 1,
             miss_penalty: 10,
         });
+    }
+
+    #[test]
+    fn warm_leaves_same_tags_as_access_without_stats() {
+        for repl in [Replacement::Lru, Replacement::Fifo, Replacement::Random] {
+            let mut accessed = tiny(2, repl);
+            let mut warmed = tiny(2, repl);
+            // A mixing stream with reuse, conflict and eviction.
+            let addrs: Vec<u32> = (0..200u32).map(|i| (i * 37) % 0x400).collect();
+            for &a in &addrs {
+                accessed.access(a, a % 3 == 0);
+                warmed.warm(a);
+            }
+            assert_eq!(accessed.state(), warmed.state(), "{repl:?}");
+            assert_eq!(warmed.stats(), CacheStats::default(), "warm is stats-silent");
+            assert!(accessed.stats().accesses() > 0);
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_restores_future_behaviour() {
+        let mut warm = tiny(2, Replacement::Lru);
+        for i in 0..50u32 {
+            warm.warm(i * 64);
+        }
+        let snap = warm.state();
+        let mut restored = tiny(2, Replacement::Lru);
+        restored.restore_state(&snap).unwrap();
+        assert_eq!(restored.state(), snap);
+        for i in 0..50u32 {
+            let a = warm.access(i * 48, false);
+            let b = restored.access(i * 48, false);
+            assert_eq!(a, b, "restored cache must hit/miss identically");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_geometry_mismatch() {
+        let snap = tiny(1, Replacement::Lru).state();
+        let mut other = Cache::new(CacheConfig::l1_32k());
+        let err = other.restore_state(&snap).unwrap_err();
+        assert_eq!(err.what, "cache lines");
+    }
+
+    #[test]
+    fn cache_stats_merge_adds() {
+        let a = CacheStats {
+            reads: 5,
+            writes: 2,
+            read_hits: 3,
+            write_hits: 1,
+            evictions: 1,
+        };
+        let m = a.merge(&a);
+        assert_eq!(m.accesses(), 14);
+        assert_eq!(m.hits(), 8);
+        assert_eq!(m.evictions, 2);
+        assert_eq!(a.merge(&CacheStats::default()), a);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The memory system seen by the engine: perfect, or split L1 I/D caches.
 
-use crate::cache::{AccessResult, Cache, CacheConfig, CacheStats};
+use crate::cache::{AccessResult, Cache, CacheConfig, CacheState, CacheStats, StateError};
+use resim_trace::TraceRecord;
 
 /// Memory-system selection (paper §V.C evaluates both).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,6 +46,17 @@ impl Default for MemorySystemConfig {
     }
 }
 
+/// Plain-data snapshot of the warm memory-system state (tag arrays and
+/// replacement state of both caches; `None` sides for perfect memory).
+/// Statistics are excluded — see [`Cache::state`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoryState {
+    /// Instruction-cache state (absent for perfect memory).
+    pub l1i: Option<CacheState>,
+    /// Data-cache state (absent for perfect memory).
+    pub l1d: Option<CacheState>,
+}
+
 /// Combined statistics for the memory system.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemorySystemStats {
@@ -56,6 +68,19 @@ pub struct MemorySystemStats {
     pub perfect_inst_accesses: u64,
     /// Data accesses under a perfect system.
     pub perfect_data_accesses: u64,
+}
+
+impl MemorySystemStats {
+    /// Field-wise sum of two counter sets — composes the statistics of
+    /// windowed runs.
+    pub fn merge(&self, other: &MemorySystemStats) -> MemorySystemStats {
+        MemorySystemStats {
+            l1i: self.l1i.merge(&other.l1i),
+            l1d: self.l1d.merge(&other.l1d),
+            perfect_inst_accesses: self.perfect_inst_accesses + other.perfect_inst_accesses,
+            perfect_data_accesses: self.perfect_data_accesses + other.perfect_data_accesses,
+        }
+    }
 }
 
 /// The memory hierarchy the timing engine consults.
@@ -133,6 +158,73 @@ impl MemorySystem {
         }
     }
 
+    /// Applies one trace record's cache-warming effects without touching
+    /// any statistics counter or computing latency — the functional-warmup
+    /// entry point of sampled simulation.
+    ///
+    /// Every record warms the I-cache at its fetch PC; memory records
+    /// additionally warm the D-cache at their effective address. Perfect
+    /// memory keeps no state, so this is a no-op there.
+    pub fn warm_record(&mut self, record: &TraceRecord) {
+        self.warm_inst(record.pc());
+        if let TraceRecord::Mem(m) = record {
+            self.warm_data(m.addr);
+        }
+    }
+
+    /// Warms the instruction cache at `pc` (no statistics, no latency).
+    pub fn warm_inst(&mut self, pc: u32) {
+        if let Some(c) = &mut self.l1i {
+            c.warm(pc);
+        }
+    }
+
+    /// Warms the data cache at `addr` (no statistics, no latency).
+    pub fn warm_data(&mut self, addr: u32) {
+        if let Some(c) = &mut self.l1d {
+            c.warm(addr);
+        }
+    }
+
+    /// Captures the warm tag-array state of both caches.
+    pub fn state(&self) -> MemoryState {
+        MemoryState {
+            l1i: self.l1i.as_ref().map(|c| c.state()),
+            l1d: self.l1d.as_ref().map(|c| c.state()),
+        }
+    }
+
+    /// Restores state captured from a memory system of identical
+    /// configuration. Statistics counters are left untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`] if the snapshot and this system disagree about the
+    /// presence or geometry of either cache.
+    pub fn restore_state(&mut self, state: &MemoryState) -> Result<(), StateError> {
+        let restore_side = |cache: &mut Option<Cache>,
+                            snap: &Option<CacheState>,
+                            what: &'static str|
+         -> Result<(), StateError> {
+            match (cache, snap) {
+                (Some(c), Some(s)) => c.restore_state(s),
+                (None, None) => Ok(()),
+                (Some(c), None) => Err(StateError {
+                    what,
+                    expected: c.config().sets() * c.config().associativity,
+                    got: 0,
+                }),
+                (None, Some(s)) => Err(StateError {
+                    what,
+                    expected: 0,
+                    got: s.lines.len(),
+                }),
+            }
+        };
+        restore_side(&mut self.l1i, &state.l1i, "L1I presence")?;
+        restore_side(&mut self.l1d, &state.l1d, "L1D presence")
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> MemorySystemStats {
         MemorySystemStats {
@@ -199,5 +291,67 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_latency_perfect_panics() {
         let _ = MemorySystem::new(MemorySystemConfig::Perfect { latency: 0 });
+    }
+
+    #[test]
+    fn warm_record_fills_both_sides_silently() {
+        use resim_trace::{MemKind, MemRecord, MemSize, TraceRecord};
+        let mut m = MemorySystem::new(MemorySystemConfig::l1_32k());
+        m.warm_record(&TraceRecord::Mem(MemRecord {
+            pc: 0x1000,
+            addr: 0x8000,
+            size: MemSize::Word,
+            kind: MemKind::Load,
+            base: None,
+            data: None,
+            wrong_path: false,
+        }));
+        assert_eq!(m.stats(), MemorySystemStats::default(), "warm is stats-silent");
+        assert!(m.inst_access(0x1000).hit, "I-side was warmed");
+        assert!(m.data_access(0x8000, false).hit, "D-side was warmed");
+    }
+
+    #[test]
+    fn state_roundtrip_between_systems() {
+        let mut warm = MemorySystem::new(MemorySystemConfig::l1_32k());
+        for i in 0..100u32 {
+            warm.warm_inst(0x1000 + i * 64);
+            warm.warm_data(0x9000 + i * 32);
+        }
+        let snap = warm.state();
+        let mut restored = MemorySystem::new(MemorySystemConfig::l1_32k());
+        restored.restore_state(&snap).unwrap();
+        assert_eq!(restored.state(), snap);
+        for i in 0..100u32 {
+            assert_eq!(
+                warm.data_access(0x9000 + i * 48, false),
+                restored.data_access(0x9000 + i * 48, false)
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_state_is_empty_and_restores() {
+        let mut p = MemorySystem::new(MemorySystemConfig::perfect());
+        let s = p.state();
+        assert_eq!(s, MemoryState::default());
+        p.restore_state(&s).unwrap();
+        // Mixing perfect and cached states is rejected both ways.
+        let cached = MemorySystem::new(MemorySystemConfig::l1_32k()).state();
+        assert!(p.restore_state(&cached).is_err());
+        let mut c = MemorySystem::new(MemorySystemConfig::l1_32k());
+        assert!(c.restore_state(&MemoryState::default()).is_err());
+    }
+
+    #[test]
+    fn system_stats_merge_adds_both_sides() {
+        let mut a = MemorySystem::new(MemorySystemConfig::l1_32k());
+        a.inst_access(0x0);
+        a.data_access(0x0, true);
+        let s = a.stats();
+        let m = s.merge(&s);
+        assert_eq!(m.l1i.accesses(), 2);
+        assert_eq!(m.l1d.writes, 2);
+        assert_eq!(s.merge(&MemorySystemStats::default()), s);
     }
 }

@@ -1,0 +1,185 @@
+//! The functional warmer: the cheap mode between detailed windows.
+//!
+//! Where the timing engine replays every record through a full
+//! out-of-order pipeline, the warmer touches only the long-lived
+//! microarchitectural state — branch-direction tables, BTB, RAS and cache
+//! tag arrays — through the stats-silent `warm_record` entry points of
+//! `resim-bpred` and `resim-mem`. There is no IFQ, no reorder buffer, no
+//! issue logic and no cycle accounting, which is what makes it an order
+//! of magnitude cheaper per record than detailed simulation.
+
+use resim_bpred::BranchPredictor;
+use resim_core::{Checkpoint, EngineConfig, ResumeError};
+use resim_mem::MemorySystem;
+use resim_trace::{TraceRecord, TraceSource};
+
+/// Cold-start functional warm state for one engine configuration.
+#[derive(Debug, Clone)]
+pub struct FunctionalWarmer {
+    predictor: BranchPredictor,
+    memory: MemorySystem,
+}
+
+impl FunctionalWarmer {
+    /// Cold tables for `config`'s predictor and memory system.
+    pub fn new(config: &EngineConfig) -> Self {
+        Self {
+            predictor: BranchPredictor::new(config.predictor),
+            memory: MemorySystem::new(config.memory),
+        }
+    }
+
+    /// A warmer resuming from `checkpoint`'s tables.
+    ///
+    /// # Errors
+    ///
+    /// [`ResumeError`] if the checkpoint was taken under a different
+    /// predictor/memory geometry.
+    pub fn from_checkpoint(
+        config: &EngineConfig,
+        checkpoint: &Checkpoint,
+    ) -> Result<Self, ResumeError> {
+        let mut w = Self::new(config);
+        w.adopt(checkpoint)?;
+        Ok(w)
+    }
+
+    /// Replaces the warm state with `checkpoint`'s — used after a
+    /// detailed window to carry the window's training (and wrong-path
+    /// pollution) forward into the next gap.
+    ///
+    /// # Errors
+    ///
+    /// [`ResumeError`] on geometry mismatch.
+    pub fn adopt(&mut self, checkpoint: &Checkpoint) -> Result<(), ResumeError> {
+        self.predictor.restore_state(&checkpoint.predictor)?;
+        self.memory.restore_state(&checkpoint.memory)?;
+        Ok(())
+    }
+
+    /// Warms one record: branches train the predictor/BTB/RAS, every
+    /// record touches the I-cache, memory records touch the D-cache.
+    ///
+    /// Wrong-path records are ignored — functional warming models the
+    /// committed stream; speculative pollution re-enters through the
+    /// detailed windows' own wrong-path execution.
+    pub fn warm_record(&mut self, record: &TraceRecord) {
+        if record.wrong_path() {
+            return;
+        }
+        self.predictor.warm_record(record);
+        self.memory.warm_record(record);
+    }
+
+    /// Pulls up to `n` records from `source` and warms each; returns how
+    /// many were pulled (less than `n` only at end of trace).
+    pub fn warm_from(&mut self, source: &mut impl TraceSource, n: u64) -> u64 {
+        for pulled in 0..n {
+            match source.next_record() {
+                Some(r) => self.warm_record(&r),
+                None => return pulled,
+            }
+        }
+        n
+    }
+
+    /// Seals the current warm state into a [`Checkpoint`] at trace
+    /// `position`.
+    pub fn checkpoint(&self, position: u64) -> Checkpoint {
+        Checkpoint {
+            position,
+            predictor: self.predictor.state(),
+            memory: self.memory.state(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resim_core::Engine;
+    use resim_mem::MemorySystemConfig;
+
+    fn cached_config() -> EngineConfig {
+        EngineConfig {
+            memory: MemorySystemConfig::l1_32k(),
+            ..EngineConfig::paper_4wide()
+        }
+    }
+
+    #[test]
+    fn warmer_checkpoint_resumes_an_engine() {
+        use resim_trace::{BranchKind, BranchRecord};
+        let config = cached_config();
+        let mut w = FunctionalWarmer::new(&config);
+        for i in 0..200u32 {
+            w.warm_record(&TraceRecord::Branch(BranchRecord {
+                pc: 0x100 + (i % 16) * 4,
+                target: 0x800,
+                taken: true,
+                kind: BranchKind::Cond,
+                src1: None,
+                src2: None,
+                wrong_path: false,
+            }));
+        }
+        let ck = w.checkpoint(200);
+        assert_eq!(ck.position, 200);
+        let engine = Engine::resume_from(config.clone(), &ck).expect("geometries match");
+        // The resumed engine's snapshot equals the warmer's checkpoint
+        // (modulo position, which the engine does not know).
+        let mut back = engine.snapshot();
+        back.position = 200;
+        assert_eq!(back, ck);
+        // And a second warmer can adopt it.
+        let w2 = FunctionalWarmer::from_checkpoint(&config, &ck).unwrap();
+        assert_eq!(w2.checkpoint(200), ck);
+    }
+
+    #[test]
+    fn wrong_path_records_do_not_warm() {
+        use resim_trace::{OpClass, OtherRecord};
+        let config = cached_config();
+        let mut w = FunctionalWarmer::new(&config);
+        let cold = w.checkpoint(0);
+        w.warm_record(&TraceRecord::Other(OtherRecord {
+            pc: 0x4000,
+            class: OpClass::IntAlu,
+            dest: None,
+            src1: None,
+            src2: None,
+            wrong_path: true,
+        }));
+        assert_eq!(w.checkpoint(0), cold);
+    }
+
+    #[test]
+    fn warm_from_stops_at_end_of_trace() {
+        use resim_trace::SliceSource;
+        use resim_trace::{OpClass, OtherRecord};
+        let records: Vec<TraceRecord> = (0..10u32)
+            .map(|i| {
+                TraceRecord::Other(OtherRecord {
+                    pc: i * 4,
+                    class: OpClass::IntAlu,
+                    dest: None,
+                    src1: None,
+                    src2: None,
+                    wrong_path: false,
+                })
+            })
+            .collect();
+        let mut src = SliceSource::new(&records);
+        let mut w = FunctionalWarmer::new(&cached_config());
+        assert_eq!(w.warm_from(&mut src, 4), 4);
+        assert_eq!(w.warm_from(&mut src, 100), 6);
+        assert_eq!(w.warm_from(&mut src, 1), 0);
+    }
+
+    #[test]
+    fn adopt_rejects_mismatched_geometry() {
+        let cached = FunctionalWarmer::new(&cached_config()).checkpoint(0);
+        let mut perfect = FunctionalWarmer::new(&EngineConfig::paper_4wide());
+        assert!(perfect.adopt(&cached).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! The sampled subsystem's correctness anchor: a plan covering 100 % of
+//! the intervals is not an approximation at all — `run_sampled` must
+//! reproduce `Engine::run` **bit-identically** (every `SimStats` field,
+//! component counters included), for any workload, seed, interval length
+//! and engine configuration.
+
+use proptest::prelude::*;
+use resim_core::{Engine, EngineConfig};
+use resim_sample::{run_sampled, SamplePlan};
+use resim_tracegen::{generate_trace, TraceGenConfig};
+use resim_workloads::{SpecBenchmark, Workload};
+
+fn config(cached: bool) -> EngineConfig {
+    if cached {
+        EngineConfig {
+            memory: resim_mem::MemorySystemConfig::l1_32k(),
+            ..EngineConfig::paper_4wide()
+        }
+    } else {
+        EngineConfig::paper_4wide()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn full_coverage_plan_is_bit_identical_to_engine_run(
+        bench_idx in 0usize..5,
+        seed in 0u64..1_000,
+        interval in prop_oneof![Just(64u64), Just(500), Just(1_000), Just(9_999)],
+        cached in any::<bool>(),
+        budget in 2_000usize..12_000,
+    ) {
+        let benchmark = SpecBenchmark::ALL[bench_idx];
+        let trace = generate_trace(
+            Workload::spec(benchmark, seed),
+            budget,
+            &TraceGenConfig::paper(),
+        );
+        let config = config(cached);
+
+        let full = Engine::new(config.clone()).unwrap().run(trace.source());
+        let sampled = run_sampled(&config, trace.source(), &SamplePlan::full_coverage(interval))
+            .unwrap();
+
+        prop_assert!(sampled.full_coverage);
+        prop_assert_eq!(sampled.sim, full);
+        prop_assert_eq!(sampled.records_total, trace.len() as u64);
+        prop_assert_eq!(
+            sampled.windows.iter().map(|w| w.records).sum::<u64>(),
+            trace.len() as u64
+        );
+    }
+}
+
+/// The acceptance-criteria cell: a sampled sweep cell on the paper_4wide
+/// configuration reports an IPC whose 95 % confidence interval contains
+/// the full run's IPC.
+#[test]
+fn sampled_ci_contains_full_run_ipc_on_paper_config() {
+    let trace = generate_trace(
+        Workload::spec(SpecBenchmark::Gzip, 2009),
+        80_000,
+        &TraceGenConfig::paper(),
+    );
+    let config = EngineConfig::paper_4wide();
+    let full = Engine::new(config.clone()).unwrap().run(trace.source());
+
+    let plan = SamplePlan::systematic(5_000, 1_000, 2);
+    let s = run_sampled(&config, trace.source(), &plan).unwrap();
+    assert!(s.n_windows() >= 8, "windows: {}", s.n_windows());
+    let (lo, hi) = s.ci95();
+    assert!(
+        s.ci95_contains(full.ipc()),
+        "full IPC {:.4} outside sampled 95% CI [{lo:.4}, {hi:.4}]",
+        full.ipc()
+    );
+    assert!(s.relative_error(full.ipc()) < 0.05);
+}

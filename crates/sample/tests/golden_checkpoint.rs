@@ -1,0 +1,152 @@
+//! Golden vector pinning the `Checkpoint` serialization layout.
+//!
+//! Resumable sweeps park checkpoints on disk; the byte layout must
+//! survive refactors. This test warms a tiny, fully-deterministic
+//! configuration, serializes the checkpoint and compares it against a
+//! pinned hex string bit for bit (and round-trips it). If the layout
+//! changes **deliberately**, bump `CHECKPOINT_VERSION` in
+//! `resim-core` and regenerate the vector printed by the failure
+//! message.
+
+use resim_bpred::{BtbConfig, DirectionConfig, PredictorConfig};
+use resim_core::{Checkpoint, EngineConfig, CHECKPOINT_VERSION};
+use resim_mem::{CacheConfig, MemorySystemConfig, Replacement};
+use resim_sample::FunctionalWarmer;
+use resim_trace::{
+    BranchKind, BranchRecord, MemKind, MemRecord, MemSize, OpClass, OtherRecord, TraceRecord,
+};
+
+/// A deliberately tiny machine so the golden vector stays readable:
+/// 8-counter bimodal predictor, 4×2 BTB, 2-deep RAS, 128 B 2-way caches.
+fn tiny_config() -> EngineConfig {
+    EngineConfig {
+        predictor: PredictorConfig {
+            direction: DirectionConfig::Bimodal { size: 8 },
+            btb: BtbConfig {
+                entries: 8,
+                associativity: 2,
+            },
+            ras_entries: 2,
+        },
+        memory: MemorySystemConfig::Split {
+            l1i: CacheConfig {
+                size_bytes: 128,
+                block_bytes: 32,
+                associativity: 2,
+                replacement: Replacement::Lru,
+                hit_latency: 1,
+                miss_penalty: 10,
+            },
+            l1d: CacheConfig {
+                size_bytes: 128,
+                block_bytes: 32,
+                associativity: 2,
+                replacement: Replacement::Fifo,
+                hit_latency: 1,
+                miss_penalty: 10,
+            },
+        },
+        ..EngineConfig::paper_4wide()
+    }
+}
+
+fn warm_checkpoint() -> Checkpoint {
+    let mut w = FunctionalWarmer::new(&tiny_config());
+    let records = [
+        TraceRecord::Branch(BranchRecord {
+            pc: 0x100,
+            target: 0x200,
+            taken: true,
+            kind: BranchKind::Call,
+            src1: None,
+            src2: None,
+            wrong_path: false,
+        }),
+        TraceRecord::Mem(MemRecord {
+            pc: 0x200,
+            addr: 0x1040,
+            size: MemSize::Word,
+            kind: MemKind::Load,
+            base: None,
+            data: None,
+            wrong_path: false,
+        }),
+        TraceRecord::Other(OtherRecord {
+            pc: 0x204,
+            class: OpClass::IntAlu,
+            dest: None,
+            src1: None,
+            src2: None,
+            wrong_path: false,
+        }),
+        TraceRecord::Branch(BranchRecord {
+            pc: 0x208,
+            target: 0x104,
+            taken: true,
+            kind: BranchKind::Return,
+            src1: None,
+            src2: None,
+            wrong_path: false,
+        }),
+    ];
+    for r in &records {
+        w.warm_record(r);
+    }
+    w.checkpoint(records.len() as u64)
+}
+
+/// The pinned layout (version 1). Regenerate only on a deliberate,
+/// version-bumped layout change.
+const GOLDEN_HEX: &str = "5253434b010004000000000000000000\
+                          00000800000002020202020202020800\
+                          00001000000000020000000100000000\
+                          00000000000000000000000000000000\
+                          00000000000000000000200000000401\
+                          00000001000000000000000000000000\
+                          00000000000000000000000000000000\
+                          00000200000004010000000000000000\
+                          00000000000001040000000400000001\
+                          00000001080000000000000001000000\
+                          00000000000000000000000000000000\
+                          000000157c4a7fb979379e0104000000\
+                          41000000010000000100000000000000\
+                          00000000000000000000000000000000\
+                          0000000001000000157c4a7fb979379e";
+
+fn golden_bytes() -> Vec<u8> {
+    let hex: String = GOLDEN_HEX.chars().filter(|c| !c.is_whitespace()).collect();
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).expect("valid hex"))
+        .collect()
+}
+
+#[test]
+fn layout_matches_golden_vector() {
+    assert_eq!(CHECKPOINT_VERSION, 1, "layout changed: regenerate the golden vector");
+    let bytes = warm_checkpoint().to_bytes();
+    let actual: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+    assert_eq!(
+        bytes,
+        golden_bytes(),
+        "checkpoint layout drifted; actual bytes:\n{actual}"
+    );
+}
+
+#[test]
+fn golden_vector_round_trips_bit_exactly() {
+    let ck = Checkpoint::from_bytes(&golden_bytes()).expect("golden vector decodes");
+    assert_eq!(ck, warm_checkpoint(), "decoded state matches the warm state");
+    assert_eq!(ck.to_bytes(), golden_bytes(), "re-encode is bit-exact");
+    assert_eq!(ck.position, 4);
+}
+
+#[test]
+fn golden_checkpoint_resumes_the_tiny_engine() {
+    use resim_core::Engine;
+    let ck = Checkpoint::from_bytes(&golden_bytes()).unwrap();
+    let engine = Engine::resume_from(tiny_config(), &ck).expect("geometry matches");
+    let mut back = engine.snapshot();
+    back.position = ck.position;
+    assert_eq!(back, ck, "resume/snapshot round-trips the golden state");
+}

@@ -22,7 +22,12 @@
 //!   naive sweep;
 //! * results collect into a [`SweepReport`]: per-cell
 //!   [`CellResult`]s (stats, trace stats, wall time) plus grid-level
-//!   aggregates, renderable as CSV or Markdown.
+//!   aggregates, renderable as CSV or Markdown;
+//! * an execution-mode axis ([`CellMode`]) trades accuracy for
+//!   wall-clock per cell: `CellMode::Sampled` runs a cell through
+//!   `resim-sample`'s SMARTS-style sampled simulation (functional warmup
+//!   between detailed windows) and reports the window-mean IPC with a
+//!   95 % confidence interval next to the exact cells.
 //!
 //! ## Example
 //!
@@ -59,4 +64,4 @@ mod scenario;
 
 pub use report::{CellResult, SweepReport};
 pub use runner::SweepRunner;
-pub use scenario::{Cell, ConfigPoint, Scenario, ScenarioError, WorkloadPoint};
+pub use scenario::{Cell, CellMode, ConfigPoint, Scenario, ScenarioError, WorkloadPoint};

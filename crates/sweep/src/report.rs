@@ -2,6 +2,7 @@
 //! CSV and Markdown rendering.
 
 use resim_core::SimStats;
+use resim_sample::SampledStats;
 use resim_trace::TraceStats;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -13,17 +14,41 @@ pub struct CellResult {
     pub config: String,
     /// Workload name.
     pub workload: String,
+    /// Execution-mode name (`"full"`, or `"sampled-<plan>"`).
+    pub mode: String,
     /// Correct-path instruction budget.
     pub budget: usize,
     /// Workload seed.
     pub seed: u64,
-    /// Engine statistics (bit-identical across thread counts).
+    /// Engine statistics (bit-identical across thread counts). For a
+    /// sampled cell these are the merged detailed-window statistics.
     pub stats: SimStats,
+    /// Per-window confidence data of a sampled cell (`None` for full).
+    pub sampled: Option<SampledStats>,
     /// Encoded-trace statistics of the (shared) input trace.
     pub trace_stats: TraceStats,
     /// Wall-clock time of this cell's engine run (informational only —
     /// never part of any determinism contract).
     pub wall: Duration,
+}
+
+impl CellResult {
+    /// The sampled-estimate data of this cell, when the cell's IPC is an
+    /// estimate rather than exact — `None` for full cells **and** for
+    /// 100 %-coverage sampled cells (those are exact). The single
+    /// decision point every renderer shares.
+    pub fn sampled_estimate(&self) -> Option<&SampledStats> {
+        self.sampled.as_ref().filter(|s| !s.full_coverage)
+    }
+
+    /// The cell's headline IPC: the sampled estimate (window-mean with a
+    /// confidence interval) for sampled cells, the exact IPC otherwise.
+    pub fn ipc(&self) -> f64 {
+        match self.sampled_estimate() {
+            Some(s) => s.mean_ipc(),
+            None => self.stats.ipc(),
+        }
+    }
 }
 
 /// Everything a sweep produced, cells in scenario order.
@@ -76,12 +101,12 @@ impl SweepReport {
         self.cells.iter().map(|c| c.stats).collect()
     }
 
-    /// Mean IPC over all cells.
+    /// Mean IPC over all cells (sampled cells contribute their estimate).
     pub fn mean_ipc(&self) -> f64 {
         if self.cells.is_empty() {
             return 0.0;
         }
-        self.cells.iter().map(|c| c.stats.ipc()).sum::<f64>() / self.cells.len() as f64
+        self.cells.iter().map(|c| c.ipc()).sum::<f64>() / self.cells.len() as f64
     }
 
     /// Lowest cell IPC (0 for an empty report).
@@ -91,16 +116,13 @@ impl SweepReport {
         }
         self.cells
             .iter()
-            .map(|c| c.stats.ipc())
+            .map(|c| c.ipc())
             .fold(f64::INFINITY, f64::min)
     }
 
     /// Highest cell IPC.
     pub fn max_ipc(&self) -> f64 {
-        self.cells
-            .iter()
-            .map(|c| c.stats.ipc())
-            .fold(0.0, f64::max)
+        self.cells.iter().map(|c| c.ipc()).fold(0.0, f64::max)
     }
 
     /// Total simulated instructions committed across the grid.
@@ -108,22 +130,34 @@ impl SweepReport {
         self.cells.iter().map(|c| c.stats.committed).sum()
     }
 
-    /// Renders one CSV row per cell (with header).
+    /// Renders one CSV row per cell (with header). Sampled cells carry
+    /// their 95 % confidence bounds; full cells leave those fields empty.
     pub fn to_csv(&self) -> String {
         let mut s = String::from(
-            "config,workload,budget,seed,cycles,committed,ipc,wrong_path_frac,bits_per_instr,wall_us\n",
+            "config,workload,mode,budget,seed,cycles,committed,ipc,ipc_ci_lo,ipc_ci_hi,\
+             wrong_path_frac,bits_per_instr,wall_us\n",
         );
         for c in &self.cells {
+            let (lo, hi) = match c.sampled_estimate() {
+                Some(sam) => {
+                    let (lo, hi) = sam.ci95();
+                    (format!("{lo:.4}"), format!("{hi:.4}"))
+                }
+                None => (String::new(), String::new()),
+            };
             let _ = writeln!(
                 s,
-                "{},{},{},{},{},{},{:.4},{:.4},{:.2},{}",
+                "{},{},{},{},{},{},{},{:.4},{},{},{:.4},{:.2},{}",
                 c.config,
                 c.workload,
+                c.mode,
                 c.budget,
                 c.seed,
                 c.stats.cycles,
                 c.stats.committed,
-                c.stats.ipc(),
+                c.ipc(),
+                lo,
+                hi,
                 c.stats.wrong_path_fraction(),
                 c.trace_stats.bits_per_instruction(),
                 c.wall.as_micros(),
@@ -135,19 +169,24 @@ impl SweepReport {
     /// Renders a Markdown table of the cells plus an aggregate footer.
     pub fn to_markdown(&self) -> String {
         let mut s = String::from(
-            "| config | workload | budget | seed | cycles | IPC | wp % | wall |\n\
-             |---|---|---:|---:|---:|---:|---:|---:|\n",
+            "| config | workload | mode | budget | seed | cycles | IPC | wp % | wall |\n\
+             |---|---|---|---:|---:|---:|---:|---:|---:|\n",
         );
         for c in &self.cells {
+            let ipc = match c.sampled_estimate() {
+                Some(sam) => format!("{:.3}±{:.3}", c.ipc(), sam.ci95_half_width()),
+                None => format!("{:.3}", c.ipc()),
+            };
             let _ = writeln!(
                 s,
-                "| {} | {} | {} | {} | {} | {:.3} | {:.1} | {:.1?} |",
+                "| {} | {} | {} | {} | {} | {} | {} | {:.1} | {:.1?} |",
                 c.config,
                 c.workload,
+                c.mode,
                 c.budget,
                 c.seed,
                 c.stats.cycles,
-                c.stats.ipc(),
+                ipc,
                 100.0 * c.stats.wrong_path_fraction(),
                 c.wall,
             );
@@ -177,6 +216,7 @@ mod tests {
         CellResult {
             config: config.into(),
             workload: workload.into(),
+            mode: "full".into(),
             budget: 1000,
             seed: 1,
             stats: SimStats {
@@ -184,6 +224,47 @@ mod tests {
                 committed: ipc_cycles.0,
                 ..SimStats::default()
             },
+            sampled: None,
+            trace_stats: TraceStats::default(),
+            wall: Duration::from_micros(10),
+        }
+    }
+
+    fn sampled_cell() -> CellResult {
+        use resim_sample::WindowStats;
+        let windows: Vec<WindowStats> = (0..4)
+            .map(|i| WindowStats {
+                index: i,
+                interval: i * 2,
+                start_record: i * 2_000,
+                records: 500,
+                committed: 900 + (i % 2) * 200,
+                cycles: 500,
+            })
+            .collect();
+        let sim = windows.iter().fold(SimStats::default(), |acc, w| {
+            acc.merge(&SimStats {
+                cycles: w.cycles,
+                committed: w.committed,
+                ..SimStats::default()
+            })
+        });
+        CellResult {
+            config: "a".into(),
+            workload: "gzip".into(),
+            mode: "sampled-u2000d500k2f".into(),
+            budget: 8_000,
+            seed: 1,
+            stats: sim,
+            sampled: Some(resim_sample::SampledStats {
+                windows,
+                sim,
+                records_total: 8_000,
+                records_detailed: 2_000,
+                records_warmed: 6_000,
+                records_skipped: 0,
+                full_coverage: false,
+            }),
             trace_stats: TraceStats::default(),
             wall: Duration::from_micros(10),
         }
@@ -223,15 +304,43 @@ mod tests {
         let csv = report().to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert!(lines[0].starts_with("config,workload"));
-        assert!(lines[1].starts_with("a,gzip,1000,1,100,200,2.0000"));
+        assert!(lines[0].starts_with("config,workload,mode"));
+        assert!(lines[1].starts_with("a,gzip,full,1000,1,100,200,2.0000,,,"));
     }
 
     #[test]
     fn markdown_shape() {
         let md = report().to_markdown();
-        assert!(md.contains("| a | gzip |"));
+        assert!(md.contains("| a | gzip | full |"));
         assert!(md.contains("2 cells on 2 threads"));
         assert!(md.contains("IPC mean 1.500"));
+    }
+
+    #[test]
+    fn sampled_cells_report_estimate_and_interval() {
+        let c = sampled_cell();
+        // Window mean (2.0) differs from the merged-stats IPC only in
+        // weighting; here windows are equal-length so they agree.
+        assert!((c.ipc() - 2.0).abs() < 1e-12);
+        let r = SweepReport {
+            cells: vec![c],
+            threads: 1,
+            wall: Duration::from_millis(1),
+            trace_cache_hits: 0,
+            trace_cache_misses: 1,
+        };
+        let csv = r.to_csv();
+        let line = csv.lines().nth(1).unwrap();
+        assert!(line.starts_with("a,gzip,sampled-u2000d500k2f,8000,1"));
+        // CI bounds are present and bracket the estimate.
+        let fields: Vec<&str> = line.split(',').collect();
+        let (ipc, lo, hi): (f64, f64, f64) = (
+            fields[7].parse().unwrap(),
+            fields[8].parse().unwrap(),
+            fields[9].parse().unwrap(),
+        );
+        assert!(lo < ipc && ipc < hi);
+        let md = r.to_markdown();
+        assert!(md.contains('±'), "markdown shows the half-width: {md}");
     }
 }

@@ -14,8 +14,9 @@
 //! [`resim_tracegen::TraceCache`].
 
 use crate::report::{CellResult, SweepReport};
-use crate::scenario::{Scenario, ScenarioError};
+use crate::scenario::{CellMode, Scenario, ScenarioError};
 use resim_core::Engine;
+use resim_sample::run_sampled;
 use resim_tracegen::{TraceCache, TraceKey};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -113,16 +114,28 @@ impl SweepRunner {
                 .cache
                 .get(&scenario.trace_key(cell))
                 .expect("phase 1 filled every key");
-            let mut engine =
-                Engine::new(config.engine.clone()).expect("scenario validated every config");
+            let mode = scenario.cell_mode(cell);
             let cell_t0 = Instant::now();
-            let stats = engine.run(cached.trace.source());
+            let (stats, sampled) = match &mode {
+                CellMode::Full => {
+                    let mut engine = Engine::new(config.engine.clone())
+                        .expect("scenario validated every config");
+                    (engine.run(cached.trace.source()), None)
+                }
+                CellMode::Sampled(plan) => {
+                    let s = run_sampled(&config.engine, cached.trace.source(), plan)
+                        .expect("scenario validated every plan and config");
+                    (s.sim, Some(s))
+                }
+            };
             let result = CellResult {
                 config: config.name.clone(),
                 workload: scenario.workloads()[cell.workload].name.clone(),
+                mode: mode.name(),
                 budget: cell.budget,
                 seed: cell.seed,
                 stats,
+                sampled,
                 trace_stats: cached.stats.clone(),
                 wall: cell_t0.elapsed(),
             };

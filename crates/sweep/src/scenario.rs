@@ -2,10 +2,36 @@
 //! workloads, instruction budgets and workload seeds.
 
 use resim_core::{ConfigError, EngineConfig};
+use resim_sample::{PlanError, SamplePlan};
 use resim_tracegen::{TraceGenConfig, TraceKey};
 use resim_workloads::{SpecBenchmark, Workload, WorkloadProfile};
 use std::error::Error;
 use std::fmt;
+
+/// How one grid cell executes its trace — the accuracy-versus-wall-clock
+/// axis of a scenario.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum CellMode {
+    /// Every record cycle-accurate: one [`Engine::run`](resim_core::Engine::run).
+    #[default]
+    Full,
+    /// SMARTS-style sampled simulation under the given plan
+    /// ([`resim_sample::run_sampled`]); the cell reports the merged
+    /// detailed-window statistics plus the per-window confidence data.
+    Sampled(SamplePlan),
+}
+
+impl CellMode {
+    /// Display name, unique per distinct mode (`"full"`, or
+    /// `"sampled-<plan>"`).
+    pub fn name(&self) -> String {
+        match self {
+            CellMode::Full => "full".to_string(),
+            CellMode::Sampled(plan) => format!("sampled-{}", plan.name()),
+        }
+    }
+}
+
 
 /// One engine design point plus the trace-generation configuration its
 /// traces must be produced with (the generator's predictor must match the
@@ -99,6 +125,8 @@ pub struct Scenario {
     workloads: Vec<WorkloadPoint>,
     budgets: Vec<usize>,
     seeds: Vec<u64>,
+    /// Execution-mode axis; empty means the implicit `[CellMode::Full]`.
+    modes: Vec<CellMode>,
 }
 
 impl Scenario {
@@ -157,6 +185,24 @@ impl Scenario {
         self
     }
 
+    /// Adds one execution mode to the mode axis.
+    ///
+    /// Scenarios without an explicit mode run every cell [`CellMode::Full`]
+    /// (the implicit single-entry axis), so existing grids are unchanged.
+    /// Adding modes multiplies the grid: `.mode(CellMode::Full)
+    /// .mode(CellMode::Sampled(plan))` runs every design point both ways,
+    /// which is how a grid measures its own sampling error.
+    pub fn mode(mut self, mode: CellMode) -> Self {
+        self.modes.push(mode);
+        self
+    }
+
+    /// Replaces the whole execution-mode axis.
+    pub fn modes(mut self, modes: impl IntoIterator<Item = CellMode>) -> Self {
+        self.modes = modes.into_iter().collect();
+        self
+    }
+
     /// The configuration axis.
     pub fn configs(&self) -> &[ConfigPoint] {
         &self.configs
@@ -177,9 +223,32 @@ impl Scenario {
         &self.seeds
     }
 
+    /// The effective execution-mode axis (the implicit `[Full]` when none
+    /// was set explicitly).
+    pub fn mode_values(&self) -> Vec<CellMode> {
+        if self.modes.is_empty() {
+            vec![CellMode::Full]
+        } else {
+            self.modes.clone()
+        }
+    }
+
+    /// The execution mode of one cell.
+    pub fn cell_mode(&self, cell: &Cell) -> CellMode {
+        if self.modes.is_empty() {
+            CellMode::Full
+        } else {
+            self.modes[cell.mode]
+        }
+    }
+
     /// Number of cells in the grid.
     pub fn len(&self) -> usize {
-        self.configs.len() * self.workloads.len() * self.budgets.len() * self.seeds.len()
+        self.configs.len()
+            * self.workloads.len()
+            * self.budgets.len()
+            * self.seeds.len()
+            * self.modes.len().max(1)
     }
 
     /// Whether the grid has no cells.
@@ -214,6 +283,20 @@ impl Scenario {
         if self.budgets.contains(&0) {
             return Err(ScenarioError::ZeroBudget);
         }
+        for window in 0..self.modes.len() {
+            if self.modes[window + 1..]
+                .iter()
+                .any(|m| m.name() == self.modes[window].name())
+            {
+                return Err(ScenarioError::DuplicateName(self.modes[window].name()));
+            }
+        }
+        for m in &self.modes {
+            if let CellMode::Sampled(plan) = m {
+                plan.validate()
+                    .map_err(|e| ScenarioError::Mode(m.name(), e))?;
+            }
+        }
         for c in &self.configs {
             c.engine
                 .validate()
@@ -223,24 +306,29 @@ impl Scenario {
     }
 
     /// Enumerates the cells in the deterministic dispatch order:
-    /// seed-major, then budget, then workload, with the configuration
-    /// axis innermost — so cells sharing one generated trace are
-    /// adjacent in the queue.
+    /// seed-major, then budget, then workload, then mode, with the
+    /// configuration axis innermost — so cells sharing one generated
+    /// trace (all modes and configs of a `(workload, seed, budget)`
+    /// tuple) are adjacent in the queue.
     pub fn cells(&self) -> Vec<Cell> {
+        let n_modes = self.modes.len().max(1);
         let mut out = Vec::with_capacity(self.len());
         for (si, &seed) in self.seeds.iter().enumerate() {
             for (bi, &budget) in self.budgets.iter().enumerate() {
                 for wi in 0..self.workloads.len() {
-                    for ci in 0..self.configs.len() {
-                        out.push(Cell {
-                            index: out.len(),
-                            config: ci,
-                            workload: wi,
-                            budget,
-                            seed,
-                            budget_index: bi,
-                            seed_index: si,
-                        });
+                    for mi in 0..n_modes {
+                        for ci in 0..self.configs.len() {
+                            out.push(Cell {
+                                index: out.len(),
+                                config: ci,
+                                workload: wi,
+                                budget,
+                                seed,
+                                budget_index: bi,
+                                seed_index: si,
+                                mode: mi,
+                            });
+                        }
                     }
                 }
             }
@@ -276,6 +364,8 @@ pub struct Cell {
     pub budget_index: usize,
     /// Index into [`Scenario::seed_values`].
     pub seed_index: usize,
+    /// Index into [`Scenario::mode_values`].
+    pub mode: usize,
 }
 
 /// Reasons a scenario cannot run.
@@ -289,6 +379,8 @@ pub enum ScenarioError {
     ZeroBudget,
     /// An engine configuration failed structural validation.
     Config(String, ConfigError),
+    /// A sampled execution mode carries a degenerate plan.
+    Mode(String, PlanError),
 }
 
 impl fmt::Display for ScenarioError {
@@ -302,6 +394,7 @@ impl fmt::Display for ScenarioError {
             }
             ScenarioError::ZeroBudget => write!(f, "instruction budgets must be non-zero"),
             ScenarioError::Config(name, e) => write!(f, "config {name:?} is invalid: {e}"),
+            ScenarioError::Mode(name, e) => write!(f, "mode {name:?} is invalid: {e}"),
         }
     }
 }
@@ -373,6 +466,57 @@ mod tests {
         );
         assert!(matches!(bad.validate(), Err(ScenarioError::Config(_, _))));
         assert!(two_by_two().validate().is_ok());
+    }
+
+    #[test]
+    fn implicit_mode_axis_is_full_only() {
+        let s = two_by_two();
+        assert_eq!(s.mode_values(), vec![CellMode::Full]);
+        assert_eq!(s.len(), 8, "no mode multiplier without explicit modes");
+        for c in s.cells() {
+            assert_eq!(c.mode, 0);
+            assert_eq!(s.cell_mode(&c), CellMode::Full);
+        }
+    }
+
+    #[test]
+    fn explicit_modes_multiply_the_grid() {
+        let plan = SamplePlan::systematic(1_000, 200, 2);
+        let s = two_by_two()
+            .mode(CellMode::Full)
+            .mode(CellMode::Sampled(plan));
+        assert_eq!(s.len(), 16);
+        assert!(s.validate().is_ok());
+        let cells = s.cells();
+        // Mode varies outside the config axis: full for both configs,
+        // then sampled for both.
+        assert_eq!(s.cell_mode(&cells[0]), CellMode::Full);
+        assert_eq!(s.cell_mode(&cells[1]), CellMode::Full);
+        assert_eq!(s.cell_mode(&cells[2]), CellMode::Sampled(plan));
+        assert_eq!(s.cell_mode(&cells[3]), CellMode::Sampled(plan));
+        // Same trace key across modes: sampling shares the grid's traces.
+        assert_eq!(s.trace_key(&cells[0]), s.trace_key(&cells[2]));
+    }
+
+    #[test]
+    fn degenerate_or_duplicate_modes_are_rejected() {
+        let bad = two_by_two().mode(CellMode::Sampled(SamplePlan::systematic(10, 20, 1)));
+        assert!(matches!(bad.validate(), Err(ScenarioError::Mode(_, _))));
+        let dup = two_by_two().mode(CellMode::Full).mode(CellMode::Full);
+        assert!(matches!(
+            dup.validate(),
+            Err(ScenarioError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn mode_names_are_stable() {
+        assert_eq!(CellMode::Full.name(), "full");
+        assert_eq!(
+            CellMode::Sampled(SamplePlan::systematic(1000, 100, 10)).name(),
+            "sampled-u1000d100k10f"
+        );
+        assert_eq!(CellMode::default(), CellMode::Full);
     }
 
     #[test]

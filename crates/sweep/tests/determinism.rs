@@ -94,3 +94,58 @@ fn shared_cache_does_not_perturb_results() {
     assert_eq!(cold.trace_cache_misses, 4, "4 unique (workload, seed) traces");
     assert_eq!(warm.trace_cache_misses, 0, "warm sweep generates nothing");
 }
+
+/// The determinism contract extends to the sampled execution mode: a grid
+/// mixing full and sampled cells produces bit-identical per-cell stats —
+/// and identical per-window confidence data — at any thread count.
+#[test]
+fn sampled_sweeps_are_thread_count_invariant() {
+    use resim_sweep::CellMode;
+    let scenario = eight_cell_scenario()
+        .mode(CellMode::Full)
+        .mode(CellMode::Sampled(
+            resim_sample::SamplePlan::systematic(2_000, 500, 2),
+        ));
+    let reference = SweepRunner::new(1).run(&scenario).expect("valid");
+    assert_eq!(reference.cells.len(), 16, "mode axis doubles the grid");
+
+    for threads in [2usize, 8] {
+        let report = SweepRunner::new(threads).run(&scenario).expect("valid");
+        assert_eq!(
+            report.all_stats(),
+            reference.all_stats(),
+            "{threads}-thread sampled sweep diverged"
+        );
+        for (a, b) in report.cells.iter().zip(&reference.cells) {
+            assert_eq!(a.mode, b.mode);
+            assert_eq!(a.sampled, b.sampled, "window data must be identical");
+        }
+    }
+
+    // Sampled cells share the full cells' traces: still 4 unique keys.
+    assert_eq!(reference.trace_cache_misses, 4);
+
+    // And each sampled estimate lands near its full counterpart.
+    for full in reference.cells.iter().filter(|c| c.mode == "full") {
+        let sampled = reference
+            .cells
+            .iter()
+            .find(|c| {
+                c.mode != "full"
+                    && c.config == full.config
+                    && c.workload == full.workload
+                    && c.seed == full.seed
+            })
+            .expect("every full cell has a sampled twin");
+        let s = sampled.sampled.as_ref().expect("sampled cell carries windows");
+        assert!(
+            s.relative_error(full.stats.ipc()) < 0.15,
+            "sampled {} vs full {} ({} / {} / seed {})",
+            s.mean_ipc(),
+            full.stats.ipc(),
+            full.config,
+            full.workload,
+            full.seed
+        );
+    }
+}

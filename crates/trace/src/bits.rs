@@ -134,6 +134,23 @@ impl<'a> BitReader<'a> {
         self.get(1).map(|b| b == 1)
     }
 
+    /// Advances past `nbits` bits without assembling a value; `false` if
+    /// fewer remain (position is then unchanged).
+    ///
+    /// This is the decode-and-discard primitive behind
+    /// [`TraceDecoder::skip_record`](crate::TraceDecoder::skip_record):
+    /// skipping is O(1) in the width, where [`BitReader::get`] walks every
+    /// bit.
+    pub fn skip_bits(&mut self, nbits: u64) -> bool {
+        match self.pos.checked_add(nbits) {
+            Some(end) if end <= self.len_bits => {
+                self.pos = end;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Bits remaining to be read.
     pub fn remaining_bits(&self) -> u64 {
         self.len_bits - self.pos
@@ -218,6 +235,24 @@ mod tests {
         assert_eq!(r.position(), 3);
         r.get(2);
         assert_eq!(r.position(), 5);
+    }
+
+    #[test]
+    fn skip_bits_advances_without_reading() {
+        let mut w = BitWriter::new();
+        w.put(0x5, 3);
+        w.put(0xBEEF, 16);
+        w.put(0x3, 2);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::new(&bytes, bits);
+        assert!(r.skip_bits(3));
+        assert_eq!(r.position(), 3);
+        assert!(r.skip_bits(16));
+        assert_eq!(r.get(2), Some(0x3));
+        assert!(!r.skip_bits(1), "nothing left to skip");
+        assert_eq!(r.position(), 21, "failed skip must not move");
+        assert!(!r.skip_bits(u64::MAX), "overflowing skip must fail cleanly");
+        assert_eq!(r.position(), 21);
     }
 
     #[test]

@@ -207,6 +207,78 @@ impl EncodedTrace {
         }
         Ok(Trace::from_records(out))
     }
+
+    /// A streaming [`TraceSource`] decoding records on the fly.
+    ///
+    /// [`TraceSource::skip`] on the returned source uses the codec-level
+    /// fast path ([`TraceDecoder::skip_record`]) — records are paged over
+    /// without being materialised.
+    pub fn source(&self) -> EncodedSource<'_> {
+        EncodedSource {
+            decoder: TraceDecoder::new(&self.bytes, self.len_bits),
+            remaining: self.records,
+            error: None,
+        }
+    }
+}
+
+/// A [`TraceSource`] streaming straight out of an [`EncodedTrace`]'s bit
+/// stream, decoding one record per pull.
+///
+/// Decode errors terminate the stream (fused `None`); the first error is
+/// retained and can be inspected with [`EncodedSource::error`]. Traces
+/// produced by [`TraceEncoder`] never error.
+#[derive(Debug, Clone)]
+pub struct EncodedSource<'a> {
+    decoder: TraceDecoder<'a>,
+    remaining: u64,
+    error: Option<DecodeError>,
+}
+
+impl EncodedSource<'_> {
+    /// The first decode error hit, if the stream ended abnormally.
+    pub fn error(&self) -> Option<DecodeError> {
+        self.error
+    }
+}
+
+impl crate::TraceSource for EncodedSource<'_> {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        if self.error.is_some() {
+            return None;
+        }
+        match self.decoder.next_record() {
+            Ok(Some(r)) => {
+                self.remaining = self.remaining.saturating_sub(1);
+                Some(r)
+            }
+            Ok(None) => None,
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
+        }
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
+
+    fn skip(&mut self, n: u64) -> u64 {
+        let mut skipped = 0;
+        while skipped < n && self.error.is_none() {
+            match self.decoder.skip_record() {
+                Ok(true) => skipped += 1,
+                Ok(false) => break,
+                Err(e) => {
+                    self.error = Some(e);
+                    break;
+                }
+            }
+        }
+        self.remaining = self.remaining.saturating_sub(skipped);
+        skipped
+    }
 }
 
 /// Streaming decoder over a packed bit stream.
@@ -310,6 +382,95 @@ impl<'a> TraceDecoder<'a> {
         self.expected_pc = Some(record.implied_next_pc());
         Ok(Some(record))
     }
+
+    /// Discards the next record without building a [`TraceRecord`] —
+    /// the codec-level fast path behind
+    /// [`TraceSource::skip`](crate::TraceSource::skip).
+    ///
+    /// Only the fields that determine record length and PC chaining are
+    /// examined (presence flags, and a branch's taken/target pair); the
+    /// 32-bit address/register payloads are skipped wholesale, never
+    /// validated or materialised. Returns `Ok(false)` at a clean end of
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// The same [`DecodeError`]s as [`TraceDecoder::next_record`], except
+    /// that enum payloads (`OpClass`, `MemSize`, `BranchKind`) are *not*
+    /// range-checked here.
+    pub fn skip_record(&mut self) -> Result<bool, DecodeError> {
+        if self.reader.remaining_bits() == 0 {
+            return Ok(false);
+        }
+        let fmt = self.reader.get(2).ok_or(DecodeError::Truncated)?;
+        if fmt > FMT_BRANCH {
+            return Err(DecodeError::BadFormat(fmt as u8));
+        }
+        // tag bit
+        if !self.reader.skip_bits(1) {
+            return Err(DecodeError::Truncated);
+        }
+        let explicit = self.reader.get_bool().ok_or(DecodeError::Truncated)?;
+        let pc = if explicit {
+            self.reader.get(32).ok_or(DecodeError::Truncated)?
+        } else {
+            self.expected_pc.ok_or(DecodeError::MissingPc)?
+        };
+        let next_pc = match fmt {
+            FMT_OTHER => {
+                // class(2) + three optional registers.
+                if !self.reader.skip_bits(2) {
+                    return Err(DecodeError::Truncated);
+                }
+                for _ in 0..3 {
+                    skip_reg(&mut self.reader)?;
+                }
+                pc.wrapping_add(4)
+            }
+            FMT_MEM => {
+                // kind(1) + size(2) + addr(32) + two optional registers.
+                if !self.reader.skip_bits(1 + 2 + 32) {
+                    return Err(DecodeError::Truncated);
+                }
+                for _ in 0..2 {
+                    skip_reg(&mut self.reader)?;
+                }
+                pc.wrapping_add(4)
+            }
+            _ => {
+                // kind(3), then taken/target — the only payload skipping
+                // must decode, because a taken branch redirects the
+                // implicit-PC chain.
+                if !self.reader.skip_bits(3) {
+                    return Err(DecodeError::Truncated);
+                }
+                let taken = self.reader.get_bool().ok_or(DecodeError::Truncated)?;
+                let target = self.reader.get(32).ok_or(DecodeError::Truncated)?;
+                for _ in 0..2 {
+                    skip_reg(&mut self.reader)?;
+                }
+                if taken {
+                    target
+                } else {
+                    pc.wrapping_add(4)
+                }
+            }
+        };
+        let pad = (8 - self.reader.position() % 8) % 8;
+        if !self.reader.skip_bits(pad) {
+            return Err(DecodeError::Truncated);
+        }
+        self.expected_pc = Some(next_pc);
+        Ok(true)
+    }
+}
+
+fn skip_reg(r: &mut BitReader<'_>) -> Result<(), DecodeError> {
+    let present = r.get_bool().ok_or(DecodeError::Truncated)?;
+    if present && !r.skip_bits(6) {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(())
 }
 
 /// Errors produced when decoding a packed trace.
@@ -488,6 +649,65 @@ mod tests {
         assert!(enc.is_empty());
         let dec = enc.decode().unwrap();
         assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn skip_record_stays_in_sync_with_decode() {
+        use crate::TraceSource as _;
+        let trace = Trace::from_records(sample_records());
+        let enc = trace.encode();
+        // Skip 3, decode the rest: must resume exactly at record 3 even
+        // though records 1–3 ride the implicit/explicit PC chain.
+        let mut src = enc.source();
+        assert_eq!(src.skip(3), 3);
+        assert_eq!(src.len_hint(), Some(2));
+        let rest: Vec<TraceRecord> = std::iter::from_fn(|| src.next_record()).collect();
+        assert_eq!(rest, trace.records()[3..]);
+        assert!(src.error().is_none());
+    }
+
+    #[test]
+    fn skip_every_prefix_then_decode_suffix() {
+        use crate::TraceSource as _;
+        let trace = Trace::from_records(sample_records());
+        let enc = trace.encode();
+        for n in 0..=trace.len() {
+            let mut src = enc.source();
+            assert_eq!(src.skip(n as u64), n as u64);
+            let rest: Vec<TraceRecord> = std::iter::from_fn(|| src.next_record()).collect();
+            assert_eq!(rest, trace.records()[n..], "suffix after skipping {n}");
+        }
+        // Skipping past the end clamps.
+        let mut src = enc.source();
+        assert_eq!(src.skip(100), trace.len() as u64);
+        assert!(src.next_record().is_none());
+    }
+
+    #[test]
+    fn encoded_source_streams_whole_trace() {
+        use crate::TraceSource as _;
+        let trace = Trace::from_records(sample_records());
+        let enc = trace.encode();
+        let mut src = enc.source();
+        assert_eq!(src.len_hint(), Some(5));
+        let all: Vec<TraceRecord> = std::iter::from_fn(|| src.next_record()).collect();
+        assert_eq!(all, trace.records());
+        assert!(src.next_record().is_none(), "fused after end");
+    }
+
+    #[test]
+    fn encoded_source_surfaces_decode_errors() {
+        use crate::TraceSource as _;
+        let trace = Trace::from_records(sample_records());
+        let enc = trace.encode();
+        let mut bad = EncodedSource {
+            decoder: TraceDecoder::new(enc.bytes(), enc.len_bits() - 8),
+            remaining: enc.len(),
+            error: None,
+        };
+        while bad.next_record().is_some() {}
+        assert_eq!(bad.error(), Some(DecodeError::Truncated));
+        assert_eq!(bad.skip(1), 0, "errored source skips nothing");
     }
 
     #[test]

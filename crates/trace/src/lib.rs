@@ -68,12 +68,12 @@ mod source;
 mod stats;
 
 pub use bits::{BitReader, BitWriter};
-pub use codec::{DecodeError, EncodedTrace, TraceDecoder, TraceEncoder};
+pub use codec::{DecodeError, EncodedSource, EncodedTrace, TraceDecoder, TraceEncoder};
 pub use record::{
     BranchKind, BranchRecord, MemKind, MemRecord, MemSize, OpClass, OtherRecord, Reg, RegClass,
     TraceRecord,
 };
-pub use source::{SliceSource, TraceSource};
+pub use source::{SliceSource, TraceSource, Window};
 pub use stats::TraceStats;
 
 /// An owned, in-memory sequence of trace records.

@@ -21,6 +21,42 @@ pub trait TraceSource {
     fn len_hint(&self) -> Option<u64> {
         None
     }
+
+    /// Discards the next `n` records, returning how many were actually
+    /// discarded (less than `n` only at end of trace).
+    ///
+    /// The default implementation decodes and drops records one by one;
+    /// sources with cheaper seeks override it —
+    /// [`SliceSource`] jumps its cursor in O(1), and
+    /// [`EncodedSource`](crate::EncodedSource) pages over the bit stream
+    /// without materialising records
+    /// ([`TraceDecoder::skip_record`](crate::TraceDecoder::skip_record)).
+    /// Sampled simulation uses this for warmup fast-forward between
+    /// detailed windows.
+    fn skip(&mut self, n: u64) -> u64 {
+        for skipped in 0..n {
+            if self.next_record().is_none() {
+                return skipped;
+            }
+        }
+        n
+    }
+
+    /// Borrows a sub-source yielding at most the next `records` records.
+    ///
+    /// The underlying source keeps whatever the window does not consume —
+    /// this is the interval-iteration primitive of sampled simulation:
+    /// each detailed window runs the engine over `source.window(d)` while
+    /// the surrounding warmup loop keeps streaming the same source.
+    fn window(&mut self, records: u64) -> Window<'_, Self>
+    where
+        Self: Sized,
+    {
+        Window {
+            source: self,
+            remaining: records,
+        }
+    }
 }
 
 impl<T: TraceSource + ?Sized> TraceSource for &mut T {
@@ -31,6 +67,10 @@ impl<T: TraceSource + ?Sized> TraceSource for &mut T {
     fn len_hint(&self) -> Option<u64> {
         (**self).len_hint()
     }
+
+    fn skip(&mut self, n: u64) -> u64 {
+        (**self).skip(n)
+    }
 }
 
 impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
@@ -40,6 +80,52 @@ impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
 
     fn len_hint(&self) -> Option<u64> {
         (**self).len_hint()
+    }
+
+    fn skip(&mut self, n: u64) -> u64 {
+        (**self).skip(n)
+    }
+}
+
+/// A bounded view over a borrowed [`TraceSource`]: yields at most a fixed
+/// number of records, then reports end of trace while the underlying
+/// source retains its position. Created by [`TraceSource::window`].
+#[derive(Debug)]
+pub struct Window<'a, S: TraceSource> {
+    source: &'a mut S,
+    remaining: u64,
+}
+
+impl<S: TraceSource> Window<'_, S> {
+    /// Unused budget: the window's record cap minus what it has yielded.
+    /// Stays put when the underlying source ends early, so
+    /// `cap - remaining()` is always the count actually consumed.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl<S: TraceSource> TraceSource for Window<'_, S> {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let r = self.source.next_record();
+        if r.is_some() {
+            self.remaining -= 1;
+        }
+        r
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        let cap = self.remaining;
+        Some(self.source.len_hint().map_or(cap, |n| n.min(cap)))
+    }
+
+    fn skip(&mut self, n: u64) -> u64 {
+        let skipped = self.source.skip(n.min(self.remaining));
+        self.remaining -= skipped;
+        skipped
     }
 }
 
@@ -73,6 +159,13 @@ impl TraceSource for SliceSource<'_> {
 
     fn len_hint(&self) -> Option<u64> {
         Some((self.records.len() - self.pos) as u64)
+    }
+
+    fn skip(&mut self, n: u64) -> u64 {
+        let left = (self.records.len() - self.pos) as u64;
+        let skipped = n.min(left);
+        self.pos += skipped as usize;
+        skipped
     }
 }
 
@@ -130,5 +223,70 @@ mod tests {
         let mut boxed: Box<dyn TraceSource + '_> = Box::new(SliceSource::new(&records));
         assert_eq!(boxed.len_hint(), Some(2));
         assert!(boxed.next_record().is_some());
+    }
+
+    #[test]
+    fn slice_skip_jumps_the_cursor() {
+        let records = recs(10);
+        let mut s = SliceSource::new(&records);
+        assert_eq!(s.skip(3), 3);
+        assert_eq!(s.consumed(), 3);
+        assert_eq!(s.next_record().unwrap().pc(), 3 * 4);
+        assert_eq!(s.skip(100), 6, "skip clamps at end of trace");
+        assert!(s.next_record().is_none());
+        assert_eq!(s.skip(1), 0);
+    }
+
+    /// A source that only implements `next_record`, exercising the default
+    /// decode-and-discard `skip`.
+    struct Minimal(SliceSource<'static>);
+    impl TraceSource for Minimal {
+        fn next_record(&mut self) -> Option<TraceRecord> {
+            self.0.next_record()
+        }
+    }
+
+    #[test]
+    fn default_skip_matches_override() {
+        let records: &'static [TraceRecord] = recs(10).leak();
+        let mut fast = SliceSource::new(records);
+        let mut slow = Minimal(SliceSource::new(records));
+        assert_eq!(fast.skip(4), slow.skip(4));
+        assert_eq!(fast.next_record(), slow.next_record());
+        assert_eq!(fast.skip(99), slow.skip(99));
+    }
+
+    #[test]
+    fn window_bounds_and_leaves_the_rest() {
+        let records = recs(10);
+        let mut s = SliceSource::new(&records);
+        {
+            let mut w = s.window(4);
+            assert_eq!(w.len_hint(), Some(4));
+            assert_eq!(w.skip(1), 1);
+            assert_eq!(w.next_record().unwrap().pc(), 4);
+            assert_eq!(w.remaining(), 2);
+            assert!(w.next_record().is_some());
+            assert!(w.next_record().is_some());
+            assert!(w.next_record().is_none(), "window exhausted");
+        }
+        assert_eq!(s.consumed(), 4, "underlying source keeps the rest");
+        assert_eq!(s.next_record().unwrap().pc(), 4 * 4);
+    }
+
+    #[test]
+    fn window_larger_than_source_fuses() {
+        let records = recs(2);
+        let mut s = SliceSource::new(&records);
+        let mut w = s.window(5);
+        assert_eq!(w.len_hint(), Some(2), "hint clamps to the source");
+        assert!(w.next_record().is_some());
+        assert!(w.next_record().is_some());
+        assert!(w.next_record().is_none());
+        assert_eq!(
+            w.remaining(),
+            3,
+            "budget is untouched by source exhaustion: 5 - 2 consumed"
+        );
     }
 }

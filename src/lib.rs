@@ -15,6 +15,7 @@
 //! | [`workloads`] | `resim-workloads` | calibrated synthetic SPECINT CPU2000 models |
 //! | [`tracegen`] | `resim-tracegen` | `sim-bpred`-style trace generation with wrong-path blocks |
 //! | [`core`] | `resim-core` | the out-of-order timing engine and minor-cycle pipeline models |
+//! | [`sample`] | `resim-sample` | SMARTS-style sampled simulation: functional warmup, checkpoints, confidence-bounded IPC |
 //! | [`sweep`] | `resim-sweep` | deterministic multi-threaded scenario-grid sweeps with trace sharing |
 //! | [`fpga`] | `resim-fpga` | device/frequency/area/bandwidth models and Table 2 comparison data |
 //!
@@ -48,6 +49,7 @@ pub use resim_core as core;
 pub use resim_fpga as fpga;
 pub use resim_isa as isa;
 pub use resim_mem as mem;
+pub use resim_sample as sample;
 pub use resim_sweep as sweep;
 pub use resim_trace as trace;
 pub use resim_tracegen as tracegen;
@@ -57,14 +59,16 @@ pub use resim_workloads as workloads;
 pub mod prelude {
     pub use resim_bpred::{BranchPredictor, PredictorConfig};
     pub use resim_core::{
-        block_diagram, Engine, EngineConfig, MultiCore, PipelineOrganization, SimStats,
+        block_diagram, Checkpoint, Engine, EngineConfig, MultiCore, PipelineOrganization,
+        SimStats, TraceCursor,
     };
     pub use resim_fpga::{
         effective_mips, AreaModel, FpgaDevice, ThroughputModel, TraceLink,
     };
     pub use resim_isa::{programs, Assembler, FunctionalSimulator};
     pub use resim_mem::{CacheConfig, MemorySystem, MemorySystemConfig};
-    pub use resim_sweep::{Scenario, SweepReport, SweepRunner, WorkloadPoint};
+    pub use resim_sample::{run_sampled, FunctionalWarmer, SampledStats, SamplePlan, WarmupMode};
+    pub use resim_sweep::{CellMode, Scenario, SweepReport, SweepRunner, WorkloadPoint};
     pub use resim_trace::{Trace, TraceRecord, TraceSource};
     pub use resim_tracegen::{generate_trace, TraceCache, TraceGenConfig, TraceStream};
     pub use resim_workloads::{SpecBenchmark, Workload, WorkloadProfile};
