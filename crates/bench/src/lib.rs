@@ -98,17 +98,44 @@ pub const LEFT: &str = "4wide-2lev";
 /// Scenario name of the Table 1 right configuration.
 pub const RIGHT: &str = "2wide-perfect";
 
+/// The Table 1 grid as `resim sweep` reads it: a TOML scenario in the
+/// `docs/guide.md` schema. `table1` resolves this through
+/// [`Scenario::from_table`] — the same declarative path as the CLI —
+/// rather than a bespoke builder chain; the budget placeholder is
+/// re-set at runtime from the binary's argument.
+pub const TABLE1_SCENARIO_TOML: &str = r#"
+[sweep]
+workloads = ["gzip", "bzip2", "parser", "vortex", "vpr"]
+budgets = [1000000] # placeholder; table1 re-budgets to its CLI argument
+seeds = [2009]
+
+# Left portion: 4-issue, two-level BP, perfect memory, optimized N+3.
+[[sweep.config]]
+name = "4wide-2lev"
+[sweep.config.engine]
+preset = "paper-4wide"
+
+# Right portion: 2-issue, perfect BP, 32 KB L1s, improved N+4. The
+# generator predictor follows the engine's (perfect), so the trace is
+# untagged — exactly TraceGenConfig::perfect().
+[[sweep.config]]
+name = "2wide-perfect"
+[sweep.config.engine]
+preset = "paper-2wide-cached"
+"#;
+
 /// The Table 1 sweep grid: both paper configurations over all five
-/// SPECINT models at `n` instructions, seeded with [`DEFAULT_SEED`].
+/// SPECINT models at `n` instructions, seeded with [`DEFAULT_SEED`] —
+/// resolved from [`TABLE1_SCENARIO_TOML`].
 pub fn table1_scenario(n: usize) -> Scenario {
-    let (cfg_l, tg_l) = table1_left();
-    let (cfg_r, tg_r) = table1_right();
-    Scenario::new()
-        .config(LEFT, cfg_l, tg_l)
-        .config(RIGHT, cfg_r, tg_r)
-        .all_spec_workloads()
+    let doc = resim_toml::parse(TABLE1_SCENARIO_TOML).expect("embedded scenario parses");
+    let sweep = doc
+        .opt_table("sweep")
+        .expect("sweep is a table")
+        .expect("[sweep] section present");
+    Scenario::from_table(sweep)
+        .expect("embedded scenario is valid")
         .budgets([n])
-        .seeds([DEFAULT_SEED])
 }
 
 /// The Table 1 *left-only* grid (the Table 3 / bandwidth experiments).
@@ -155,6 +182,17 @@ mod tests {
         let s = table1_scenario(1_000);
         assert_eq!(s.len(), 10, "2 configs x 5 benchmarks");
         s.validate().expect("Table 1 grid validates");
+        // The TOML-resolved grid must be exactly the programmatic one.
+        let (cfg_l, tg_l) = table1_left();
+        let (cfg_r, tg_r) = table1_right();
+        assert_eq!(s.configs()[0].name, LEFT);
+        assert_eq!(s.configs()[0].engine, cfg_l);
+        assert_eq!(s.configs()[0].tracegen, tg_l);
+        assert_eq!(s.configs()[1].name, RIGHT);
+        assert_eq!(s.configs()[1].engine, cfg_r);
+        assert_eq!(s.configs()[1].tracegen, tg_r);
+        assert_eq!(s.budget_values(), [1_000]);
+        assert_eq!(s.seed_values(), [DEFAULT_SEED]);
         let s = table1_left_scenario(1_000);
         assert_eq!(s.len(), 5);
         s.validate().expect("Table 3 grid validates");

@@ -49,6 +49,7 @@
 
 mod btb;
 mod counter;
+mod from_table;
 mod direction;
 mod predictor;
 mod ras;

@@ -1,0 +1,211 @@
+//! Hand-rolled argument parsing for the `resim` binary (no external
+//! dependencies, like everything else in this workspace).
+
+/// A fully parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `resim trace`.
+    Trace {
+        /// Scenario file path.
+        scenario: String,
+        /// `--out` override of the output path.
+        out: Option<String>,
+        /// `--budget` override of the `[workload]` budget.
+        budget: Option<usize>,
+        /// `--seed` override of the `[workload]` seed.
+        seed: Option<u64>,
+    },
+    /// `resim run`.
+    Run {
+        /// Scenario file path.
+        scenario: String,
+        /// `--trace` input container.
+        trace: Option<String>,
+    },
+    /// `resim sample`.
+    Sample {
+        /// Scenario file path.
+        scenario: String,
+        /// `--trace` input container.
+        trace: Option<String>,
+    },
+    /// `resim sweep`.
+    Sweep {
+        /// Scenario file path.
+        scenario: String,
+        /// `--threads` override.
+        threads: Option<usize>,
+        /// `--csv` report path.
+        csv: Option<String>,
+        /// `--stable-csv` report path (deterministic rendering).
+        stable_csv: Option<String>,
+        /// `--md` report path.
+        md: Option<String>,
+        /// `--trace-file` containers to preload (repeatable).
+        trace_files: Vec<String>,
+    },
+    /// `resim describe`.
+    Describe {
+        /// Scenario file path.
+        scenario: String,
+    },
+    /// `resim help [topic]`, `resim --help`, or `resim <cmd> --help`.
+    Help(Option<String>),
+    /// `resim --version`.
+    Version,
+}
+
+/// Parses everything after the program name.
+///
+/// # Errors
+///
+/// A usage message (no line numbers — these are command-line, not
+/// scenario-file, problems).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().map(String::as_str);
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help(None));
+    };
+    match cmd {
+        "-h" | "--help" | "help" => Ok(Command::Help(it.next().map(str::to_string))),
+        "-V" | "--version" => Ok(Command::Version),
+        "trace" | "run" | "sample" | "sweep" | "describe" => {
+            parse_subcommand(cmd, &args[1..])
+        }
+        other => Err(format!(
+            "unknown command {other:?} (expected trace, run, sample, sweep, describe or help)"
+        )),
+    }
+}
+
+fn parse_subcommand(cmd: &str, rest: &[String]) -> Result<Command, String> {
+    let mut scenario: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut budget: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut threads: Option<usize> = None;
+    let mut csv: Option<String> = None;
+    let mut stable_csv: Option<String> = None;
+    let mut md: Option<String> = None;
+    let mut trace_files: Vec<String> = Vec::new();
+
+    let mut it = rest.iter().map(String::as_str).peekable();
+    while let Some(flag) = it.next() {
+        // A flag's operand, or a usage error naming the flag.
+        macro_rules! value {
+            () => {
+                it.next()
+                    .ok_or_else(|| format!("{flag} requires a value"))?
+            };
+        }
+        match flag {
+            "-h" | "--help" => return Ok(Command::Help(Some(cmd.to_string()))),
+            "-s" | "--scenario" => scenario = Some(value!().to_string()),
+            "-o" | "--out" if cmd == "trace" => out = Some(value!().to_string()),
+            "-t" | "--trace" if cmd == "run" || cmd == "sample" => {
+                trace = Some(value!().to_string());
+            }
+            "--budget" if cmd == "trace" => budget = Some(parse_num(flag, value!())?),
+            "--seed" if cmd == "trace" => seed = Some(parse_num(flag, value!())?),
+            "-j" | "--threads" if cmd == "sweep" => threads = Some(parse_num(flag, value!())?),
+            "--csv" if cmd == "sweep" => csv = Some(value!().to_string()),
+            "--stable-csv" if cmd == "sweep" => stable_csv = Some(value!().to_string()),
+            "--md" if cmd == "sweep" => md = Some(value!().to_string()),
+            "--trace-file" if cmd == "sweep" => trace_files.push(value!().to_string()),
+            other => return Err(format!("unknown option {other:?} for `resim {cmd}`")),
+        }
+    }
+    let scenario = scenario.ok_or_else(|| format!("`resim {cmd}` requires --scenario <FILE>"))?;
+    Ok(match cmd {
+        "trace" => Command::Trace {
+            scenario,
+            out,
+            budget,
+            seed,
+        },
+        "run" => Command::Run { scenario, trace },
+        "sample" => Command::Sample { scenario, trace },
+        "sweep" => Command::Sweep {
+            scenario,
+            threads,
+            csv,
+            stable_csv,
+            md,
+            trace_files,
+        },
+        "describe" => Command::Describe { scenario },
+        _ => unreachable!("caller matched the command"),
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: invalid number {value:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Command, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse(&owned)
+    }
+
+    #[test]
+    fn help_and_version() {
+        assert_eq!(p(&[]), Ok(Command::Help(None)));
+        assert_eq!(p(&["--help"]), Ok(Command::Help(None)));
+        assert_eq!(p(&["help", "sweep"]), Ok(Command::Help(Some("sweep".into()))));
+        assert_eq!(p(&["run", "--help"]), Ok(Command::Help(Some("run".into()))));
+        assert_eq!(p(&["-V"]), Ok(Command::Version));
+    }
+
+    #[test]
+    fn subcommands_parse() {
+        assert_eq!(
+            p(&["trace", "-s", "a.toml", "-o", "t.trace", "--budget", "5000", "--seed", "7"]),
+            Ok(Command::Trace {
+                scenario: "a.toml".into(),
+                out: Some("t.trace".into()),
+                budget: Some(5000),
+                seed: Some(7),
+            })
+        );
+        assert_eq!(
+            p(&["run", "--scenario", "a.toml", "--trace", "t.trace"]),
+            Ok(Command::Run {
+                scenario: "a.toml".into(),
+                trace: Some("t.trace".into()),
+            })
+        );
+        assert_eq!(
+            p(&["sweep", "-s", "a.toml", "-j", "2", "--stable-csv", "r.csv",
+                "--trace-file", "x.trace", "--trace-file", "y.trace"]),
+            Ok(Command::Sweep {
+                scenario: "a.toml".into(),
+                threads: Some(2),
+                csv: None,
+                stable_csv: Some("r.csv".into()),
+                md: None,
+                trace_files: vec!["x.trace".into(), "y.trace".into()],
+            })
+        );
+        assert_eq!(
+            p(&["describe", "-s", "a.toml"]),
+            Ok(Command::Describe { scenario: "a.toml".into() })
+        );
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(p(&["launch"]).unwrap_err().contains("unknown command"));
+        assert!(p(&["run"]).unwrap_err().contains("--scenario"));
+        assert!(p(&["run", "-s"]).unwrap_err().contains("requires a value"));
+        assert!(p(&["run", "-s", "a.toml", "--csv", "x"]).unwrap_err().contains("unknown option"));
+        assert!(p(&["trace", "-s", "a", "--budget", "many"]).unwrap_err().contains("invalid number"));
+        assert!(p(&["describe", "-s", "a", "--trace", "t"]).unwrap_err().contains("unknown option"));
+    }
+}

@@ -1,0 +1,409 @@
+//! The five subcommand implementations.
+//!
+//! Every command writes to a caller-supplied sink so the golden and
+//! round-trip tests drive the exact binary code paths; failures are
+//! plain strings already carrying file/line context.
+
+use crate::scenario::ScenarioDoc;
+use resim_core::{block_diagram, Engine};
+use resim_sample::run_sampled;
+use resim_sweep::SweepRunner;
+use resim_trace::{save_trace_file, FileSource, Trace, TraceFileHeader, TraceSource};
+use resim_tracegen::{TraceCache, TraceKey};
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write;
+use std::sync::Arc;
+
+pub(crate) type CmdResult = Result<(), String>;
+
+/// Loads and resolves a scenario file, contextualizing every diagnostic
+/// with the path.
+pub(crate) fn load_scenario(path: &str) -> Result<ScenarioDoc, String> {
+    let input =
+        fs::read_to_string(path).map_err(|e| format!("cannot read scenario {path:?}: {e}"))?;
+    ScenarioDoc::parse_str(&input).map_err(|e| e.display_in(path))
+}
+
+fn emit(out: &mut dyn Write, text: &str) -> CmdResult {
+    out.write_all(text.as_bytes())
+        .map_err(|e| format!("cannot write output: {e}"))
+}
+
+/// `resim trace`: generate the scenario's workload trace and write the
+/// container.
+pub(crate) fn trace(
+    scenario_path: &str,
+    out_path: Option<&str>,
+    budget: Option<usize>,
+    seed: Option<u64>,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let mut doc = load_scenario(scenario_path)?;
+    if let Some(b) = budget {
+        if b == 0 {
+            return Err("--budget must be non-zero".to_string());
+        }
+        doc.workload.budget = b;
+    }
+    if let Some(s) = seed {
+        doc.workload.seed = s;
+    }
+    let default_path = format!("{}.trace", doc.workload.name);
+    let path = out_path
+        .or(doc.trace_file.as_deref())
+        .unwrap_or(&default_path);
+
+    let trace = doc.generate();
+    let encoded = trace.encode();
+    let header = TraceFileHeader::for_trace(
+        &encoded,
+        doc.workload.name.clone(),
+        doc.workload.seed,
+        doc.tracegen.fingerprint(),
+    )
+    .with_correct_records(trace.correct_path_len() as u64);
+    save_trace_file(path, &header, &encoded)
+        .map_err(|e| format!("cannot write trace {path:?}: {e}"))?;
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "wrote {path}: workload \"{}\" (seed {}), tracegen fingerprint {:#018x}",
+        doc.workload.name,
+        doc.workload.seed,
+        doc.tracegen.fingerprint(),
+    );
+    let _ = writeln!(
+        s,
+        "  records  {} ({} correct, {} wrong-path; expansion {:.2}x)",
+        trace.len(),
+        trace.correct_path_len(),
+        trace.wrong_path_len(),
+        trace.len() as f64 / trace.correct_path_len().max(1) as f64,
+    );
+    let _ = writeln!(
+        s,
+        "  encoded  {} bytes, {:.2} bits/instruction",
+        header.encoded_len() + encoded.bytes().len(),
+        encoded.stats().bits_per_instruction(),
+    );
+    emit(out, &s)
+}
+
+/// Resolves the input trace for `run`/`sample`: an explicit container
+/// path (flag or `[trace]` key) is replayed, otherwise the trace is
+/// generated in memory.
+enum Source {
+    File(Box<FileSource<std::io::BufReader<fs::File>>>, String),
+    Generated(Trace),
+}
+
+fn resolve_source(doc: &ScenarioDoc, trace_flag: Option<&str>) -> Result<Source, String> {
+    match doc.trace_path(trace_flag) {
+        Some(path) => {
+            let src = FileSource::open(path)
+                .map_err(|e| format!("cannot replay trace {path:?}: {e}"))?;
+            Ok(Source::File(Box::new(src), path.to_string()))
+        }
+        None => Ok(Source::Generated(doc.generate())),
+    }
+}
+
+fn describe_source(doc: &ScenarioDoc, source: &Source) -> String {
+    match source {
+        Source::File(src, path) => {
+            let h = src.header();
+            let mut s = format!(
+                "replaying {path}: {} records of \"{}\" (seed {})\n",
+                h.records, h.workload, h.seed
+            );
+            // Same contract the sweep preloader enforces via the cache
+            // key: wrong-path tags are only meaningful when the trace
+            // was generated under the scenario's tracegen settings.
+            if h.tracegen_fingerprint != doc.tracegen.fingerprint() {
+                s.push_str(
+                    "warning: trace was generated under a different tracegen configuration \
+                     (fingerprint mismatch); wrong-path behaviour may not match this scenario\n",
+                );
+            }
+            // An explicitly pinned [workload] is cross-checked too, so
+            // replaying a stale file after editing the scenario does
+            // not silently attribute results to the wrong inputs.
+            if doc.workload_explicit
+                && (h.workload != doc.workload.name
+                    || h.seed != doc.workload.seed
+                    || h.correct_records != doc.workload.budget as u64)
+            {
+                let _ = writeln!(
+                    s,
+                    "warning: trace file is \"{}\" seed {} budget {}, but the scenario's \
+                     [workload] says \"{}\" seed {} budget {}",
+                    h.workload,
+                    h.seed,
+                    h.correct_records,
+                    doc.workload.name,
+                    doc.workload.seed,
+                    doc.workload.budget,
+                );
+            }
+            s
+        }
+        Source::Generated(trace) => format!(
+            "generated in memory: {} records of \"{}\" (seed {})\n",
+            trace.len(),
+            doc.workload.name,
+            doc.workload.seed
+        ),
+    }
+}
+
+/// `resim run`: full-detail simulation.
+pub(crate) fn run(scenario_path: &str, trace_flag: Option<&str>, out: &mut dyn Write) -> CmdResult {
+    let doc = load_scenario(scenario_path)?;
+    let mut engine = Engine::new(doc.engine.clone())
+        .map_err(|e| format!("invalid engine configuration: {e}"))?;
+    let source = resolve_source(&doc, trace_flag)?;
+    let banner = describe_source(&doc, &source);
+
+    let stats = match source {
+        Source::File(mut src, path) => {
+            let stats = engine.run(&mut *src);
+            if let Some(e) = src.error() {
+                return Err(format!("trace {path:?} ended abnormally: {e}"));
+            }
+            stats
+        }
+        Source::Generated(trace) => engine.run(trace.source()),
+    };
+
+    let mut s = banner;
+    s.push_str(&stats.report());
+    let _ = writeln!(s, "\nIPC {:.4} over {} cycles", stats.ipc(), stats.cycles);
+    emit(out, &s)
+}
+
+/// `resim sample`: SMARTS sampled simulation under the `[sample]` plan.
+pub(crate) fn sample(
+    scenario_path: &str,
+    trace_flag: Option<&str>,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let doc = load_scenario(scenario_path)?;
+    let plan = doc
+        .sample
+        .ok_or_else(|| format!("scenario {scenario_path:?} has no [sample] section"))?;
+    let source = resolve_source(&doc, trace_flag)?;
+    let banner = describe_source(&doc, &source);
+
+    let sampled = match source {
+        Source::File(mut src, path) => {
+            let sampled = run_sampled(&doc.engine, &mut *src, &plan)
+                .map_err(|e| format!("sampled run failed: {e}"))?;
+            if let Some(e) = src.error() {
+                return Err(format!("trace {path:?} ended abnormally: {e}"));
+            }
+            sampled
+        }
+        Source::Generated(trace) => run_sampled(&doc.engine, trace.source(), &plan)
+            .map_err(|e| format!("sampled run failed: {e}"))?,
+    };
+
+    let mut s = banner;
+    let (lo, hi) = sampled.ci95();
+    let _ = writeln!(
+        s,
+        "plan {}: {} windows, {:.2}% of {} records detailed",
+        plan.name(),
+        sampled.n_windows(),
+        100.0 * sampled.detailed_fraction(),
+        sampled.records_total,
+    );
+    let _ = writeln!(
+        s,
+        "records detailed {} / warmed {} / skipped {}",
+        sampled.records_detailed, sampled.records_warmed, sampled.records_skipped,
+    );
+    if sampled.full_coverage {
+        let _ = writeln!(
+            s,
+            "IPC {:.4} (exact: 100% coverage is bit-identical to `resim run`)",
+            sampled.sim.ipc(),
+        );
+    } else {
+        let _ = writeln!(
+            s,
+            "IPC {:.4} ± {:.4} (95% CI [{lo:.4}, {hi:.4}])",
+            sampled.mean_ipc(),
+            sampled.ci95_half_width(),
+        );
+    }
+    emit(out, &s)
+}
+
+/// `resim sweep`: run the `[sweep]` grid, preloading any matching trace
+/// containers into the cache.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sweep(
+    scenario_path: &str,
+    threads: Option<usize>,
+    csv: Option<&str>,
+    stable_csv: Option<&str>,
+    md: Option<&str>,
+    trace_file_flags: &[String],
+    out: &mut dyn Write,
+) -> CmdResult {
+    let doc = load_scenario(scenario_path)?;
+    let scenario = doc
+        .sweep_scenario()
+        .map_err(|e| e.display_in(scenario_path))?;
+    let threads = match threads {
+        Some(t) => t,
+        None => doc.sweep_threads().map_err(|e| e.display_in(scenario_path))?,
+    };
+
+    let mut trace_files = doc
+        .sweep_trace_files()
+        .map_err(|e| e.display_in(scenario_path))?;
+    trace_files.extend(trace_file_flags.iter().cloned());
+
+    let cache = Arc::new(TraceCache::new());
+    let mut s = String::new();
+    for path in &trace_files {
+        let preloaded = preload(&cache, &scenario, path)?;
+        if preloaded == 0 {
+            let _ = writeln!(
+                s,
+                "warning: {path} matches no grid cell (workload/seed/budget/tracegen \
+                 must all appear in the scenario); it will be regenerated"
+            );
+        } else {
+            let _ = writeln!(s, "preloaded {path} into {preloaded} trace-cache slot(s)");
+        }
+    }
+
+    let report = SweepRunner::with_cache(threads, cache)
+        .run(&scenario)
+        .map_err(|e| format!("invalid scenario: {e}"))?;
+
+    s.push_str(&report.to_markdown());
+    if let Some(path) = csv {
+        fs::write(path, report.to_csv()).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        let _ = writeln!(s, "wrote {path}");
+    }
+    if let Some(path) = stable_csv {
+        fs::write(path, report.to_csv_stable())
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        let _ = writeln!(s, "wrote {path}");
+    }
+    if let Some(path) = md {
+        fs::write(path, report.to_markdown())
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        let _ = writeln!(s, "wrote {path}");
+    }
+    emit(out, &s)
+}
+
+/// Decodes `path` and inserts it under every grid cell key it can
+/// serve; returns how many cache slots were filled.
+fn preload(
+    cache: &TraceCache,
+    scenario: &resim_sweep::Scenario,
+    path: &str,
+) -> Result<usize, String> {
+    let mut src =
+        FileSource::open(path).map_err(|e| format!("cannot preload trace {path:?}: {e}"))?;
+    let header = src.header().clone();
+
+    // Decide from the header alone before decoding a single record, so
+    // a mismatched multi-gigabyte container costs O(header), not a
+    // full in-memory decode. An untrusted count that does not even fit
+    // in usize cannot match any budget axis.
+    let Ok(budget) = usize::try_from(header.correct_records) else {
+        return Ok(0);
+    };
+    let workload_known = scenario.workloads().iter().any(|w| w.name == header.workload);
+    let axes_match = workload_known
+        && scenario.seed_values().contains(&header.seed)
+        && scenario.budget_values().contains(&budget);
+    let served: Vec<_> = scenario
+        .configs()
+        .iter()
+        .filter(|p| p.tracegen.fingerprint() == header.tracegen_fingerprint)
+        .map(|p| p.tracegen)
+        .collect();
+    if !axes_match || served.is_empty() {
+        return Ok(0);
+    }
+
+    let records: Vec<_> = std::iter::from_fn(|| src.next_record()).collect();
+    if let Some(e) = src.error() {
+        return Err(format!("trace {path:?} ended abnormally: {e}"));
+    }
+    let trace = Trace::from_records(records);
+
+    let mut inserted = 0;
+    for config in served {
+        let key = TraceKey {
+            workload: header.workload.clone(),
+            seed: header.seed,
+            n_correct: budget,
+            config,
+        };
+        if cache.get(&key).is_none() {
+            cache.insert(key, trace.clone());
+            inserted += 1;
+        }
+    }
+    Ok(inserted)
+}
+
+/// `resim describe`: dump the resolved configuration without running.
+pub(crate) fn describe(scenario_path: &str, out: &mut dyn Write) -> CmdResult {
+    let doc = load_scenario(scenario_path)?;
+    let mut s = block_diagram(&doc.engine);
+    let _ = writeln!(
+        s,
+        "trace generator: wrong-path block {}, synthesis seed {:#x}, fingerprint {:#018x}{}",
+        doc.tracegen.wrong_path_len,
+        doc.tracegen.seed,
+        doc.tracegen.fingerprint(),
+        if doc.tracegen.predictor == doc.engine.predictor {
+            " (predictor matches engine)"
+        } else {
+            " (predictor DIFFERS from engine: wrong-path tags may be meaningless)"
+        },
+    );
+    let _ = writeln!(
+        s,
+        "workload: \"{}\", seed {}, budget {}",
+        doc.workload.name, doc.workload.seed, doc.workload.budget,
+    );
+    if let Some(file) = &doc.trace_file {
+        let _ = writeln!(s, "trace file: {file}");
+    }
+    if let Some(plan) = &doc.sample {
+        let _ = writeln!(
+            s,
+            "sample plan: {} ({:.2}% coverage)",
+            plan.name(),
+            100.0 * plan.coverage(),
+        );
+    }
+    if doc.has_sweep() {
+        let scenario = doc
+            .sweep_scenario()
+            .map_err(|e| e.display_in(scenario_path))?;
+        let _ = writeln!(
+            s,
+            "sweep grid: {} configs x {} workloads x {} budgets x {} seeds x {} modes = {} cells",
+            scenario.configs().len(),
+            scenario.workloads().len(),
+            scenario.budget_values().len(),
+            scenario.seed_values().len(),
+            scenario.mode_values().len(),
+            scenario.len(),
+        );
+    }
+    emit(out, &s)
+}

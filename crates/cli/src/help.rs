@@ -1,0 +1,129 @@
+//! The pinned help surface of the `resim` binary.
+//!
+//! These strings are golden-tested (`tests/golden_help.rs`): changing
+//! one is an intentional CLI-surface change and requires re-pinning.
+
+/// `resim --version`.
+pub const VERSION: &str = concat!("resim ", env!("CARGO_PKG_VERSION"));
+
+/// `resim --help` / `resim help`.
+pub const MAIN_HELP: &str = "\
+resim — trace-driven, reconfigurable ILP processor simulator (DATE 2009)
+
+Subcommands are driven by declarative TOML scenario files; see
+docs/guide.md for the quickstart and the full scenario-file reference.
+
+USAGE:
+    resim <COMMAND> [OPTIONS]
+
+COMMANDS:
+    trace      generate a workload trace and encode it to a file
+    run        full-detail simulation of a trace file or inline workload
+    sample     SMARTS sampled simulation with confidence-bounded IPC
+    sweep      scenario-grid execution with CSV/Markdown reports
+    describe   dump the resolved engine/memory/predictor configuration
+    help       print this help, or a subcommand's with `resim help <cmd>`
+
+OPTIONS:
+    -h, --help       print help
+    -V, --version    print version
+";
+
+/// `resim trace --help`.
+pub const TRACE_HELP: &str = "\
+resim trace — generate a workload trace and encode it to a file
+
+Generates the scenario's [workload] through the [tracegen] model
+(wrong-path blocks included) and writes a versioned trace container
+(magic \"RSTR\") that `resim run`, `resim sample` and `resim sweep`
+replay without regenerating.
+
+USAGE:
+    resim trace --scenario <FILE> [OPTIONS]
+
+OPTIONS:
+    -s, --scenario <FILE>    TOML scenario file (required)
+    -o, --out <FILE>         output path (default: [trace] file key,
+                             then <workload>.trace)
+        --budget <N>         override the [workload] budget key
+        --seed <N>           override the [workload] seed key
+    -h, --help               print help
+";
+
+/// `resim run --help`.
+pub const RUN_HELP: &str = "\
+resim run — full-detail simulation of a trace file or inline workload
+
+Simulates every record cycle-accurately on the [engine] configuration.
+The trace comes from --trace, else from the scenario's [trace] file
+key, else it is generated in memory from [workload] and [tracegen].
+
+USAGE:
+    resim run --scenario <FILE> [OPTIONS]
+
+OPTIONS:
+    -s, --scenario <FILE>    TOML scenario file (required)
+    -t, --trace <FILE>       replay this trace container
+    -h, --help               print help
+";
+
+/// `resim sample --help`.
+pub const SAMPLE_HELP: &str = "\
+resim sample — SMARTS sampled simulation with confidence-bounded IPC
+
+Runs the scenario's [sample] plan: detailed windows at the head of
+sampled intervals, functional (or bounded) warmup in between, and a
+Student-t 95 % confidence interval over the per-window IPCs. The trace
+source is resolved exactly like `resim run`.
+
+USAGE:
+    resim sample --scenario <FILE> [OPTIONS]
+
+OPTIONS:
+    -s, --scenario <FILE>    TOML scenario file (required)
+    -t, --trace <FILE>       replay this trace container
+    -h, --help               print help
+";
+
+/// `resim sweep --help`.
+pub const SWEEP_HELP: &str = "\
+resim sweep — scenario-grid execution with CSV/Markdown reports
+
+Runs the [sweep] grid (configs x workloads x budgets x seeds x modes)
+on a deterministic worker pool: per-cell statistics are bit-identical
+at any thread count. Trace files whose header matches a grid cell are
+replayed instead of regenerated.
+
+USAGE:
+    resim sweep --scenario <FILE> [OPTIONS]
+
+OPTIONS:
+    -s, --scenario <FILE>      TOML scenario file (required)
+    -j, --threads <N>          worker threads (default: [sweep] threads
+                               key, then all cores)
+        --csv <FILE>           write the per-cell CSV report
+        --stable-csv <FILE>    write the deterministic CSV (no wall_us
+                               column; byte-identical across runs)
+        --md <FILE>            write the Markdown report
+        --trace-file <FILE>    preload this trace container into the
+                               trace cache (repeatable; also read from
+                               the [sweep] trace_files key)
+    -h, --help                 print help
+";
+
+/// `resim describe --help`.
+pub const DESCRIBE_HELP: &str = "\
+resim describe — dump the resolved engine/memory/predictor configuration
+
+Resolves the scenario and prints the simulated machine's block diagram
+(paper Figure 1) with every structure size, the trace-generator
+settings, and — when present — the sample plan and sweep grid shape.
+No simulation runs.
+
+USAGE:
+    resim describe --scenario <FILE>
+
+OPTIONS:
+    -s, --scenario <FILE>    TOML scenario file (required)
+    -h, --help               print help
+";

@@ -1,0 +1,130 @@
+//! # resim-cli
+//!
+//! The `resim` command-line driver: the reproduction's analogue of the
+//! paper's host tool, which configures the simulated core and feeds it
+//! traces over a link (§V.B). Here the link is the file system — a
+//! versioned trace container (`resim-trace`'s `FileSource`) — and the
+//! configuration surface is a declarative TOML scenario file mapped
+//! onto the library types through their `from_table` constructors, so
+//! every config mistake is a `file:line:` diagnostic rather than a
+//! Rust compile error.
+//!
+//! Five subcommands cover the paper's workflows:
+//!
+//! * `resim trace` — generate a workload trace once, on disk;
+//! * `resim run` — full-detail simulation of a trace file or inline
+//!   workload;
+//! * `resim sample` — SMARTS sampled simulation with a 95 % CI;
+//! * `resim sweep` — bulk design-space grids with CSV/Markdown
+//!   reports, replaying trace files instead of regenerating;
+//! * `resim describe` — dump the resolved configuration (Figure 1
+//!   block diagram included) without running.
+//!
+//! See `docs/guide.md` for the quickstart and the complete
+//! scenario-file reference.
+//!
+//! The binary is a thin shell over [`run_cli`], which the golden and
+//! round-trip tests call directly:
+//!
+//! ```
+//! let mut out = Vec::new();
+//! let mut err = Vec::new();
+//! let code = resim_cli::run_cli(&["--version".to_string()], &mut out, &mut err);
+//! assert_eq!(code, 0);
+//! assert!(String::from_utf8(out).unwrap().starts_with("resim "));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+pub mod help;
+mod scenario;
+
+pub use args::Command;
+pub use scenario::{ScenarioDoc, WorkloadSpec};
+
+use std::io::Write;
+
+/// Runs the CLI on `args` (everything after the program name), writing
+/// to the given sinks. Returns the process exit code: 0 on success, 1
+/// on a runtime failure, 2 on a usage error.
+pub fn run_cli(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32 {
+    let command = match args::parse(args) {
+        Ok(c) => c,
+        Err(msg) => {
+            let _ = writeln!(err, "resim: {msg}");
+            let _ = writeln!(err, "run `resim --help` for usage");
+            return 2;
+        }
+    };
+    let result = match &command {
+        Command::Help(topic) => {
+            let text = match topic.as_deref() {
+                None => help::MAIN_HELP,
+                Some("trace") => help::TRACE_HELP,
+                Some("run") => help::RUN_HELP,
+                Some("sample") => help::SAMPLE_HELP,
+                Some("sweep") => help::SWEEP_HELP,
+                Some("describe") => help::DESCRIBE_HELP,
+                Some(other) => {
+                    let _ = writeln!(err, "resim: no help for unknown command {other:?}");
+                    return 2;
+                }
+            };
+            let _ = out.write_all(text.as_bytes());
+            Ok(())
+        }
+        Command::Version => {
+            let _ = writeln!(out, "{}", help::VERSION);
+            Ok(())
+        }
+        Command::Trace {
+            scenario,
+            out: out_path,
+            budget,
+            seed,
+        } => commands::trace(scenario, out_path.as_deref(), *budget, *seed, out),
+        Command::Run { scenario, trace } => commands::run(scenario, trace.as_deref(), out),
+        Command::Sample { scenario, trace } => commands::sample(scenario, trace.as_deref(), out),
+        Command::Sweep {
+            scenario,
+            threads,
+            csv,
+            stable_csv,
+            md,
+            trace_files,
+        } => commands::sweep(
+            scenario,
+            *threads,
+            csv.as_deref(),
+            stable_csv.as_deref(),
+            md.as_deref(),
+            trace_files,
+            out,
+        ),
+        Command::Describe { scenario } => commands::describe(scenario, out),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(msg) => {
+            let _ = writeln!(err, "resim: {msg}");
+            1
+        }
+    }
+}
+
+/// Convenience for tests and the binary: runs on string slices and
+/// returns `(exit code, stdout, stderr)`.
+pub fn run_for_test(args: &[&str]) -> (i32, String, String) {
+    let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    let mut err = Vec::new();
+    let code = run_cli(&owned, &mut out, &mut err);
+    (
+        code,
+        String::from_utf8_lossy(&out).into_owned(),
+        String::from_utf8_lossy(&err).into_owned(),
+    )
+}

@@ -1,0 +1,9 @@
+//! The `resim` binary: a thin shell over [`resim_cli::run_cli`].
+
+use std::io::{stderr, stdout};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = resim_cli::run_cli(&args, &mut stdout().lock(), &mut stderr().lock());
+    std::process::exit(code);
+}

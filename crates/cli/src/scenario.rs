@@ -1,0 +1,316 @@
+//! The resolved scenario document driving every subcommand.
+//!
+//! A scenario file is one TOML document with up to six sections —
+//! `[engine]`, `[tracegen]`, `[workload]`, `[trace]`, `[sample]` and
+//! `[sweep]` — each mapped onto the simulator's types through the
+//! `from_table` constructors of the respective crates, so every
+//! mistake is a line-numbered diagnostic. `docs/guide.md` documents
+//! every key with examples.
+
+use resim_core::EngineConfig;
+use resim_sample::SamplePlan;
+use resim_sweep::{Scenario, WorkloadPoint};
+use resim_toml::{Error, Table};
+use resim_trace::Trace;
+use resim_tracegen::{generate_trace, TraceGenConfig};
+
+/// The `[workload]` section: which stream feeds trace generation.
+///
+/// ```
+/// use resim_cli::ScenarioDoc;
+///
+/// let doc = ScenarioDoc::parse_str(r#"
+/// [workload]
+/// name = "vpr"
+/// seed = 7
+/// budget = 2000
+/// "#).unwrap();
+/// assert_eq!(doc.workload.name, "vpr");
+/// assert_eq!(doc.workload.seed, 7);
+/// let trace = doc.generate();
+/// assert_eq!(trace.correct_path_len(), 2000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Workload name ([`WorkloadPoint::named`]): one of the five
+    /// SPECINT models or `"generic"`.
+    pub name: String,
+    /// Stream seed.
+    pub seed: u64,
+    /// Correct-path instruction budget.
+    pub budget: usize,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        Self {
+            name: "gzip".to_string(),
+            seed: 2009,
+            budget: 100_000,
+        }
+    }
+}
+
+/// A parsed, resolved scenario file.
+///
+/// Sections a file omits resolve to the paper's reference settings:
+/// the 4-wide Table 1 machine, its matching trace generator, and a
+/// 100k-instruction gzip workload seeded 2009.
+///
+/// ```
+/// use resim_cli::ScenarioDoc;
+///
+/// let doc = ScenarioDoc::parse_str(r#"
+/// [engine]
+/// rb_size = 32
+/// [engine.predictor]
+/// kind = "perfect"
+/// "#).unwrap();
+/// assert_eq!(doc.engine.rb_size, 32);
+/// // The generator inherits the engine's predictor so wrong-path tags
+/// // stay meaningful.
+/// assert_eq!(doc.tracegen.predictor, doc.engine.predictor);
+/// assert!(doc.sample.is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioDoc {
+    /// Resolved `[engine]` configuration.
+    pub engine: EngineConfig,
+    /// Resolved `[tracegen]` configuration (predictor defaulted to the
+    /// engine's when not given explicitly).
+    pub tracegen: TraceGenConfig,
+    /// Resolved `[workload]` section.
+    pub workload: WorkloadSpec,
+    /// Whether the document spelled out a `[workload]` section (as
+    /// opposed to inheriting the defaults) — replay commands only
+    /// cross-check a trace file's header against an *explicit*
+    /// workload.
+    pub workload_explicit: bool,
+    /// The `[trace]` section's `file` key, if present: where `resim
+    /// trace` writes and what `resim run` / `resim sample` replay.
+    pub trace_file: Option<String>,
+    /// Resolved `[sample]` plan, if the section is present.
+    pub sample: Option<SamplePlan>,
+    /// The raw `[sweep]` table, resolved on demand by
+    /// [`ScenarioDoc::sweep_scenario`].
+    sweep: Option<Table>,
+}
+
+impl ScenarioDoc {
+    /// Parses and resolves a scenario document.
+    ///
+    /// # Errors
+    ///
+    /// A line-numbered [`Error`] for syntax problems, unknown sections
+    /// or keys, or any section failing its `from_table` constructor.
+    pub fn parse_str(input: &str) -> Result<Self, Error> {
+        let doc = resim_toml::parse(input)?;
+        doc.ensure_only(&["engine", "tracegen", "workload", "trace", "sample", "sweep"])?;
+
+        let engine = match doc.opt_table("engine")? {
+            Some(t) => EngineConfig::from_table(t)?,
+            None => EngineConfig::paper_4wide(),
+        };
+        // The single inheritance rule shared with the sweep grid: the
+        // generator predictor follows the engine's unless given.
+        let tracegen = resim_sweep::resolve_tracegen(&engine, doc.opt_table("tracegen")?)?;
+
+        let mut workload = WorkloadSpec::default();
+        let workload_table = doc.opt_table("workload")?;
+        let workload_explicit = workload_table.is_some();
+        if let Some(t) = workload_table {
+            t.ensure_only(&["name", "seed", "budget"])?;
+            if let Some(name) = t.opt_str("name")? {
+                WorkloadPoint::named(name).ok_or_else(|| {
+                    Error::new(
+                        t.key_line("name"),
+                        format!(
+                            "unknown workload {name:?} (expected {})",
+                            WorkloadPoint::valid_names()
+                        ),
+                    )
+                })?;
+                workload.name = name.to_string();
+            }
+            if let Some(seed) = t.opt_u64("seed")? {
+                workload.seed = seed;
+            }
+            if let Some(budget) = t.opt_usize("budget")? {
+                if budget == 0 {
+                    return Err(Error::new(t.key_line("budget"), "budget must be non-zero"));
+                }
+                workload.budget = budget;
+            }
+        }
+
+        let trace_file = match doc.opt_table("trace")? {
+            Some(t) => {
+                t.ensure_only(&["file"])?;
+                t.opt_str("file")?.map(str::to_string)
+            }
+            None => None,
+        };
+
+        let sample = match doc.opt_table("sample")? {
+            Some(t) => Some(SamplePlan::from_table(t)?),
+            None => None,
+        };
+
+        // The sweep grid is resolved lazily: `resim trace|run|sample`
+        // on a scenario that also carries a [sweep] section must not
+        // pay (or fail) for it. Unknown keys inside are still caught
+        // eagerly by Scenario::from_table when the sweep runs.
+        let sweep = doc.opt_table("sweep")?.cloned();
+
+        Ok(Self {
+            engine,
+            tracegen,
+            workload,
+            workload_explicit,
+            trace_file,
+            sample,
+            sweep,
+        })
+    }
+
+    /// Instantiates the workload stream.
+    pub fn workload_stream(&self) -> impl Iterator<Item = resim_trace::TraceRecord> {
+        WorkloadPoint::named(&self.workload.name)
+            .expect("name validated at parse time")
+            .instantiate(self.workload.seed)
+    }
+
+    /// Generates the scenario's trace in memory (workload → tagged
+    /// records, per `[tracegen]`).
+    pub fn generate(&self) -> Trace {
+        generate_trace(self.workload_stream(), self.workload.budget, &self.tracegen)
+    }
+
+    /// Whether the document has a `[sweep]` section.
+    pub fn has_sweep(&self) -> bool {
+        self.sweep.is_some()
+    }
+
+    /// Resolves the `[sweep]` section into a runnable [`Scenario`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] when the section is missing, or whatever
+    /// [`Scenario::from_table`] rejects.
+    pub fn sweep_scenario(&self) -> Result<Scenario, Error> {
+        let t = self
+            .sweep
+            .as_ref()
+            .ok_or_else(|| Error::new(0, "this command needs a [sweep] section"))?;
+        Scenario::from_table(t)
+    }
+
+    /// The `[sweep]` table's `threads` key (0 = all cores) — the
+    /// default `resim sweep --threads` value.
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] if the key is present but not a non-negative integer.
+    pub fn sweep_threads(&self) -> Result<usize, Error> {
+        match &self.sweep {
+            Some(t) => Ok(t.opt_usize("threads")?.unwrap_or(0)),
+            None => Ok(0),
+        }
+    }
+
+    /// The `[sweep]` table's `trace_files` key: containers to preload
+    /// into the sweep's trace cache.
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] if the key is present but not an array of strings.
+    pub fn sweep_trace_files(&self) -> Result<Vec<String>, Error> {
+        match &self.sweep {
+            Some(t) => Ok(t
+                .opt_str_array("trace_files")?
+                .unwrap_or_default()
+                .into_iter()
+                .map(|s| s.value)
+                .collect()),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// The effective trace-file path: `override_path` (a `--trace` /
+    /// `--out` flag), else the `[trace]` section's `file` key.
+    pub fn trace_path<'a>(&'a self, override_path: Option<&'a str>) -> Option<&'a str> {
+        override_path.or(self.trace_file.as_deref())
+    }
+}
+
+impl Default for ScenarioDoc {
+    /// The empty document: every section at its reference default.
+    fn default() -> Self {
+        Self::parse_str("").expect("empty scenario resolves")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_document_resolves_to_paper_defaults() {
+        let doc = ScenarioDoc::parse_str("").unwrap();
+        assert_eq!(doc.engine, EngineConfig::paper_4wide());
+        assert_eq!(doc.tracegen, TraceGenConfig::paper());
+        assert_eq!(doc.workload, WorkloadSpec::default());
+        assert!(doc.trace_file.is_none());
+        assert!(doc.sample.is_none());
+        assert!(!doc.has_sweep());
+    }
+
+    #[test]
+    fn unknown_sections_and_keys_are_rejected() {
+        assert!(ScenarioDoc::parse_str("[motor]\nx = 1").unwrap_err().to_string().contains("motor"));
+        let err = ScenarioDoc::parse_str("[workload]\nname = \"gzip\"\nseeds = 3").unwrap_err();
+        assert_eq!(err.line(), 3);
+        assert!(ScenarioDoc::parse_str("[workload]\nname = \"mcf\"").unwrap_err().to_string().contains("mcf"));
+        assert!(ScenarioDoc::parse_str("[workload]\nbudget = 0").is_err());
+    }
+
+    #[test]
+    fn trace_and_sample_sections() {
+        let doc = ScenarioDoc::parse_str(
+            "[trace]\nfile = \"gzip.trace\"\n[sample]\ninterval = 100\ndetailed = 50",
+        )
+        .unwrap();
+        assert_eq!(doc.trace_file.as_deref(), Some("gzip.trace"));
+        assert_eq!(doc.trace_path(None), Some("gzip.trace"));
+        assert_eq!(doc.trace_path(Some("o.trace")), Some("o.trace"));
+        assert_eq!(doc.sample.unwrap(), SamplePlan::systematic(100, 50, 1));
+    }
+
+    #[test]
+    fn sweep_section_resolves_lazily() {
+        let doc = ScenarioDoc::parse_str(
+            "[sweep]\nthreads = 3\ntrace_files = [\"a.trace\"]\nworkloads = [\"gzip\"]\n\
+             budgets = [100]\nseeds = [1]\n[[sweep.config]]\nname = \"base\"",
+        )
+        .unwrap();
+        assert!(doc.has_sweep());
+        assert_eq!(doc.sweep_threads().unwrap(), 3);
+        assert_eq!(doc.sweep_trace_files().unwrap(), vec!["a.trace"]);
+        assert_eq!(doc.sweep_scenario().unwrap().len(), 1);
+        // A broken sweep section surfaces at resolution, not parse.
+        let doc = ScenarioDoc::parse_str("[sweep]\nworkloads = [\"gzip\"]").unwrap();
+        assert!(doc.sweep_scenario().is_err());
+        // No sweep at all is its own message.
+        let doc = ScenarioDoc::parse_str("").unwrap();
+        assert!(doc.sweep_scenario().unwrap_err().to_string().contains("[sweep]"));
+    }
+
+    #[test]
+    fn generated_trace_respects_budget_and_seeding() {
+        let doc = ScenarioDoc::parse_str("[workload]\nname = \"gzip\"\nbudget = 500").unwrap();
+        let a = doc.generate();
+        let b = doc.generate();
+        assert_eq!(a, b, "generation is deterministic");
+        assert_eq!(a.correct_path_len(), 500);
+    }
+}

@@ -1,0 +1,187 @@
+//! Golden tests pinning the `resim` help surface.
+//!
+//! The texts below are deliberate copies, not references to the
+//! `help` module: any change to the CLI surface fails here and forces
+//! an explicit re-pin (the same contract as the trace-container hex
+//! vectors).
+
+use resim_cli::run_for_test;
+
+#[test]
+fn version_is_pinned() {
+    let (code, out, err) = run_for_test(&["--version"]);
+    assert_eq!((code, err.as_str()), (0, ""));
+    assert_eq!(out, "resim 0.1.0\n");
+}
+
+#[test]
+fn main_help_is_pinned() {
+    let expected = "\
+resim — trace-driven, reconfigurable ILP processor simulator (DATE 2009)
+
+Subcommands are driven by declarative TOML scenario files; see
+docs/guide.md for the quickstart and the full scenario-file reference.
+
+USAGE:
+    resim <COMMAND> [OPTIONS]
+
+COMMANDS:
+    trace      generate a workload trace and encode it to a file
+    run        full-detail simulation of a trace file or inline workload
+    sample     SMARTS sampled simulation with confidence-bounded IPC
+    sweep      scenario-grid execution with CSV/Markdown reports
+    describe   dump the resolved engine/memory/predictor configuration
+    help       print this help, or a subcommand's with `resim help <cmd>`
+
+OPTIONS:
+    -h, --help       print help
+    -V, --version    print version
+";
+    for args in [&["--help"][..], &["-h"], &["help"], &[]] {
+        let (code, out, err) = run_for_test(args);
+        assert_eq!((code, err.as_str()), (0, ""), "args {args:?}");
+        assert_eq!(out, expected, "args {args:?}");
+    }
+}
+
+#[test]
+fn trace_help_is_pinned() {
+    let expected = "\
+resim trace — generate a workload trace and encode it to a file
+
+Generates the scenario's [workload] through the [tracegen] model
+(wrong-path blocks included) and writes a versioned trace container
+(magic \"RSTR\") that `resim run`, `resim sample` and `resim sweep`
+replay without regenerating.
+
+USAGE:
+    resim trace --scenario <FILE> [OPTIONS]
+
+OPTIONS:
+    -s, --scenario <FILE>    TOML scenario file (required)
+    -o, --out <FILE>         output path (default: [trace] file key,
+                             then <workload>.trace)
+        --budget <N>         override the [workload] budget key
+        --seed <N>           override the [workload] seed key
+    -h, --help               print help
+";
+    for args in [&["trace", "--help"][..], &["help", "trace"]] {
+        let (code, out, _) = run_for_test(args);
+        assert_eq!(code, 0);
+        assert_eq!(out, expected, "args {args:?}");
+    }
+}
+
+#[test]
+fn run_help_is_pinned() {
+    let expected = "\
+resim run — full-detail simulation of a trace file or inline workload
+
+Simulates every record cycle-accurately on the [engine] configuration.
+The trace comes from --trace, else from the scenario's [trace] file
+key, else it is generated in memory from [workload] and [tracegen].
+
+USAGE:
+    resim run --scenario <FILE> [OPTIONS]
+
+OPTIONS:
+    -s, --scenario <FILE>    TOML scenario file (required)
+    -t, --trace <FILE>       replay this trace container
+    -h, --help               print help
+";
+    let (code, out, _) = run_for_test(&["run", "--help"]);
+    assert_eq!(code, 0);
+    assert_eq!(out, expected);
+}
+
+#[test]
+fn sample_help_is_pinned() {
+    let expected = "\
+resim sample — SMARTS sampled simulation with confidence-bounded IPC
+
+Runs the scenario's [sample] plan: detailed windows at the head of
+sampled intervals, functional (or bounded) warmup in between, and a
+Student-t 95 % confidence interval over the per-window IPCs. The trace
+source is resolved exactly like `resim run`.
+
+USAGE:
+    resim sample --scenario <FILE> [OPTIONS]
+
+OPTIONS:
+    -s, --scenario <FILE>    TOML scenario file (required)
+    -t, --trace <FILE>       replay this trace container
+    -h, --help               print help
+";
+    let (code, out, _) = run_for_test(&["sample", "-h"]);
+    assert_eq!(code, 0);
+    assert_eq!(out, expected);
+}
+
+#[test]
+fn sweep_help_is_pinned() {
+    let expected = "\
+resim sweep — scenario-grid execution with CSV/Markdown reports
+
+Runs the [sweep] grid (configs x workloads x budgets x seeds x modes)
+on a deterministic worker pool: per-cell statistics are bit-identical
+at any thread count. Trace files whose header matches a grid cell are
+replayed instead of regenerated.
+
+USAGE:
+    resim sweep --scenario <FILE> [OPTIONS]
+
+OPTIONS:
+    -s, --scenario <FILE>      TOML scenario file (required)
+    -j, --threads <N>          worker threads (default: [sweep] threads
+                               key, then all cores)
+        --csv <FILE>           write the per-cell CSV report
+        --stable-csv <FILE>    write the deterministic CSV (no wall_us
+                               column; byte-identical across runs)
+        --md <FILE>            write the Markdown report
+        --trace-file <FILE>    preload this trace container into the
+                               trace cache (repeatable; also read from
+                               the [sweep] trace_files key)
+    -h, --help                 print help
+";
+    let (code, out, _) = run_for_test(&["sweep", "--help"]);
+    assert_eq!(code, 0);
+    assert_eq!(out, expected);
+}
+
+#[test]
+fn describe_help_is_pinned() {
+    let expected = "\
+resim describe — dump the resolved engine/memory/predictor configuration
+
+Resolves the scenario and prints the simulated machine's block diagram
+(paper Figure 1) with every structure size, the trace-generator
+settings, and — when present — the sample plan and sweep grid shape.
+No simulation runs.
+
+USAGE:
+    resim describe --scenario <FILE>
+
+OPTIONS:
+    -s, --scenario <FILE>    TOML scenario file (required)
+    -h, --help               print help
+";
+    let (code, out, _) = run_for_test(&["describe", "--help"]);
+    assert_eq!(code, 0);
+    assert_eq!(out, expected);
+}
+
+#[test]
+fn usage_errors_exit_2_without_touching_stdout() {
+    for args in [
+        &["launch"][..],
+        &["run"],
+        &["run", "--scenario"],
+        &["sweep", "-s", "x.toml", "--bogus"],
+        &["help", "bogus"],
+    ] {
+        let (code, out, err) = run_for_test(args);
+        assert_eq!(code, 2, "args {args:?}");
+        assert_eq!(out, "", "usage errors are stderr-only: {args:?}");
+        assert!(err.starts_with("resim: "), "args {args:?}: {err}");
+    }
+}

@@ -1,0 +1,330 @@
+//! TOML scenario-file construction of engine configurations and grids.
+//!
+//! Maps the `[engine]` table of a `resim` scenario file onto
+//! [`EngineConfig`] (with `[engine.fu]`, `[engine.predictor]` and
+//! `[engine.memory]` sub-tables handled by the respective crates), and a
+//! `[sweep.grid]` table onto a [`ConfigGrid`]. Every schema or
+//! structural problem is a line-numbered [`resim_toml::Error`] instead
+//! of a panic or a compile error — the point of driving the simulator
+//! from declarative files. See `docs/guide.md` for the key reference.
+
+use crate::config::{EngineConfig, FuConfig};
+use crate::grid::ConfigGrid;
+use crate::pipeline::PipelineOrganization;
+use resim_bpred::PredictorConfig;
+use resim_mem::MemorySystemConfig;
+use resim_toml::{Error, Table};
+
+/// Parses a pipeline-organization name as used in scenario files
+/// (`"simple"`, `"improved"`, `"optimized"` — the names of
+/// [`PipelineOrganization::name`]).
+fn pipeline_by_name(name: &str, line: u32) -> Result<PipelineOrganization, Error> {
+    PipelineOrganization::ALL
+        .into_iter()
+        .find(|p| p.name() == name)
+        .ok_or_else(|| {
+            Error::new(
+                line,
+                format!("unknown pipeline {name:?} (expected simple, improved or optimized)"),
+            )
+        })
+}
+
+impl FuConfig {
+    /// Builds a functional-unit pool from an `[engine.fu]` table.
+    ///
+    /// Keys: `alus`, `mults`, `divs`, `alu_latency`, `mult_latency`,
+    /// `div_latency`, `div_pipelined`; omitted keys keep the paper's
+    /// reference mix ([`FuConfig::paper`]).
+    ///
+    /// # Errors
+    ///
+    /// A line-numbered [`Error`] for unknown keys or non-integer values.
+    pub fn from_table(t: &Table) -> Result<Self, Error> {
+        t.ensure_only(&[
+            "alus",
+            "mults",
+            "divs",
+            "alu_latency",
+            "mult_latency",
+            "div_latency",
+            "div_pipelined",
+        ])?;
+        let base = FuConfig::paper();
+        Ok(FuConfig {
+            alus: t.opt_usize("alus")?.unwrap_or(base.alus),
+            mults: t.opt_usize("mults")?.unwrap_or(base.mults),
+            divs: t.opt_usize("divs")?.unwrap_or(base.divs),
+            alu_latency: t.opt_u32("alu_latency")?.unwrap_or(base.alu_latency),
+            mult_latency: t.opt_u32("mult_latency")?.unwrap_or(base.mult_latency),
+            div_latency: t.opt_u32("div_latency")?.unwrap_or(base.div_latency),
+            div_pipelined: t.opt_bool("div_pipelined")?.unwrap_or(base.div_pipelined),
+        })
+    }
+}
+
+impl EngineConfig {
+    /// Builds an engine configuration from an `[engine]` table.
+    ///
+    /// `preset` picks the starting point — `"paper-4wide"` (default) or
+    /// `"paper-2wide-cached"`, the paper's two Table 1 machines — and
+    /// every other key overrides one field: `width`, `ifq_size`,
+    /// `rb_size`, `lsq_size`, `mem_read_ports`, `mem_write_ports`,
+    /// `misfetch_penalty`, `mispredict_penalty`, `pipeline`
+    /// (`"simple"` / `"improved"` / `"optimized"`), and the sub-tables
+    /// `fu` ([`FuConfig::from_table`]), `predictor`
+    /// ([`PredictorConfig::from_table`]) and `memory`
+    /// ([`MemorySystemConfig::from_table`]).
+    ///
+    /// The result is structurally validated ([`EngineConfig::validate`]),
+    /// so a table that parses is a configuration the engine accepts.
+    ///
+    /// ```
+    /// use resim_core::EngineConfig;
+    ///
+    /// let t = resim_toml::parse(r#"
+    /// preset = "paper-4wide"
+    /// rb_size = 32
+    /// [predictor]
+    /// kind = "perfect"
+    /// "#).unwrap();
+    /// let config = EngineConfig::from_table(&t).unwrap();
+    /// assert_eq!(config.rb_size, 32);
+    /// assert_eq!(config.width, 4);
+    ///
+    /// // Structural problems are line-numbered diagnostics.
+    /// let t = resim_toml::parse("width = 0").unwrap();
+    /// let err = EngineConfig::from_table(&t).unwrap_err();
+    /// assert!(err.to_string().contains("width"));
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// A line-numbered [`Error`] for unknown keys, an unknown preset or
+    /// pipeline name, sub-table problems, or a configuration that fails
+    /// structural validation.
+    pub fn from_table(t: &Table) -> Result<Self, Error> {
+        t.ensure_only(&[
+            "preset",
+            "width",
+            "ifq_size",
+            "rb_size",
+            "lsq_size",
+            "mem_read_ports",
+            "mem_write_ports",
+            "misfetch_penalty",
+            "mispredict_penalty",
+            "pipeline",
+            "fu",
+            "predictor",
+            "memory",
+        ])?;
+        let mut config = match t.opt_str("preset")? {
+            None | Some("paper-4wide") => EngineConfig::paper_4wide(),
+            Some("paper-2wide-cached") => EngineConfig::paper_2wide_cached(),
+            Some(other) => {
+                return Err(Error::new(
+                    t.key_line("preset"),
+                    format!(
+                        "unknown preset {other:?} (expected paper-4wide or paper-2wide-cached)"
+                    ),
+                ))
+            }
+        };
+        if let Some(v) = t.opt_usize("width")? {
+            config.width = v;
+        }
+        if let Some(v) = t.opt_usize("ifq_size")? {
+            config.ifq_size = v;
+        }
+        if let Some(v) = t.opt_usize("rb_size")? {
+            config.rb_size = v;
+        }
+        if let Some(v) = t.opt_usize("lsq_size")? {
+            config.lsq_size = v;
+        }
+        if let Some(v) = t.opt_usize("mem_read_ports")? {
+            config.mem_read_ports = v;
+        }
+        if let Some(v) = t.opt_usize("mem_write_ports")? {
+            config.mem_write_ports = v;
+        }
+        if let Some(v) = t.opt_u32("misfetch_penalty")? {
+            config.misfetch_penalty = v;
+        }
+        if let Some(v) = t.opt_u32("mispredict_penalty")? {
+            config.mispredict_penalty = v;
+        }
+        if let Some(name) = t.opt_str("pipeline")? {
+            config.pipeline = pipeline_by_name(name, t.key_line("pipeline"))?;
+        }
+        if let Some(sub) = t.opt_table("fu")? {
+            config.fus = FuConfig::from_table(sub)?;
+        }
+        if let Some(sub) = t.opt_table("predictor")? {
+            config.predictor = PredictorConfig::from_table(sub)?;
+        }
+        if let Some(sub) = t.opt_table("memory")? {
+            config.memory = MemorySystemConfig::from_table(sub)?;
+        }
+        config
+            .validate()
+            .map_err(|e| Error::new(t.line(), format!("invalid engine configuration: {e}")))?;
+        Ok(config)
+    }
+}
+
+impl ConfigGrid {
+    /// Builds a configuration grid from a `[sweep.grid]` table over
+    /// `base` (itself usually an [`EngineConfig::from_table`] result).
+    ///
+    /// Axis keys — each an array, each optional: `widths`, `rb_sizes`,
+    /// `lsq_sizes`, `pipelines` (organization names). The predictor and
+    /// memory axes of the builder API stay library-only; vary those via
+    /// explicit `[[sweep.config]]` entries.
+    ///
+    /// Axis *values* are validated here (unknown keys, unknown
+    /// pipeline names); whether the *combinations* produce valid
+    /// machines is the job of [`ConfigGrid::try_build`], which callers
+    /// run exactly once — `Scenario::from_table` maps its error back
+    /// to the grid table's line, so an impossible combination (say an
+    /// RB axis below a width axis value) is still a line-numbered
+    /// diagnostic, never a panic.
+    ///
+    /// ```
+    /// use resim_core::{ConfigGrid, EngineConfig};
+    ///
+    /// let t = resim_toml::parse("widths = [2, 4]\nrb_sizes = [16, 32]").unwrap();
+    /// let grid = ConfigGrid::from_table(EngineConfig::paper_4wide(), &t).unwrap();
+    /// let points = grid.try_build().unwrap();
+    /// assert_eq!(points.len(), 4);
+    /// assert_eq!(points[0].0, "w2-rb16");
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// A line-numbered [`Error`] for unknown keys or unknown pipeline
+    /// names.
+    pub fn from_table(base: EngineConfig, t: &Table) -> Result<Self, Error> {
+        // `base` and `tracegen` belong to the caller (`Scenario::from_table`
+        // reads them from the same [sweep.grid] table before calling here).
+        t.ensure_only(&["widths", "rb_sizes", "lsq_sizes", "pipelines", "base", "tracegen"])?;
+        let mut grid = base.grid();
+        if let Some(widths) = t.opt_usize_array("widths")? {
+            grid = grid.widths(widths);
+        }
+        if let Some(sizes) = t.opt_usize_array("rb_sizes")? {
+            grid = grid.rb_sizes(sizes);
+        }
+        if let Some(sizes) = t.opt_usize_array("lsq_sizes")? {
+            grid = grid.lsq_sizes(sizes);
+        }
+        if let Some(names) = t.opt_str_array("pipelines")? {
+            let orgs = names
+                .iter()
+                .map(|n| pipeline_by_name(&n.value, n.line))
+                .collect::<Result<Vec<_>, _>>()?;
+            grid = grid.pipelines(orgs);
+        }
+        Ok(grid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resim_bpred::DirectionConfig;
+
+    fn parse(s: &str) -> Result<EngineConfig, Error> {
+        EngineConfig::from_table(&resim_toml::parse(s).unwrap())
+    }
+
+    #[test]
+    fn empty_table_is_the_paper_machine() {
+        assert_eq!(parse("").unwrap(), EngineConfig::paper_4wide());
+    }
+
+    #[test]
+    fn presets_and_overrides() {
+        let c = parse("preset = \"paper-2wide-cached\"\nrb_size = 24").unwrap();
+        assert_eq!(c.width, 2);
+        assert_eq!(c.rb_size, 24);
+        assert_eq!(
+            c.pipeline,
+            PipelineOrganization::ImprovedSerial,
+            "preset fields survive unrelated overrides"
+        );
+        assert!(parse("preset = \"paper-8wide\"").unwrap_err().to_string().contains("preset"));
+    }
+
+    #[test]
+    fn scalar_overrides_apply() {
+        let c = parse(
+            "width = 2\nifq_size = 8\nlsq_size = 4\nmem_read_ports = 1\nmem_write_ports = 1\n\
+             misfetch_penalty = 2\nmispredict_penalty = 5\npipeline = \"simple\"",
+        )
+        .unwrap();
+        assert_eq!(c.width, 2);
+        assert_eq!(c.ifq_size, 8);
+        assert_eq!(c.lsq_size, 4);
+        assert_eq!(c.misfetch_penalty, 2);
+        assert_eq!(c.mispredict_penalty, 5);
+        assert_eq!(c.pipeline, PipelineOrganization::SimpleSerial);
+    }
+
+    #[test]
+    fn sub_tables_apply() {
+        let c = parse(
+            "[fu]\nalus = 2\ndiv_latency = 20\n[predictor]\nkind = \"perfect\"\n[memory]\nkind = \"split\"",
+        )
+        .unwrap();
+        assert_eq!(c.fus.alus, 2);
+        assert_eq!(c.fus.div_latency, 20);
+        assert_eq!(c.predictor.direction, DirectionConfig::Perfect);
+        assert!(!c.memory.is_perfect());
+    }
+
+    #[test]
+    fn structural_validation_runs() {
+        assert!(parse("width = 0").is_err());
+        assert!(parse("rb_size = 2").unwrap_err().to_string().contains("RB"));
+        // Optimized pipeline port precondition (§IV.B).
+        assert!(parse("mem_read_ports = 4").unwrap_err().to_string().contains("memory ports"));
+    }
+
+    #[test]
+    fn unknown_keys_are_line_numbered() {
+        let err = parse("width = 4\nwidht = 2").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("widht"));
+        assert!(parse("pipeline = \"turbo\"").unwrap_err().to_string().contains("turbo"));
+    }
+
+    #[test]
+    fn grid_axes_parse_and_build() {
+        let t = resim_toml::parse(
+            "widths = [1, 2, 4]\npipelines = [\"improved\", \"optimized\"]",
+        )
+        .unwrap();
+        let grid = ConfigGrid::from_table(EngineConfig::paper_4wide(), &t).unwrap();
+        let points = grid.try_build().unwrap();
+        assert_eq!(points.len(), 6);
+        for (name, c) in &points {
+            c.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn impossible_grid_axes_error_at_try_build_instead_of_panicking() {
+        let t = resim_toml::parse("rb_sizes = [2]").unwrap();
+        let grid = ConfigGrid::from_table(EngineConfig::paper_4wide(), &t).unwrap();
+        let (name, e) = grid.try_build().unwrap_err();
+        assert_eq!(name, "rb2");
+        assert!(e.to_string().contains("RB"), "{e}");
+        let t = resim_toml::parse("lanes = [2]").unwrap();
+        assert!(ConfigGrid::from_table(EngineConfig::paper_4wide(), &t)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown key"));
+    }
+}

@@ -131,8 +131,23 @@ impl ConfigGrid {
     ///
     /// Panics if a produced point fails [`EngineConfig::validate`] even
     /// after the width fix-ups — that indicates an impossible axis
-    /// combination (e.g. an RB smaller than a requested width).
+    /// combination (e.g. an RB smaller than a requested width). Use
+    /// [`ConfigGrid::try_build`] to handle that case as an error (the
+    /// TOML scenario path does).
     pub fn build(&self) -> Vec<(String, EngineConfig)> {
+        self.try_build()
+            .unwrap_or_else(|(name, e)| panic!("grid point {name} is structurally invalid: {e}"))
+    }
+
+    /// Builds the labelled cross product, reporting the first invalid
+    /// point as `(its label, the structural error)` instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// The first point that fails [`EngineConfig::validate`] after the
+    /// width fix-ups.
+    pub fn try_build(&self) -> Result<Vec<(String, EngineConfig)>, (String, crate::ConfigError)> {
         let opt = |v: &[usize]| -> Vec<Option<usize>> {
             if v.is_empty() {
                 vec![None]
@@ -166,14 +181,14 @@ impl ConfigGrid {
                     for &pipe in &pipes {
                         for &pred in &preds {
                             for &mem in &mems {
-                                out.push(self.point(w, rb, lsq, pipe, pred, mem));
+                                out.push(self.point(w, rb, lsq, pipe, pred, mem)?);
                             }
                         }
                     }
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -185,7 +200,7 @@ impl ConfigGrid {
         pipeline: Option<PipelineOrganization>,
         predictor: Option<&(String, PredictorConfig)>,
         memory: Option<&(String, MemorySystemConfig)>,
-    ) -> (String, EngineConfig) {
+    ) -> Result<(String, EngineConfig), (String, crate::ConfigError)> {
         let mut config = self.base.clone();
         let mut labels: Vec<String> = Vec::new();
         if let Some(w) = width {
@@ -231,10 +246,10 @@ impl ConfigGrid {
         } else {
             labels.join("-")
         };
-        config
-            .validate()
-            .unwrap_or_else(|e| panic!("grid point {name} is structurally invalid: {e}"));
-        (name, config)
+        if let Err(e) = config.validate() {
+            return Err((name, e));
+        }
+        Ok((name, config))
     }
 }
 

@@ -53,6 +53,7 @@ mod checkpoint;
 mod config;
 mod describe;
 mod engine;
+mod from_table;
 mod grid;
 mod lsq;
 mod multicore;

@@ -3,7 +3,7 @@
 //! Tag-only cache and memory-system timing models for ReSim
 //! (Fytraki & Pnevmatikatos, DATE 2009).
 //!
-//! ReSim is trace-driven and "does not store the actual data, [it] need[s]
+//! ReSim is trace-driven and "does not store the actual data, \[it\] need\[s\]
 //! to provide only the hit/miss indication and simulate the access latency"
 //! (§V, Table 4 discussion) — so these models keep tags and replacement
 //! state only, never data.
@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod from_table;
 mod system;
 
 pub use cache::{

@@ -70,6 +70,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod from_table;
 mod plan;
 mod runner;
 mod stats;

@@ -58,10 +58,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod from_table;
 mod report;
 mod runner;
 mod scenario;
 
+pub use from_table::resolve_tracegen;
 pub use report::{CellResult, SweepReport};
 pub use runner::SweepRunner;
 pub use scenario::{Cell, CellMode, ConfigPoint, Scenario, ScenarioError, WorkloadPoint};

@@ -133,10 +133,24 @@ impl SweepReport {
     /// Renders one CSV row per cell (with header). Sampled cells carry
     /// their 95 % confidence bounds; full cells leave those fields empty.
     pub fn to_csv(&self) -> String {
+        self.render_csv(true)
+    }
+
+    /// The deterministic CSV rendering: [`SweepReport::to_csv`] without
+    /// the `wall_us` column, so two runs of the same scenario — however
+    /// driven, programmatically or through a TOML file — produce
+    /// **byte-identical** output. This is what `resim sweep
+    /// --stable-csv` writes and what golden tests compare.
+    pub fn to_csv_stable(&self) -> String {
+        self.render_csv(false)
+    }
+
+    fn render_csv(&self, wall: bool) -> String {
         let mut s = String::from(
             "config,workload,mode,budget,seed,cycles,committed,ipc,ipc_ci_lo,ipc_ci_hi,\
-             wrong_path_frac,bits_per_instr,wall_us\n",
+             wrong_path_frac,bits_per_instr",
         );
+        s.push_str(if wall { ",wall_us\n" } else { "\n" });
         for c in &self.cells {
             let (lo, hi) = match c.sampled_estimate() {
                 Some(sam) => {
@@ -145,9 +159,9 @@ impl SweepReport {
                 }
                 None => (String::new(), String::new()),
             };
-            let _ = writeln!(
+            let _ = write!(
                 s,
-                "{},{},{},{},{},{},{},{:.4},{},{},{:.4},{:.2},{}",
+                "{},{},{},{},{},{},{},{:.4},{},{},{:.4},{:.2}",
                 c.config,
                 c.workload,
                 c.mode,
@@ -160,8 +174,11 @@ impl SweepReport {
                 hi,
                 c.stats.wrong_path_fraction(),
                 c.trace_stats.bits_per_instruction(),
-                c.wall.as_micros(),
             );
+            if wall {
+                let _ = write!(s, ",{}", c.wall.as_micros());
+            }
+            s.push('\n');
         }
         s
     }
@@ -306,6 +323,19 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("config,workload,mode"));
         assert!(lines[1].starts_with("a,gzip,full,1000,1,100,200,2.0000,,,"));
+    }
+
+    #[test]
+    fn stable_csv_drops_only_the_wall_column() {
+        let r = report();
+        let stable = r.to_csv_stable();
+        assert!(!stable.contains("wall_us"));
+        for (full_line, stable_line) in r.to_csv().lines().zip(stable.lines()) {
+            let full_cols: Vec<&str> = full_line.split(',').collect();
+            let stable_cols: Vec<&str> = stable_line.split(',').collect();
+            assert_eq!(full_cols.len(), stable_cols.len() + 1);
+            assert_eq!(&full_cols[..stable_cols.len()], &stable_cols[..]);
+        }
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! The one error type shared by parsing and schema accessors.
+
+use std::fmt;
+
+/// A line-numbered TOML problem: a syntax error from [`parse`](crate::parse)
+/// or a schema error from a [`Table`](crate::Table) accessor.
+///
+/// Displays as `line N: message`; front ends prefix the file name to get
+/// `scenario.toml:N: message`. Line numbers are 1-based; line 0 means the
+/// problem is not tied to a single line (e.g. a missing section).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    line: u32,
+    message: String,
+}
+
+impl Error {
+    /// Creates an error pinned to a 1-based source line (0 = no line).
+    pub fn new(line: u32, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based source line, or 0 when the error has no single line.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// The diagnostic text without the line prefix.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Renders with a file-name prefix: `file.toml:12: message`.
+    pub fn display_in(&self, file: &str) -> String {
+        if self.line == 0 {
+            format!("{file}: {}", self.message)
+        } else {
+            format!("{file}:{}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_line() {
+        let e = Error::new(12, "unknown key \"widht\"");
+        assert_eq!(e.to_string(), "line 12: unknown key \"widht\"");
+        assert_eq!(e.display_in("s.toml"), "s.toml:12: unknown key \"widht\"");
+        let e = Error::new(0, "missing [engine] section");
+        assert_eq!(e.to_string(), "missing [engine] section");
+        assert_eq!(e.display_in("s.toml"), "s.toml: missing [engine] section");
+    }
+}

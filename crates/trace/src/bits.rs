@@ -82,6 +82,29 @@ impl BitWriter {
     }
 }
 
+/// The bit-granular read interface shared by the in-memory
+/// [`BitReader`] and the streaming trace-file reader: everything the
+/// record codec needs, so one decode routine serves both.
+pub(crate) trait BitRead {
+    /// Reads `nbits` (1–32) bits; `None` if fewer remain.
+    fn get(&mut self, nbits: u32) -> Option<u32>;
+
+    /// Reads one flag bit.
+    fn get_bool(&mut self) -> Option<bool> {
+        self.get(1).map(|b| b == 1)
+    }
+
+    /// Advances past `nbits` bits without assembling a value; `false` if
+    /// fewer remain.
+    fn skip_bits(&mut self, nbits: u64) -> bool;
+
+    /// Current read position in bits.
+    fn position(&self) -> u64;
+
+    /// Bits remaining to be read.
+    fn remaining_bits(&self) -> u64;
+}
+
 /// Reads back values packed by [`BitWriter`].
 #[derive(Debug, Clone)]
 pub struct BitReader<'a> {
@@ -159,6 +182,24 @@ impl<'a> BitReader<'a> {
     /// Current read position in bits.
     pub fn position(&self) -> u64 {
         self.pos
+    }
+}
+
+impl BitRead for BitReader<'_> {
+    fn get(&mut self, nbits: u32) -> Option<u32> {
+        BitReader::get(self, nbits)
+    }
+
+    fn skip_bits(&mut self, nbits: u64) -> bool {
+        BitReader::skip_bits(self, nbits)
+    }
+
+    fn position(&self) -> u64 {
+        BitReader::position(self)
+    }
+
+    fn remaining_bits(&self) -> u64 {
+        BitReader::remaining_bits(self)
     }
 }
 

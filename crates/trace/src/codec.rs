@@ -27,7 +27,7 @@
 //! average instruction is the band the paper's Table 3 reports (41–47
 //! bits/instruction on SPECINT).
 
-use crate::bits::{BitReader, BitWriter};
+use crate::bits::{BitRead, BitReader, BitWriter};
 use crate::record::{
     BranchKind, BranchRecord, MemKind, MemRecord, MemSize, OpClass, OtherRecord, Reg, TraceRecord,
 };
@@ -39,6 +39,16 @@ use std::fmt;
 const FMT_OTHER: u32 = 0;
 const FMT_MEM: u32 = 1;
 const FMT_BRANCH: u32 = 2;
+
+/// Version of the record bit layout this codec produces.
+///
+/// Stored in the on-disk trace container header
+/// ([`TraceFileHeader`](crate::TraceFileHeader)) so a reader can reject
+/// traces written under a different layout instead of mis-decoding them.
+/// Bump on **any** change to the wire format documented at the top of
+/// this module — field widths, field order, padding or the PC
+/// delta-compression rule.
+pub const TRACE_LAYOUT_VERSION: u16 = 1;
 
 /// Streaming encoder producing the bit-packed wire format.
 ///
@@ -149,7 +159,7 @@ fn put_reg(w: &mut BitWriter, reg: Option<Reg>) {
     }
 }
 
-fn get_reg(r: &mut BitReader<'_>) -> Result<Option<Reg>, DecodeError> {
+fn get_reg<B: BitRead>(r: &mut B) -> Result<Option<Reg>, DecodeError> {
     let present = r.get_bool().ok_or(DecodeError::Truncated)?;
     if !present {
         return Ok(None);
@@ -208,9 +218,11 @@ impl EncodedTrace {
         Ok(Trace::from_records(out))
     }
 
-    /// A streaming [`TraceSource`] decoding records on the fly.
+    /// A streaming [`TraceSource`](crate::TraceSource) decoding records on
+    /// the fly.
     ///
-    /// [`TraceSource::skip`] on the returned source uses the codec-level
+    /// [`TraceSource::skip`](crate::TraceSource::skip) on the returned
+    /// source uses the codec-level
     /// fast path ([`TraceDecoder::skip_record`]) — records are paged over
     /// without being materialised.
     pub fn source(&self) -> EncodedSource<'_> {
@@ -222,7 +234,8 @@ impl EncodedTrace {
     }
 }
 
-/// A [`TraceSource`] streaming straight out of an [`EncodedTrace`]'s bit
+/// A [`TraceSource`](crate::TraceSource) streaming straight out of an
+/// [`EncodedTrace`]'s bit
 /// stream, decoding one record per pull.
 ///
 /// Decode errors terminate the stream (fused `None`); the first error is
@@ -305,82 +318,7 @@ impl<'a> TraceDecoder<'a> {
     /// [`DecodeError::BadFormat`] / [`DecodeError::BadEnum`] on invalid
     /// field values.
     pub fn next_record(&mut self) -> Result<Option<TraceRecord>, DecodeError> {
-        if self.reader.remaining_bits() == 0 {
-            return Ok(None);
-        }
-        // Fewer than a minimal header's worth of bits means padding from
-        // byte alignment was mis-declared: the caller passed a wrong bit
-        // length.
-        let fmt = self.reader.get(2).ok_or(DecodeError::Truncated)?;
-        if fmt > FMT_BRANCH {
-            return Err(DecodeError::BadFormat(fmt as u8));
-        }
-        let wrong_path = self.reader.get_bool().ok_or(DecodeError::Truncated)?;
-        let explicit = self.reader.get_bool().ok_or(DecodeError::Truncated)?;
-        let pc = if explicit {
-            self.reader.get(32).ok_or(DecodeError::Truncated)?
-        } else {
-            self.expected_pc.ok_or(DecodeError::MissingPc)?
-        };
-        let record = match fmt {
-            FMT_OTHER => {
-                let class = self.reader.get(2).ok_or(DecodeError::Truncated)?;
-                let class = OpClass::decode(class).ok_or(DecodeError::BadEnum("op class"))?;
-                let dest = get_reg(&mut self.reader)?;
-                let src1 = get_reg(&mut self.reader)?;
-                let src2 = get_reg(&mut self.reader)?;
-                TraceRecord::Other(OtherRecord {
-                    pc,
-                    class,
-                    dest,
-                    src1,
-                    src2,
-                    wrong_path,
-                })
-            }
-            FMT_MEM => {
-                let kind = self.reader.get(1).ok_or(DecodeError::Truncated)?;
-                let kind = if kind == 0 { MemKind::Load } else { MemKind::Store };
-                let size = self.reader.get(2).ok_or(DecodeError::Truncated)?;
-                let size = MemSize::decode(size).ok_or(DecodeError::BadEnum("mem size"))?;
-                let addr = self.reader.get(32).ok_or(DecodeError::Truncated)?;
-                let base = get_reg(&mut self.reader)?;
-                let data = get_reg(&mut self.reader)?;
-                TraceRecord::Mem(MemRecord {
-                    pc,
-                    addr,
-                    size,
-                    kind,
-                    base,
-                    data,
-                    wrong_path,
-                })
-            }
-            FMT_BRANCH => {
-                let kind = self.reader.get(3).ok_or(DecodeError::Truncated)?;
-                let kind = BranchKind::decode(kind).ok_or(DecodeError::BadEnum("branch kind"))?;
-                let taken = self.reader.get_bool().ok_or(DecodeError::Truncated)?;
-                let target = self.reader.get(32).ok_or(DecodeError::Truncated)?;
-                let src1 = get_reg(&mut self.reader)?;
-                let src2 = get_reg(&mut self.reader)?;
-                TraceRecord::Branch(BranchRecord {
-                    pc,
-                    target,
-                    taken,
-                    kind,
-                    src1,
-                    src2,
-                    wrong_path,
-                })
-            }
-            other => return Err(DecodeError::BadFormat(other as u8)),
-        };
-        // Skip the byte-alignment padding.
-        while !self.reader.position().is_multiple_of(8) {
-            self.reader.get_bool().ok_or(DecodeError::Truncated)?;
-        }
-        self.expected_pc = Some(record.implied_next_pc());
-        Ok(Some(record))
+        decode_record_bits(&mut self.reader, &mut self.expected_pc)
     }
 
     /// Discards the next record without building a [`TraceRecord`] —
@@ -399,73 +337,168 @@ impl<'a> TraceDecoder<'a> {
     /// that enum payloads (`OpClass`, `MemSize`, `BranchKind`) are *not*
     /// range-checked here.
     pub fn skip_record(&mut self) -> Result<bool, DecodeError> {
-        if self.reader.remaining_bits() == 0 {
-            return Ok(false);
-        }
-        let fmt = self.reader.get(2).ok_or(DecodeError::Truncated)?;
-        if fmt > FMT_BRANCH {
-            return Err(DecodeError::BadFormat(fmt as u8));
-        }
-        // tag bit
-        if !self.reader.skip_bits(1) {
-            return Err(DecodeError::Truncated);
-        }
-        let explicit = self.reader.get_bool().ok_or(DecodeError::Truncated)?;
-        let pc = if explicit {
-            self.reader.get(32).ok_or(DecodeError::Truncated)?
-        } else {
-            self.expected_pc.ok_or(DecodeError::MissingPc)?
-        };
-        let next_pc = match fmt {
-            FMT_OTHER => {
-                // class(2) + three optional registers.
-                if !self.reader.skip_bits(2) {
-                    return Err(DecodeError::Truncated);
-                }
-                for _ in 0..3 {
-                    skip_reg(&mut self.reader)?;
-                }
-                pc.wrapping_add(4)
-            }
-            FMT_MEM => {
-                // kind(1) + size(2) + addr(32) + two optional registers.
-                if !self.reader.skip_bits(1 + 2 + 32) {
-                    return Err(DecodeError::Truncated);
-                }
-                for _ in 0..2 {
-                    skip_reg(&mut self.reader)?;
-                }
-                pc.wrapping_add(4)
-            }
-            _ => {
-                // kind(3), then taken/target — the only payload skipping
-                // must decode, because a taken branch redirects the
-                // implicit-PC chain.
-                if !self.reader.skip_bits(3) {
-                    return Err(DecodeError::Truncated);
-                }
-                let taken = self.reader.get_bool().ok_or(DecodeError::Truncated)?;
-                let target = self.reader.get(32).ok_or(DecodeError::Truncated)?;
-                for _ in 0..2 {
-                    skip_reg(&mut self.reader)?;
-                }
-                if taken {
-                    target
-                } else {
-                    pc.wrapping_add(4)
-                }
-            }
-        };
-        let pad = (8 - self.reader.position() % 8) % 8;
-        if !self.reader.skip_bits(pad) {
-            return Err(DecodeError::Truncated);
-        }
-        self.expected_pc = Some(next_pc);
-        Ok(true)
+        skip_record_bits(&mut self.reader, &mut self.expected_pc)
     }
 }
 
-fn skip_reg(r: &mut BitReader<'_>) -> Result<(), DecodeError> {
+/// Decodes one record from any [`BitRead`] source — the single parse
+/// routine behind both [`TraceDecoder`] (in-memory bit slices) and the
+/// streaming trace-file reader ([`FileSource`](crate::FileSource)).
+pub(crate) fn decode_record_bits<B: BitRead>(
+    reader: &mut B,
+    expected_pc: &mut Option<u32>,
+) -> Result<Option<TraceRecord>, DecodeError> {
+    if reader.remaining_bits() == 0 {
+        return Ok(None);
+    }
+    // Fewer than a minimal header's worth of bits means padding from
+    // byte alignment was mis-declared: the caller passed a wrong bit
+    // length.
+    let fmt = reader.get(2).ok_or(DecodeError::Truncated)?;
+    if fmt > FMT_BRANCH {
+        return Err(DecodeError::BadFormat(fmt as u8));
+    }
+    let wrong_path = reader.get_bool().ok_or(DecodeError::Truncated)?;
+    let explicit = reader.get_bool().ok_or(DecodeError::Truncated)?;
+    let pc = if explicit {
+        reader.get(32).ok_or(DecodeError::Truncated)?
+    } else {
+        expected_pc.ok_or(DecodeError::MissingPc)?
+    };
+    let record = match fmt {
+        FMT_OTHER => {
+            let class = reader.get(2).ok_or(DecodeError::Truncated)?;
+            let class = OpClass::decode(class).ok_or(DecodeError::BadEnum("op class"))?;
+            let dest = get_reg(reader)?;
+            let src1 = get_reg(reader)?;
+            let src2 = get_reg(reader)?;
+            TraceRecord::Other(OtherRecord {
+                pc,
+                class,
+                dest,
+                src1,
+                src2,
+                wrong_path,
+            })
+        }
+        FMT_MEM => {
+            let kind = reader.get(1).ok_or(DecodeError::Truncated)?;
+            let kind = if kind == 0 { MemKind::Load } else { MemKind::Store };
+            let size = reader.get(2).ok_or(DecodeError::Truncated)?;
+            let size = MemSize::decode(size).ok_or(DecodeError::BadEnum("mem size"))?;
+            let addr = reader.get(32).ok_or(DecodeError::Truncated)?;
+            let base = get_reg(reader)?;
+            let data = get_reg(reader)?;
+            TraceRecord::Mem(MemRecord {
+                pc,
+                addr,
+                size,
+                kind,
+                base,
+                data,
+                wrong_path,
+            })
+        }
+        FMT_BRANCH => {
+            let kind = reader.get(3).ok_or(DecodeError::Truncated)?;
+            let kind = BranchKind::decode(kind).ok_or(DecodeError::BadEnum("branch kind"))?;
+            let taken = reader.get_bool().ok_or(DecodeError::Truncated)?;
+            let target = reader.get(32).ok_or(DecodeError::Truncated)?;
+            let src1 = get_reg(reader)?;
+            let src2 = get_reg(reader)?;
+            TraceRecord::Branch(BranchRecord {
+                pc,
+                target,
+                taken,
+                kind,
+                src1,
+                src2,
+                wrong_path,
+            })
+        }
+        other => return Err(DecodeError::BadFormat(other as u8)),
+    };
+    // Skip the byte-alignment padding.
+    while !reader.position().is_multiple_of(8) {
+        reader.get_bool().ok_or(DecodeError::Truncated)?;
+    }
+    *expected_pc = Some(record.implied_next_pc());
+    Ok(Some(record))
+}
+
+/// Discards one record from any [`BitRead`] source — the generic body of
+/// [`TraceDecoder::skip_record`], shared with the streaming trace-file
+/// reader.
+pub(crate) fn skip_record_bits<B: BitRead>(
+    reader: &mut B,
+    expected_pc: &mut Option<u32>,
+) -> Result<bool, DecodeError> {
+    if reader.remaining_bits() == 0 {
+        return Ok(false);
+    }
+    let fmt = reader.get(2).ok_or(DecodeError::Truncated)?;
+    if fmt > FMT_BRANCH {
+        return Err(DecodeError::BadFormat(fmt as u8));
+    }
+    // tag bit
+    if !reader.skip_bits(1) {
+        return Err(DecodeError::Truncated);
+    }
+    let explicit = reader.get_bool().ok_or(DecodeError::Truncated)?;
+    let pc = if explicit {
+        reader.get(32).ok_or(DecodeError::Truncated)?
+    } else {
+        expected_pc.ok_or(DecodeError::MissingPc)?
+    };
+    let next_pc = match fmt {
+        FMT_OTHER => {
+            // class(2) + three optional registers.
+            if !reader.skip_bits(2) {
+                return Err(DecodeError::Truncated);
+            }
+            for _ in 0..3 {
+                skip_reg(reader)?;
+            }
+            pc.wrapping_add(4)
+        }
+        FMT_MEM => {
+            // kind(1) + size(2) + addr(32) + two optional registers.
+            if !reader.skip_bits(1 + 2 + 32) {
+                return Err(DecodeError::Truncated);
+            }
+            for _ in 0..2 {
+                skip_reg(reader)?;
+            }
+            pc.wrapping_add(4)
+        }
+        _ => {
+            // kind(3), then taken/target — the only payload skipping
+            // must decode, because a taken branch redirects the
+            // implicit-PC chain.
+            if !reader.skip_bits(3) {
+                return Err(DecodeError::Truncated);
+            }
+            let taken = reader.get_bool().ok_or(DecodeError::Truncated)?;
+            let target = reader.get(32).ok_or(DecodeError::Truncated)?;
+            for _ in 0..2 {
+                skip_reg(reader)?;
+            }
+            if taken {
+                target
+            } else {
+                pc.wrapping_add(4)
+            }
+        }
+    };
+    let pad = (8 - reader.position() % 8) % 8;
+    if !reader.skip_bits(pad) {
+        return Err(DecodeError::Truncated);
+    }
+    *expected_pc = Some(next_pc);
+    Ok(true)
+}
+
+fn skip_reg<B: BitRead>(r: &mut B) -> Result<(), DecodeError> {
     let present = r.get_bool().ok_or(DecodeError::Truncated)?;
     if present && !r.skip_bits(6) {
         return Err(DecodeError::Truncated);

@@ -1,0 +1,762 @@
+//! The on-disk trace container: a versioned header in front of the
+//! Table-3 codec stream.
+//!
+//! The paper's host tool prepares traces "off-line, for example for bulk
+//! simulations with varying design parameters" (§V.A) and streams them
+//! to the engine over a link. This module is the file-system analogue of
+//! that link: a trace is generated and encoded **once**, written to disk
+//! with enough metadata to identify it, and replayed any number of times
+//! through a streaming [`FileSource`] — by `resim run`, `resim sample`
+//! and `resim sweep` alike.
+//!
+//! ## Layout
+//!
+//! All multi-byte fields are **little-endian**. The body is exactly the
+//! bit stream a [`TraceEncoder`](crate::TraceEncoder) produces (each
+//! record byte-aligned), so the container adds a fixed 50-byte header
+//! plus the workload id and nothing else:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic "RSTR"
+//!      4     2  container version (1)
+//!      6     2  record bit-layout version (TRACE_LAYOUT_VERSION)
+//!      8     8  record count (wrong-path records included)
+//!     16     8  correct-path record count
+//!     24     8  payload length in bits
+//!     32     8  workload seed
+//!     40     8  trace-generator fingerprint (opaque to this crate)
+//!     48     2  workload id length L
+//!     50     L  workload id (UTF-8)
+//!   50+L     …  body: the encoded record stream
+//! ```
+//!
+//! ## Version rules
+//!
+//! * A reader rejects a file whose **container version** is newer than
+//!   its own ([`TRACE_CONTAINER_VERSION`]): the header layout itself may
+//!   have changed.
+//! * A reader rejects a file whose **bit-layout version** differs from
+//!   its codec's [`TRACE_LAYOUT_VERSION`](crate::TRACE_LAYOUT_VERSION):
+//!   same container, incompatible record stream.
+//!
+//! ## Example
+//!
+//! ```
+//! use resim_trace::{FileSource, Trace, TraceFileHeader, TraceRecord,
+//!                   TraceSource, OtherRecord, OpClass};
+//!
+//! let trace: Trace = (0..100u32)
+//!     .map(|i| TraceRecord::Other(OtherRecord {
+//!         pc: 0x1000 + i * 4,
+//!         class: OpClass::IntAlu,
+//!         dest: None, src1: None, src2: None,
+//!         wrong_path: false,
+//!     }))
+//!     .collect();
+//!
+//! // Write the container to any io::Write sink…
+//! let encoded = trace.encode();
+//! let header = TraceFileHeader::for_trace(&encoded, "demo", 7, 0)
+//!     .with_correct_records(trace.correct_path_len() as u64);
+//! let mut file: Vec<u8> = Vec::new();
+//! header.write_trace(&mut file, &encoded).unwrap();
+//!
+//! // …and stream it back record by record.
+//! let mut source = FileSource::from_reader(&file[..]).unwrap();
+//! assert_eq!(source.header().workload, "demo");
+//! assert_eq!(source.len_hint(), Some(100));
+//! let round: Trace = std::iter::from_fn(|| source.next_record()).collect();
+//! assert_eq!(round, trace);
+//! ```
+
+use crate::bits::BitRead;
+use crate::codec::{
+    decode_record_bits, skip_record_bits, DecodeError, EncodedTrace, TRACE_LAYOUT_VERSION,
+};
+use crate::record::TraceRecord;
+use crate::source::TraceSource;
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// The four magic bytes opening every trace container.
+pub const TRACE_FILE_MAGIC: [u8; 4] = *b"RSTR";
+
+/// Version of the container layout (header framing) itself.
+pub const TRACE_CONTAINER_VERSION: u16 = 1;
+
+/// The decoded header of an on-disk trace container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFileHeader {
+    /// Container layout version the file was written with.
+    pub container_version: u16,
+    /// Record bit-layout version of the body stream.
+    pub layout_version: u16,
+    /// Total records in the body (wrong-path included).
+    pub records: u64,
+    /// Correct-path records in the body.
+    pub correct_records: u64,
+    /// Exact payload length of the body in bits.
+    pub len_bits: u64,
+    /// Seed the workload stream was instantiated with.
+    pub seed: u64,
+    /// Deterministic fingerprint of the generator configuration that
+    /// produced the trace (`resim_tracegen::TraceGenConfig::fingerprint`);
+    /// opaque to this crate, `0` when unknown.
+    pub tracegen_fingerprint: u64,
+    /// Workload identity (e.g. `"gzip"`).
+    pub workload: String,
+}
+
+impl TraceFileHeader {
+    /// Builds a header describing `encoded`, with the correct-path count
+    /// defaulting to the total record count (adjust with
+    /// [`TraceFileHeader::with_correct_records`] for tagged traces).
+    pub fn for_trace(
+        encoded: &EncodedTrace,
+        workload: impl Into<String>,
+        seed: u64,
+        tracegen_fingerprint: u64,
+    ) -> Self {
+        Self {
+            container_version: TRACE_CONTAINER_VERSION,
+            layout_version: TRACE_LAYOUT_VERSION,
+            records: encoded.len(),
+            correct_records: encoded.len(),
+            len_bits: encoded.len_bits(),
+            seed,
+            tracegen_fingerprint,
+            workload: workload.into(),
+        }
+    }
+
+    /// Sets the correct-path record count.
+    pub fn with_correct_records(mut self, correct: u64) -> Self {
+        self.correct_records = correct;
+        self
+    }
+
+    /// Serializes the header alone (magic through workload id).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`; a workload id longer than the
+    /// 16-bit length field is reported as
+    /// [`io::ErrorKind::InvalidInput`].
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        let id = self.workload.as_bytes();
+        let id_len = u16::try_from(id.len()).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("workload id of {} bytes exceeds the 65535-byte field", id.len()),
+            )
+        })?;
+        w.write_all(&TRACE_FILE_MAGIC)?;
+        w.write_all(&self.container_version.to_le_bytes())?;
+        w.write_all(&self.layout_version.to_le_bytes())?;
+        w.write_all(&self.records.to_le_bytes())?;
+        w.write_all(&self.correct_records.to_le_bytes())?;
+        w.write_all(&self.len_bits.to_le_bytes())?;
+        w.write_all(&self.seed.to_le_bytes())?;
+        w.write_all(&self.tracegen_fingerprint.to_le_bytes())?;
+        w.write_all(&id_len.to_le_bytes())?;
+        w.write_all(id)?;
+        Ok(())
+    }
+
+    /// Writes the full container: this header followed by `encoded`'s
+    /// body bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_trace<W: Write>(&self, mut w: W, encoded: &EncodedTrace) -> io::Result<()> {
+        self.write_to(&mut w)?;
+        w.write_all(encoded.bytes())?;
+        w.flush()
+    }
+
+    /// Parses a header from the front of `r`, applying the version rules.
+    ///
+    /// # Errors
+    ///
+    /// [`FileError::Io`] on short reads, [`FileError::BadMagic`] /
+    /// [`FileError::UnsupportedContainer`] / [`FileError::LayoutMismatch`]
+    /// on an alien or incompatible file, [`FileError::BadWorkloadId`] on
+    /// a non-UTF-8 workload id.
+    pub fn read_from<R: Read>(mut r: R) -> Result<Self, FileError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if magic != TRACE_FILE_MAGIC {
+            return Err(FileError::BadMagic(magic));
+        }
+        let container_version = read_u16(&mut r)?;
+        if container_version > TRACE_CONTAINER_VERSION {
+            return Err(FileError::UnsupportedContainer(container_version));
+        }
+        let layout_version = read_u16(&mut r)?;
+        if layout_version != TRACE_LAYOUT_VERSION {
+            return Err(FileError::LayoutMismatch(layout_version));
+        }
+        let records = read_u64(&mut r)?;
+        let correct_records = read_u64(&mut r)?;
+        let len_bits = read_u64(&mut r)?;
+        let seed = read_u64(&mut r)?;
+        let tracegen_fingerprint = read_u64(&mut r)?;
+        let id_len = read_u16(&mut r)? as usize;
+        let mut id = vec![0u8; id_len];
+        r.read_exact(&mut id)?;
+        let workload = String::from_utf8(id).map_err(|_| FileError::BadWorkloadId)?;
+        Ok(Self {
+            container_version,
+            layout_version,
+            records,
+            correct_records,
+            len_bits,
+            seed,
+            tracegen_fingerprint,
+            workload,
+        })
+    }
+
+    /// Serialized header size in bytes (50 + workload id length).
+    pub fn encoded_len(&self) -> usize {
+        50 + self.workload.len()
+    }
+}
+
+fn read_u16<R: Read>(r: &mut R) -> Result<u16, FileError> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, FileError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Convenience: writes `encoded` under `header` to a new file at `path`.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn save_trace_file(
+    path: impl AsRef<Path>,
+    header: &TraceFileHeader,
+    encoded: &EncodedTrace,
+) -> io::Result<()> {
+    let file = fs::File::create(path)?;
+    header.write_trace(io::BufWriter::new(file), encoded)
+}
+
+/// A streaming [`TraceSource`] over an on-disk trace container.
+///
+/// The header is parsed (and version-checked) eagerly at construction;
+/// body records are decoded one `next_record` at a time straight off the
+/// reader, so replaying a multi-gigabyte trace never buffers more than
+/// one byte of it. [`TraceSource::skip`] uses the codec's
+/// decode-and-discard fast path, exactly like
+/// [`EncodedSource`](crate::EncodedSource).
+///
+/// I/O and decode problems after construction terminate the stream
+/// (fused `None`); inspect [`FileSource::error`] to distinguish a clean
+/// end of trace from a broken one.
+#[derive(Debug)]
+pub struct FileSource<R: Read> {
+    header: TraceFileHeader,
+    bits: StreamBits<R>,
+    expected_pc: Option<u32>,
+    remaining: u64,
+    error: Option<FileError>,
+}
+
+impl FileSource<io::BufReader<fs::File>> {
+    /// Opens the trace container at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`FileError::Io`] if the file cannot be opened, plus everything
+    /// [`TraceFileHeader::read_from`] rejects.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, FileError> {
+        Self::from_reader(io::BufReader::new(fs::File::open(path)?))
+    }
+}
+
+impl<R: Read> FileSource<R> {
+    /// Wraps any reader positioned at the start of a trace container.
+    ///
+    /// For raw [`fs::File`]s prefer [`FileSource::open`], which adds
+    /// buffering; the decoder pulls single bytes.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`TraceFileHeader::read_from`] rejects.
+    pub fn from_reader(mut reader: R) -> Result<Self, FileError> {
+        let header = TraceFileHeader::read_from(&mut reader)?;
+        let bits = StreamBits::new(reader, header.len_bits);
+        Ok(Self {
+            remaining: header.records,
+            header,
+            bits,
+            expected_pc: None,
+            error: None,
+        })
+    }
+
+    /// The container header (validated at construction).
+    pub fn header(&self) -> &TraceFileHeader {
+        &self.header
+    }
+
+    /// The first I/O or decode error hit, if the stream ended abnormally.
+    pub fn error(&self) -> Option<&FileError> {
+        self.error.as_ref()
+    }
+
+    /// Folds the bit reader's pending I/O error (if any) with a decode
+    /// result into this source's terminal error state.
+    fn fail(&mut self, decode: DecodeError) {
+        self.error = Some(match self.bits.take_io_error() {
+            Some(io) => FileError::Io(io.kind()),
+            None => FileError::Decode(decode),
+        });
+    }
+}
+
+impl<R: Read> TraceSource for FileSource<R> {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        if self.error.is_some() || self.remaining == 0 {
+            return None;
+        }
+        match decode_record_bits(&mut self.bits, &mut self.expected_pc) {
+            Ok(Some(r)) => {
+                self.remaining -= 1;
+                Some(r)
+            }
+            Ok(None) => {
+                // Body bits ran out before the declared record count.
+                self.error = Some(FileError::Decode(DecodeError::Truncated));
+                None
+            }
+            Err(e) => {
+                self.fail(e);
+                None
+            }
+        }
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
+
+    fn skip(&mut self, n: u64) -> u64 {
+        let mut skipped = 0;
+        while skipped < n && self.error.is_none() && self.remaining > 0 {
+            match skip_record_bits(&mut self.bits, &mut self.expected_pc) {
+                Ok(true) => {
+                    skipped += 1;
+                    self.remaining -= 1;
+                }
+                Ok(false) => {
+                    self.error = Some(FileError::Decode(DecodeError::Truncated));
+                    break;
+                }
+                Err(e) => {
+                    self.fail(e);
+                    break;
+                }
+            }
+        }
+        skipped
+    }
+}
+
+/// A [`BitRead`] pulling bytes on demand from an [`io::Read`].
+///
+/// The total payload bit length comes from the container header; an I/O
+/// error is parked in `io_error` (bit reads then report exhaustion) and
+/// surfaced by [`FileSource`] as [`FileError::Io`].
+#[derive(Debug)]
+struct StreamBits<R: Read> {
+    reader: R,
+    total_bits: u64,
+    pos: u64,
+    /// The byte currently being consumed bit by bit.
+    cur: u8,
+    io_error: Option<io::Error>,
+}
+
+impl<R: Read> StreamBits<R> {
+    fn new(reader: R, total_bits: u64) -> Self {
+        Self {
+            reader,
+            total_bits,
+            pos: 0,
+            cur: 0,
+            io_error: None,
+        }
+    }
+
+    fn take_io_error(&mut self) -> Option<io::Error> {
+        self.io_error.take()
+    }
+
+    /// Loads the byte holding bit `pos` when crossing a byte boundary;
+    /// `false` on I/O failure (including a file shorter than the header
+    /// declared).
+    fn refill(&mut self) -> bool {
+        if !self.pos.is_multiple_of(8) {
+            return true;
+        }
+        let mut byte = [0u8; 1];
+        match self.reader.read_exact(&mut byte) {
+            Ok(()) => {
+                self.cur = byte[0];
+                true
+            }
+            Err(e) => {
+                self.io_error = Some(e);
+                false
+            }
+        }
+    }
+}
+
+impl<R: Read> BitRead for StreamBits<R> {
+    fn get(&mut self, nbits: u32) -> Option<u32> {
+        assert!(
+            (1..=32).contains(&nbits),
+            "bit width {nbits} out of range 1..=32"
+        );
+        if self.io_error.is_some() || self.pos + u64::from(nbits) > self.total_bits {
+            return None;
+        }
+        let mut value = 0u32;
+        for i in 0..nbits {
+            if !self.refill() {
+                return None;
+            }
+            let bit = (self.cur >> (self.pos % 8)) & 1;
+            value |= u32::from(bit) << i;
+            self.pos += 1;
+        }
+        Some(value)
+    }
+
+    fn skip_bits(&mut self, nbits: u64) -> bool {
+        // A generic `io::Read` cannot seek, so skipping still consumes
+        // bytes — but without assembling values, and whole bytes at a
+        // time once aligned.
+        match self.pos.checked_add(nbits) {
+            Some(end) if end <= self.total_bits => {}
+            _ => return false,
+        }
+        if self.io_error.is_some() {
+            return false;
+        }
+        let mut left = nbits;
+        // Finish the partially consumed byte.
+        while left > 0 && !self.pos.is_multiple_of(8) {
+            self.pos += 1;
+            left -= 1;
+        }
+        let mut bytes = left / 8;
+        let mut chunk = [0u8; 256];
+        while bytes > 0 {
+            let n = bytes.min(chunk.len() as u64) as usize;
+            if let Err(e) = self.reader.read_exact(&mut chunk[..n]) {
+                self.io_error = Some(e);
+                return false;
+            }
+            self.pos += n as u64 * 8;
+            left -= n as u64 * 8;
+            bytes -= n as u64;
+        }
+        // Enter the trailing partial byte, if any.
+        while left > 0 {
+            if !self.refill() {
+                return false;
+            }
+            self.pos += 1;
+            left -= 1;
+        }
+        true
+    }
+
+    fn position(&self) -> u64 {
+        self.pos
+    }
+
+    fn remaining_bits(&self) -> u64 {
+        if self.io_error.is_some() {
+            0
+        } else {
+            self.total_bits - self.pos
+        }
+    }
+}
+
+/// Problems reading an on-disk trace container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileError {
+    /// An underlying I/O failure (a short file reports
+    /// [`io::ErrorKind::UnexpectedEof`]).
+    Io(io::ErrorKind),
+    /// The file does not start with [`TRACE_FILE_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The container version is newer than this reader understands.
+    UnsupportedContainer(u16),
+    /// The record bit-layout version differs from this codec's
+    /// [`TRACE_LAYOUT_VERSION`](crate::TRACE_LAYOUT_VERSION).
+    LayoutMismatch(u16),
+    /// The workload id is not valid UTF-8.
+    BadWorkloadId,
+    /// The body bit stream is malformed or shorter than declared.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for FileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FileError::Io(kind) => write!(f, "trace file i/o error: {kind}"),
+            FileError::BadMagic(m) => {
+                write!(f, "not a resim trace file (magic {m:02x?}, expected \"RSTR\")")
+            }
+            FileError::UnsupportedContainer(v) => write!(
+                f,
+                "trace container version {v} is newer than this reader ({TRACE_CONTAINER_VERSION})"
+            ),
+            FileError::LayoutMismatch(v) => write!(
+                f,
+                "trace record layout version {v} does not match this codec ({TRACE_LAYOUT_VERSION})"
+            ),
+            FileError::BadWorkloadId => write!(f, "workload id is not valid UTF-8"),
+            FileError::Decode(e) => write!(f, "trace body malformed: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for FileError {
+    fn from(e: io::Error) -> Self {
+        FileError::Io(e.kind())
+    }
+}
+
+impl From<DecodeError> for FileError {
+    fn from(e: DecodeError) -> Self {
+        FileError::Decode(e)
+    }
+}
+
+impl Error for FileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{BranchKind, BranchRecord, MemKind, MemRecord, MemSize, OpClass, OtherRecord, Reg};
+    use crate::Trace;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(TraceRecord::Other(OtherRecord {
+            pc: 0x40_0000,
+            class: OpClass::IntAlu,
+            dest: Some(Reg::new(3)),
+            src1: Some(Reg::new(1)),
+            src2: Some(Reg::new(2)),
+            wrong_path: false,
+        }));
+        t.push(TraceRecord::Mem(MemRecord {
+            pc: 0x40_0004,
+            addr: 0x1000_0040,
+            size: MemSize::Word,
+            kind: MemKind::Load,
+            base: Some(Reg::new(29)),
+            data: Some(Reg::new(4)),
+            wrong_path: false,
+        }));
+        t.push(TraceRecord::Branch(BranchRecord {
+            pc: 0x40_0008,
+            target: 0x40_0100,
+            taken: true,
+            kind: BranchKind::Cond,
+            src1: Some(Reg::new(4)),
+            src2: None,
+            wrong_path: false,
+        }));
+        t.push(TraceRecord::Other(OtherRecord {
+            pc: 0x40_000C,
+            class: OpClass::Nop,
+            dest: None,
+            src1: None,
+            src2: None,
+            wrong_path: true,
+        }));
+        t.push(TraceRecord::Other(OtherRecord {
+            pc: 0x40_0100,
+            class: OpClass::IntDiv,
+            dest: Some(Reg::new(8)),
+            src1: Some(Reg::new(8)),
+            src2: Some(Reg::new(9)),
+            wrong_path: false,
+        }));
+        t
+    }
+
+    fn container(trace: &Trace) -> Vec<u8> {
+        let encoded = trace.encode();
+        let header = TraceFileHeader::for_trace(&encoded, "gzip", 2009, 0xDEAD_BEEF)
+            .with_correct_records(trace.correct_path_len() as u64);
+        let mut buf = Vec::new();
+        header.write_trace(&mut buf, &encoded).unwrap();
+        buf
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let trace = sample_trace();
+        let encoded = trace.encode();
+        let header = TraceFileHeader::for_trace(&encoded, "gzip", 2009, 0xDEAD_BEEF)
+            .with_correct_records(4);
+        let mut buf = Vec::new();
+        header.write_to(&mut buf).unwrap();
+        assert_eq!(buf.len(), header.encoded_len());
+        let round = TraceFileHeader::read_from(&buf[..]).unwrap();
+        assert_eq!(round, header);
+        assert_eq!(round.records, 5);
+        assert_eq!(round.correct_records, 4);
+        assert_eq!(round.workload, "gzip");
+        assert_eq!(round.seed, 2009);
+        assert_eq!(round.tracegen_fingerprint, 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn file_roundtrip_streams_all_records() {
+        let trace = sample_trace();
+        let buf = container(&trace);
+        let mut src = FileSource::from_reader(&buf[..]).unwrap();
+        assert_eq!(src.len_hint(), Some(5));
+        assert_eq!(src.header().correct_records, 4);
+        let round: Vec<TraceRecord> = std::iter::from_fn(|| src.next_record()).collect();
+        assert_eq!(round, trace.records());
+        assert!(src.error().is_none());
+        assert!(src.next_record().is_none(), "fused after end");
+    }
+
+    #[test]
+    fn skip_then_decode_stays_in_sync() {
+        let trace = sample_trace();
+        let buf = container(&trace);
+        for n in 0..=trace.len() as u64 {
+            let mut src = FileSource::from_reader(&buf[..]).unwrap();
+            assert_eq!(src.skip(n), n);
+            let rest: Vec<TraceRecord> = std::iter::from_fn(|| src.next_record()).collect();
+            assert_eq!(rest, trace.records()[n as usize..], "suffix after skipping {n}");
+            assert!(src.error().is_none());
+        }
+        let mut src = FileSource::from_reader(&buf[..]).unwrap();
+        assert_eq!(src.skip(100), 5, "skip clamps at end of trace");
+    }
+
+    #[test]
+    fn on_disk_roundtrip() {
+        let trace = sample_trace();
+        let encoded = trace.encode();
+        let header = TraceFileHeader::for_trace(&encoded, "disk", 1, 2);
+        let path = std::env::temp_dir().join(format!("resim-trace-test-{}.trace", std::process::id()));
+        save_trace_file(&path, &header, &encoded).unwrap();
+        let mut src = FileSource::open(&path).unwrap();
+        let round: Vec<TraceRecord> = std::iter::from_fn(|| src.next_record()).collect();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(round, trace.records());
+    }
+
+    #[test]
+    fn alien_and_versioned_files_are_rejected() {
+        let trace = sample_trace();
+        let mut buf = container(&trace);
+        assert!(matches!(
+            FileSource::from_reader(&b"RS"[..]),
+            Err(FileError::Io(io::ErrorKind::UnexpectedEof))
+        ));
+        assert!(matches!(
+            FileSource::from_reader(&b"ELF!"[..]),
+            Err(FileError::BadMagic(_))
+        ));
+        buf[0] = b'X';
+        assert!(matches!(
+            FileSource::from_reader(&buf[..]),
+            Err(FileError::BadMagic(_))
+        ));
+        buf[0] = b'R';
+        buf[4] = 0xFF; // container version 0xFF
+        assert!(matches!(
+            FileSource::from_reader(&buf[..]),
+            Err(FileError::UnsupportedContainer(_))
+        ));
+        buf[4] = 1;
+        buf[6] = 0xEE; // layout version
+        assert!(matches!(
+            FileSource::from_reader(&buf[..]),
+            Err(FileError::LayoutMismatch(0xEE))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_surfaces_as_error() {
+        let trace = sample_trace();
+        let buf = container(&trace);
+        let short = &buf[..buf.len() - 2];
+        let mut src = FileSource::from_reader(short).unwrap();
+        while src.next_record().is_some() {}
+        assert!(src.error().is_some(), "truncation must not look like a clean end");
+        assert_eq!(src.skip(1), 0, "errored source skips nothing");
+    }
+
+    #[test]
+    fn record_count_shorter_than_body_is_honoured() {
+        // A header declaring fewer records than the body holds: the
+        // source stops at the declared count.
+        let trace = sample_trace();
+        let encoded = trace.encode();
+        let header = TraceFileHeader::for_trace(&encoded, "w", 0, 0);
+        let header = TraceFileHeader {
+            records: 2,
+            ..header
+        };
+        let mut buf = Vec::new();
+        header.write_trace(&mut buf, &encoded).unwrap();
+        let mut src = FileSource::from_reader(&buf[..]).unwrap();
+        let got: Vec<TraceRecord> = std::iter::from_fn(|| src.next_record()).collect();
+        assert_eq!(got.len(), 2);
+        assert!(src.error().is_none());
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(FileError::BadMagic(*b"ELF!").to_string().contains("RSTR"));
+        assert!(FileError::UnsupportedContainer(9).to_string().contains("newer"));
+        assert!(FileError::LayoutMismatch(9).to_string().contains("layout"));
+        assert!(FileError::Decode(DecodeError::Truncated)
+            .to_string()
+            .contains("malformed"));
+        assert!(FileError::Io(io::ErrorKind::UnexpectedEof)
+            .to_string()
+            .contains("i/o"));
+        assert!(FileError::BadWorkloadId.to_string().contains("UTF-8"));
+    }
+
+    #[test]
+    fn oversized_workload_id_is_rejected_at_write() {
+        let trace = sample_trace();
+        let encoded = trace.encode();
+        let header = TraceFileHeader::for_trace(&encoded, "w".repeat(70_000), 0, 0);
+        let err = header.write_to(Vec::new()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

@@ -25,7 +25,11 @@
 //!   abstraction the engine consumes (supporting both off-line traces and
 //!   FAST-style on-the-fly generation);
 //! * [`TraceStats`], the bits-per-instruction accounting used by the
-//!   paper's Table 3 trace-bandwidth analysis.
+//!   paper's Table 3 trace-bandwidth analysis;
+//! * a versioned **on-disk trace container** ([`TraceFileHeader`],
+//!   [`save_trace_file`], streaming [`FileSource`]) so traces are
+//!   generated once and replayed across tools — the file-system analogue
+//!   of the paper's host→FPGA trace link (see the `resim` CLI).
 //!
 //! ## Example
 //!
@@ -63,12 +67,19 @@
 
 mod bits;
 mod codec;
+mod file;
 mod record;
 mod source;
 mod stats;
 
 pub use bits::{BitReader, BitWriter};
-pub use codec::{DecodeError, EncodedSource, EncodedTrace, TraceDecoder, TraceEncoder};
+pub use codec::{
+    DecodeError, EncodedSource, EncodedTrace, TraceDecoder, TraceEncoder, TRACE_LAYOUT_VERSION,
+};
+pub use file::{
+    save_trace_file, FileError, FileSource, TraceFileHeader, TRACE_CONTAINER_VERSION,
+    TRACE_FILE_MAGIC,
+};
 pub use record::{
     BranchKind, BranchRecord, MemKind, MemRecord, MemSize, OpClass, OtherRecord, Reg, RegClass,
     TraceRecord,

@@ -104,6 +104,28 @@ impl TraceCache {
         self.map.lock().expect("trace cache poisoned").get(key).map(Arc::clone)
     }
 
+    /// Pre-populates the cache with an externally obtained trace — e.g.
+    /// one decoded from an on-disk container
+    /// ([`resim_trace::FileSource`]) so a sweep replays the file instead
+    /// of regenerating. Subsequent `get_or_generate` calls on `key` are
+    /// hits; the insert itself counts as neither hit nor miss.
+    ///
+    /// The caller asserts that `trace` is what generation under `key`
+    /// would produce (generation is deterministic, so a file written
+    /// from the same key qualifies); an earlier entry for the same key
+    /// wins, mirroring the racing-generator rule.
+    pub fn insert(&self, key: TraceKey, trace: Trace) -> Arc<CachedTrace> {
+        let stats = trace.stats();
+        let cached = Arc::new(CachedTrace { trace, stats });
+        Arc::clone(
+            self.map
+                .lock()
+                .expect("trace cache poisoned")
+                .entry(key)
+                .or_insert(cached),
+        )
+    }
+
     /// Number of traces currently cached.
     pub fn len(&self) -> usize {
         self.map.lock().expect("trace cache poisoned").len()

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod from_table;
 mod stream;
 mod wrongpath;
 
@@ -79,6 +80,63 @@ impl TraceGenConfig {
             predictor: PredictorConfig::perfect(),
             ..Self::paper()
         }
+    }
+
+    /// A deterministic 64-bit fingerprint of this configuration.
+    ///
+    /// FNV-1a over a canonical little-endian field serialization —
+    /// stable across platforms, processes and Rust versions (unlike
+    /// `Hash`, whose hasher is randomized). Stored in the on-disk trace
+    /// container header
+    /// ([`TraceFileHeader`](resim_trace::TraceFileHeader)) so a trace
+    /// file can be matched back to the generator configuration that
+    /// produced it: equal configs ⇒ equal fingerprints, and any field
+    /// change — predictor geometry, block length, synthesis seed —
+    /// changes the fingerprint.
+    ///
+    /// ```
+    /// use resim_tracegen::TraceGenConfig;
+    ///
+    /// assert_eq!(TraceGenConfig::paper().fingerprint(),
+    ///            TraceGenConfig::paper().fingerprint());
+    /// assert_ne!(TraceGenConfig::paper().fingerprint(),
+    ///            TraceGenConfig::perfect().fingerprint());
+    /// ```
+    pub fn fingerprint(&self) -> u64 {
+        use resim_bpred::DirectionConfig;
+
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        match self.predictor.direction {
+            DirectionConfig::Perfect => eat(&[0]),
+            DirectionConfig::Taken => eat(&[1]),
+            DirectionConfig::NotTaken => eat(&[2]),
+            DirectionConfig::Bimodal { size } => {
+                eat(&[3]);
+                eat(&(size as u64).to_le_bytes());
+            }
+            DirectionConfig::TwoLevel(t) => {
+                eat(&[4]);
+                eat(&(t.l1_size as u64).to_le_bytes());
+                eat(&t.history_bits.to_le_bytes());
+                eat(&(t.l2_size as u64).to_le_bytes());
+                eat(&[u8::from(t.xor)]);
+                eat(&t.counter_bits.to_le_bytes());
+            }
+        }
+        eat(&(self.predictor.btb.entries as u64).to_le_bytes());
+        eat(&(self.predictor.btb.associativity as u64).to_le_bytes());
+        eat(&(self.predictor.ras_entries as u64).to_le_bytes());
+        eat(&(self.wrong_path_len as u64).to_le_bytes());
+        eat(&self.seed.to_le_bytes());
+        hash
     }
 }
 

@@ -46,6 +46,20 @@ impl SpecBenchmark {
         }
     }
 
+    /// Looks a benchmark up by its display name (`"gzip"`, `"bzip2"`,
+    /// `"parser"`, `"vortex"`, `"vpr"`) — the inverse of
+    /// [`SpecBenchmark::name`], used by scenario files and the CLI.
+    ///
+    /// ```
+    /// use resim_workloads::SpecBenchmark;
+    ///
+    /// assert_eq!(SpecBenchmark::by_name("vpr"), Some(SpecBenchmark::Vpr));
+    /// assert_eq!(SpecBenchmark::by_name("mcf"), None);
+    /// ```
+    pub fn by_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|b| b.name() == name)
+    }
+
     /// The calibrated synthetic profile for this benchmark.
     pub fn profile(self) -> WorkloadProfile {
         match self {

@@ -18,6 +18,11 @@
 //! | [`sample`] | `resim-sample` | SMARTS-style sampled simulation: functional warmup, checkpoints, confidence-bounded IPC |
 //! | [`sweep`] | `resim-sweep` | deterministic multi-threaded scenario-grid sweeps with trace sharing |
 //! | [`fpga`] | `resim-fpga` | device/frequency/area/bandwidth models and Table 2 comparison data |
+//! | [`toml`] | `resim-toml` | dependency-free TOML reader with line-numbered diagnostics (scenario files) |
+//!
+//! The `resim` **binary** (crate `resim-cli`) drives all of this from
+//! declarative TOML scenario files and an on-disk trace container —
+//! see `docs/guide.md` for the CLI quickstart and reference.
 //!
 //! ## End-to-end in five lines
 //!
@@ -37,9 +42,10 @@
 //! # }
 //! ```
 //!
-//! See `README.md` for the architecture overview, `DESIGN.md` for the
-//! system inventory and substitution notes, and `EXPERIMENTS.md` for the
-//! paper-vs-measured record of every table and figure.
+//! See `README.md` for the architecture overview, `docs/guide.md` for
+//! the CLI user guide, `DESIGN.md` for the system inventory and
+//! substitution notes, and `EXPERIMENTS.md` for the paper-vs-measured
+//! record of every table and figure.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,6 +57,7 @@ pub use resim_isa as isa;
 pub use resim_mem as mem;
 pub use resim_sample as sample;
 pub use resim_sweep as sweep;
+pub use resim_toml as toml;
 pub use resim_trace as trace;
 pub use resim_tracegen as tracegen;
 pub use resim_workloads as workloads;
@@ -69,7 +76,9 @@ pub mod prelude {
     pub use resim_mem::{CacheConfig, MemorySystem, MemorySystemConfig};
     pub use resim_sample::{run_sampled, FunctionalWarmer, SampledStats, SamplePlan, WarmupMode};
     pub use resim_sweep::{CellMode, Scenario, SweepReport, SweepRunner, WorkloadPoint};
-    pub use resim_trace::{Trace, TraceRecord, TraceSource};
+    pub use resim_trace::{
+        save_trace_file, FileSource, Trace, TraceFileHeader, TraceRecord, TraceSource,
+    };
     pub use resim_tracegen::{generate_trace, TraceCache, TraceGenConfig, TraceStream};
     pub use resim_workloads::{SpecBenchmark, Workload, WorkloadProfile};
 }
