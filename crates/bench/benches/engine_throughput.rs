@@ -1,0 +1,91 @@
+//! End-to-end engine throughput in **committed records per second** over
+//! full runs, for every trace frontend the engine can consume:
+//!
+//! * `slice` — pre-decoded records in memory (`Trace::source`), the
+//!   cheapest possible supply;
+//! * `encoded` — the Table-3 bit-packed stream decoded on the fly
+//!   (`EncodedTrace::source`);
+//! * `file` — the on-disk container replayed through a buffered reader
+//!   (`FileSource`), the bulk-simulation deployment mode.
+//!
+//! The numbers before/after the batched-frontend change are recorded in
+//! `EXPERIMENTS.md` ("Engine throughput"); the encoded and file rows are
+//! where per-record virtual-dispatch + bit-decode cost shows, and where
+//! batching must win.
+//!
+//! Set `RESIM_BENCH_QUICK=1` to shrink the workload for CI smoke runs
+//! (the number still prints and must be > 0).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use resim_core::{Engine, EngineConfig};
+use resim_trace::{save_trace_file, FileSource, Trace, TraceFileHeader};
+use resim_tracegen::{generate_trace, TraceGenConfig};
+use resim_workloads::{SpecBenchmark, Workload};
+
+fn budget() -> usize {
+    if std::env::var_os("RESIM_BENCH_QUICK").is_some() {
+        20_000
+    } else {
+        200_000
+    }
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let n = budget();
+    let trace: Trace = generate_trace(
+        Workload::spec(SpecBenchmark::Gzip, 2009),
+        n,
+        &TraceGenConfig::paper(),
+    );
+    let encoded = trace.encode();
+    let header = TraceFileHeader::for_trace(&encoded, "gzip", 2009, 0)
+        .with_correct_records(trace.correct_path_len() as u64);
+    let path = std::env::temp_dir().join(format!(
+        "resim-engine-throughput-{}.trace",
+        std::process::id()
+    ));
+    save_trace_file(&path, &header, &encoded).expect("write bench trace");
+
+    let config = EngineConfig::paper_4wide();
+    let mut group = c.benchmark_group("engine_throughput");
+    // Committed records per iteration: the throughput line is
+    // committed-records/sec directly.
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+
+    group.bench_function("slice", |b| {
+        b.iter_batched(
+            || Engine::new(config.clone()).expect("valid config"),
+            |mut engine| engine.run(trace.source()),
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("encoded", |b| {
+        b.iter_batched(
+            || Engine::new(config.clone()).expect("valid config"),
+            |mut engine| engine.run(encoded.source()),
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("file", |b| {
+        b.iter_batched(
+            || {
+                (
+                    Engine::new(config.clone()).expect("valid config"),
+                    FileSource::open(&path).expect("bench trace readable"),
+                )
+            },
+            |(mut engine, src)| {
+                let stats = engine.run(src);
+                assert!(stats.committed > 0, "file-backed run must make progress");
+                stats
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group!(benches, engine_throughput);
+criterion_main!(benches);

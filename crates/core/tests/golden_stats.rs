@@ -1,0 +1,173 @@
+//! Golden regression fixture: the full [`SimStats`] of two reference
+//! configurations over a fixed 10k-instruction gzip trace, pinned
+//! field-for-field.
+//!
+//! These literals were produced by the pre-stage-split engine; the test
+//! exists so that any restructuring of the engine (the stage-graph
+//! refactor, the batched trace frontend, scheduler changes) is
+//! mechanically checked to be **behavior-preserving** — bit-identical
+//! simulated output, not merely "close". If a change is *meant* to alter
+//! simulated timing, the new numbers must be re-pinned deliberately and
+//! called out in review; this fixture turns silent drift into a red test.
+
+use resim_bpred::PredictorStats;
+use resim_core::{Engine, EngineConfig, PipelineOrganization, SimStats};
+use resim_mem::{CacheStats, MemorySystemStats};
+use resim_trace::Trace;
+use resim_tracegen::{generate_trace, TraceGenConfig};
+use resim_workloads::{SpecBenchmark, Workload};
+
+/// The fixed workload: gzip, seed 2009 (the bench harness default),
+/// 10 000 correct-path instructions under the paper's trace generator.
+fn golden_trace() -> Trace {
+    generate_trace(
+        Workload::spec(SpecBenchmark::Gzip, 2009),
+        10_000,
+        &TraceGenConfig::paper(),
+    )
+}
+
+/// The cached-memory configuration: the 4-wide reference machine in
+/// front of split 32K L1 caches on the improved `N+4` pipeline.
+fn cached_config() -> EngineConfig {
+    EngineConfig {
+        memory: resim_mem::MemorySystemConfig::l1_32k(),
+        pipeline: PipelineOrganization::ImprovedSerial,
+        ..EngineConfig::paper_4wide()
+    }
+}
+
+fn expected_perfect() -> SimStats {
+    SimStats {
+        cycles: 4746,
+        minor_cycles: 33222,
+        committed: 10000,
+        fetched: 10719,
+        wrong_path_fetched: 719,
+        wrong_path_discarded: 273,
+        committed_loads: 1925,
+        committed_stores: 763,
+        committed_branches: 799,
+        mispredict_recoveries: 31,
+        misfetches: 4,
+        squashed: 719,
+        dispatch_stall_rb: 3159,
+        dispatch_stall_lsq: 0,
+        fetch_stall_cycles: 105,
+        load_forwards: 0,
+        issued: 10151,
+        ifq_occupancy_sum: 70078,
+        rb_occupancy_sum: 73247,
+        lsq_occupancy_sum: 19963,
+        ifq_occupancy_max: 16,
+        rb_occupancy_max: 16,
+        lsq_occupancy_max: 8,
+        predictor: PredictorStats {
+            branches: 799,
+            cond_branches: 799,
+            correct: 764,
+            misfetches: 4,
+            dir_mispredicts: 31,
+            ras_predictions: 0,
+            ras_correct: 0,
+        },
+        memory: MemorySystemStats {
+            l1i: CacheStats::default(),
+            l1d: CacheStats::default(),
+            perfect_inst_accesses: 10719,
+            perfect_data_accesses: 2723,
+        },
+    }
+}
+
+fn expected_cached() -> SimStats {
+    SimStats {
+        cycles: 8134,
+        minor_cycles: 65072,
+        committed: 10000,
+        fetched: 10762,
+        wrong_path_fetched: 762,
+        wrong_path_discarded: 230,
+        committed_loads: 1925,
+        committed_stores: 763,
+        committed_branches: 799,
+        mispredict_recoveries: 31,
+        misfetches: 5,
+        squashed: 762,
+        dispatch_stall_rb: 6548,
+        dispatch_stall_lsq: 0,
+        fetch_stall_cycles: 215,
+        load_forwards: 0,
+        issued: 10198,
+        ifq_occupancy_sum: 123214,
+        rb_occupancy_sum: 126375,
+        lsq_occupancy_sum: 35562,
+        ifq_occupancy_max: 16,
+        rb_occupancy_max: 16,
+        lsq_occupancy_max: 8,
+        predictor: PredictorStats {
+            branches: 799,
+            cond_branches: 799,
+            correct: 763,
+            misfetches: 5,
+            dir_mispredicts: 31,
+            ras_predictions: 0,
+            ras_correct: 0,
+        },
+        memory: MemorySystemStats {
+            l1i: CacheStats {
+                reads: 10762,
+                writes: 0,
+                read_hits: 10756,
+                write_hits: 0,
+                evictions: 0,
+            },
+            l1d: CacheStats {
+                reads: 1975,
+                writes: 763,
+                read_hits: 1727,
+                write_hits: 670,
+                evictions: 0,
+            },
+            perfect_inst_accesses: 0,
+            perfect_data_accesses: 0,
+        },
+    }
+}
+
+#[test]
+fn paper_4wide_stats_are_bit_identical_to_the_pinned_fixture() {
+    let trace = golden_trace();
+    let stats = Engine::new(EngineConfig::paper_4wide())
+        .unwrap()
+        .run(trace.source());
+    assert_eq!(
+        stats,
+        expected_perfect(),
+        "paper_4wide over the golden gzip trace drifted from the fixture"
+    );
+}
+
+#[test]
+fn cached_memory_stats_are_bit_identical_to_the_pinned_fixture() {
+    let trace = golden_trace();
+    let stats = Engine::new(cached_config()).unwrap().run(trace.source());
+    assert_eq!(
+        stats,
+        expected_cached(),
+        "cached-memory config over the golden gzip trace drifted from the fixture"
+    );
+}
+
+#[test]
+fn golden_run_replays_identically_from_the_encoded_stream() {
+    // The same fixture must hold when the engine pulls from the bit-packed
+    // codec stream instead of the record slice — the two frontends feed
+    // the engine the same record sequence.
+    let trace = golden_trace();
+    let encoded = trace.encode();
+    let stats = Engine::new(EngineConfig::paper_4wide())
+        .unwrap()
+        .run(encoded.source());
+    assert_eq!(stats, expected_perfect());
+}
