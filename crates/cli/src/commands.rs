@@ -179,6 +179,14 @@ pub(crate) fn run(scenario_path: &str, trace_flag: Option<&str>, out: &mut dyn W
 
     let mut s = banner;
     s.push_str(&stats.report());
+    let activity = engine
+        .scheduler()
+        .activity()
+        .into_iter()
+        .map(|(stage, ops)| format!("{stage} {ops}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(s, "stage activity (ops): {activity}");
     let _ = writeln!(s, "\nIPC {:.4} over {} cycles", stats.ipc(), stats.cycles);
     emit(out, &s)
 }

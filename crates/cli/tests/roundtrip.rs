@@ -221,3 +221,30 @@ fn mismatched_trace_files_fall_back_to_generation() {
 
     fs::remove_dir_all(&dir).unwrap();
 }
+
+#[test]
+fn describe_reports_the_scheduler_stage_roster() {
+    // The stage-graph contract surfaces to the operator: `describe`
+    // prints the minor-cycle scheduler's roster in evaluation order.
+    let dir = scratch("describe-roster");
+    let scenario_path = dir.join("s.toml");
+    fs::write(&scenario_path, SCENARIO).unwrap();
+    let (code, out, err) = run_for_test(&["describe", "-s", scenario_path.to_str().unwrap()]);
+    assert_eq!(code, 0, "stderr: {err}");
+    assert!(
+        out.contains(
+            "stage roster: Commit -> Writeback -> Lsq_refresh -> Issue -> Dispatch -> Fetch"
+        ),
+        "describe must report the stage roster:\n{out}"
+    );
+    assert!(out.contains("7 minor cycles per simulated cycle"), "{out}");
+
+    // And `run` reports the scheduler's per-stage activity totals.
+    let (code, out, err) = run_for_test(&["run", "-s", scenario_path.to_str().unwrap()]);
+    assert_eq!(code, 0, "stderr: {err}");
+    assert!(
+        out.contains("stage activity (ops): Commit 15000, Writeback "),
+        "run must report per-stage activity (all 15000 committed):\n{out}"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -221,6 +221,9 @@ pub enum ConfigError {
         /// Configured width.
         width: usize,
     },
+    /// A multi-core set needs at least one core
+    /// ([`MultiCore`](crate::MultiCore)).
+    ZeroCores,
 }
 
 impl fmt::Display for ConfigError {
@@ -243,6 +246,7 @@ impl fmt::Display for ConfigError {
                 "optimized N+3 pipeline allows at most {} memory ports for width {width}, got {ports}",
                 width - 1
             ),
+            ConfigError::ZeroCores => write!(f, "a multi-core set needs at least one core"),
         }
     }
 }

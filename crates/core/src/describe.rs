@@ -2,6 +2,7 @@
 //! the paper's Figure 1 (ReSim block diagram).
 
 use crate::config::EngineConfig;
+use crate::scheduler::MinorCycleScheduler;
 use resim_bpred::DirectionConfig;
 use resim_mem::MemorySystemConfig;
 
@@ -9,6 +10,7 @@ use resim_mem::MemorySystemConfig;
 /// given configuration: the stages, the structures between them and
 /// their configured sizes.
 pub fn block_diagram(config: &EngineConfig) -> String {
+    let scheduler = MinorCycleScheduler::new(config);
     let dir = match config.predictor.direction {
         DirectionConfig::Perfect => "perfect".to_owned(),
         DirectionConfig::Taken => "static-taken".to_owned(),
@@ -50,6 +52,7 @@ pub fn block_diagram(config: &EngineConfig) -> String {
   memory:  {mem}
   penalties: misfetch {mfp}, mispredict {mpp}
   engine pipeline: {pipe} ({minor} minor cycles per simulated cycle)
+  stage roster: {roster} (evaluation order)
 "#,
         width = config.width,
         ifq = config.ifq_size,
@@ -70,7 +73,8 @@ pub fn block_diagram(config: &EngineConfig) -> String {
         mfp = config.misfetch_penalty,
         mpp = config.mispredict_penalty,
         pipe = config.pipeline,
-        minor = config.minor_cycles_per_major(),
+        minor = scheduler.minor_cycles_per_major(),
+        roster = scheduler.roster().join(" -> "),
     )
 }
 
@@ -97,6 +101,7 @@ mod tests {
             "perfect memory",
             "optimized",
             "7 minor cycles",
+            "Commit -> Writeback -> Lsq_refresh -> Issue -> Dispatch -> Fetch",
         ] {
             assert!(d.contains(needle), "diagram must mention {needle}:\n{d}");
         }

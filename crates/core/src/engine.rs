@@ -2,25 +2,14 @@
 //! out-of-order, speculative ILP processor (§III).
 //!
 //! One call to [`Engine::run`] replays a pre-decoded trace through the
-//! simulated pipeline — Fetch (IFQ, branch prediction, misfetch check,
-//! I-cache), Dispatch (RB/LSQ allocation, rename), Issue (wakeup/select,
-//! FUs, D-cache, read ports), `Lsq_refresh`, Writeback (broadcast,
-//! recovery) and Commit (in-order retirement, store write ports,
-//! predictor training) — and returns `sim-outorder`-style statistics.
-//!
-//! ## Stage evaluation order
-//!
-//! Within a major cycle the stages are evaluated as
-//! **Commit → Writeback → Lsq_refresh → Issue → Dispatch → Fetch**.
-//! This realises the paper's architectural contract directly:
-//!
-//! * Commit runs before Writeback, so an instruction can never commit in
-//!   the cycle it completes — the behaviour the hardware enforces with a
-//!   flag (§IV.B);
-//! * Writeback precedes Lsq_refresh and Issue, so instructions woken by a
-//!   producer "may be issued during the same simulated cycle" (§IV);
-//! * Dispatch precedes Fetch, so it consumes IFQ contents fetched in
-//!   earlier cycles.
+//! simulated pipeline and returns `sim-outorder`-style statistics. The
+//! engine itself is a thin shell: the microarchitectural structures live
+//! in [`CoreState`], each pipeline stage is a unit in [`crate::stages`]
+//! behind the common [`Stage`](crate::stages::Stage) trait, and the
+//! [`MinorCycleScheduler`] owns the stage roster, the evaluation order
+//! and the per-organization minor-cycle accounting (Figures 2–4). Trace
+//! records arrive through the ring-buffered, batch-decoding
+//! [`TraceCursor`].
 //!
 //! ## Mis-speculation
 //!
@@ -30,91 +19,23 @@
 //! tagged instructions, polluting caches and occupying resources. When
 //! the branch writes back, the engine squashes every younger in-flight
 //! instruction, discards the block's unfetched remainder, pays the
-//! misprediction penalty and resumes on the correct path.
+//! misprediction penalty and resumes on the correct path (see
+//! [`CoreState::recover`] — the cross-cutting part of Writeback).
 
 use crate::checkpoint::{Checkpoint, ResumeError};
 use crate::config::{ConfigError, EngineConfig};
-use crate::lsq::{LoadReady, LoadStoreQueue, LsqEntry};
-use crate::rob::{InstState, ReorderBuffer, RobEntry};
+use crate::cursor::TraceCursor;
+use crate::scheduler::MinorCycleScheduler;
+use crate::state::CoreState;
 use crate::stats::SimStats;
-use resim_bpred::{BranchPredictor, Resolution};
-use resim_mem::MemorySystem;
-use resim_trace::{OpClass, TraceRecord, TraceSource};
-use std::collections::VecDeque;
+use resim_trace::TraceSource;
 
 /// Cycles without a commit (while work is in flight) after which the
 /// engine assumes a model deadlock and panics with diagnostics.
 const WATCHDOG_CYCLES: u64 = 200_000;
 
-/// A persistent read position over a [`TraceSource`] with the one-record
-/// lookahead fetch needs (wrong-path block detection and fetch-group
-/// breaks peek at the next record).
-///
-/// A cursor outlives a single [`Engine::run_window`] call: windowed
-/// execution ([`Engine::run_window`] … [`Engine::drain`]) threads one
-/// cursor through every window so that no record — including the
-/// buffered lookahead — is lost at window boundaries. This is what makes
-/// a windowed run bit-identical to one [`Engine::run`] call.
-#[derive(Debug)]
-pub struct TraceCursor<S> {
-    src: S,
-    buf: Option<TraceRecord>,
-    done: bool,
-    consumed: u64,
-}
-
-impl<S: TraceSource> TraceCursor<S> {
-    /// Creates a cursor at the start of `src`.
-    pub fn new(src: S) -> Self {
-        Self {
-            src,
-            buf: None,
-            done: false,
-            consumed: 0,
-        }
-    }
-
-    /// Records handed to the engine so far (the lookahead buffer does not
-    /// count until fetch actually takes it).
-    pub fn consumed(&self) -> u64 {
-        self.consumed
-    }
-
-    /// Whether the trace is exhausted (pulls at most one record to find
-    /// out).
-    pub fn is_exhausted(&mut self) -> bool {
-        self.peek().is_none()
-    }
-
-    fn peek(&mut self) -> Option<&TraceRecord> {
-        if self.buf.is_none() && !self.done {
-            self.buf = self.src.next_record();
-            if self.buf.is_none() {
-                self.done = true;
-            }
-        }
-        self.buf.as_ref()
-    }
-
-    fn next(&mut self) -> Option<TraceRecord> {
-        self.peek();
-        let r = self.buf.take();
-        if r.is_some() {
-            self.consumed += 1;
-        }
-        r
-    }
-}
-
-/// An IFQ slot: a fetched record plus fetch-time metadata.
-#[derive(Debug, Clone, Copy)]
-struct FetchedInst {
-    record: TraceRecord,
-    /// The trace marks this branch as direction-mispredicted.
-    mispredicted: bool,
-}
-
-/// The ReSim engine simulating one processor core.
+/// The ReSim engine simulating one processor core: a [`CoreState`]
+/// stepped by a [`MinorCycleScheduler`].
 ///
 /// # Example
 ///
@@ -138,25 +59,8 @@ struct FetchedInst {
 /// ```
 #[derive(Debug)]
 pub struct Engine {
-    config: EngineConfig,
-    predictor: BranchPredictor,
-    memory: MemorySystem,
-    rob: ReorderBuffer,
-    lsq: LoadStoreQueue,
-    /// Architectural register → producing age tag.
-    rename: [Option<u64>; 64],
-    ifq: VecDeque<FetchedInst>,
-    cycle: u64,
-    next_seq: u64,
-    /// Fetch is allowed again once `cycle >= fetch_stall_until`.
-    fetch_stall_until: u64,
-    /// Fetch is inside a wrong-path block awaiting branch resolution.
-    in_wrong_path: bool,
-    /// Per-divider busy-until cycles (dividers are unpipelined by
-    /// default).
-    div_busy_until: Vec<u64>,
-    stats: SimStats,
-    last_commit_cycle: u64,
+    state: CoreState,
+    scheduler: MinorCycleScheduler,
 }
 
 // The sweep runner (`resim-sweep`) moves engines and their results across
@@ -176,39 +80,31 @@ impl Engine {
     /// Returns the [`ConfigError`] from [`EngineConfig::validate`] on
     /// structural inconsistencies.
     pub fn new(config: EngineConfig) -> Result<Self, ConfigError> {
-        config.validate()?;
-        Ok(Self {
-            predictor: BranchPredictor::new(config.predictor),
-            memory: MemorySystem::new(config.memory),
-            rob: ReorderBuffer::new(config.rb_size),
-            lsq: LoadStoreQueue::new(config.lsq_size),
-            rename: [None; 64],
-            ifq: VecDeque::with_capacity(config.ifq_size),
-            cycle: 0,
-            next_seq: 1,
-            fetch_stall_until: 0,
-            in_wrong_path: false,
-            div_busy_until: vec![0; config.fus.divs],
-            stats: SimStats::default(),
-            last_commit_cycle: 0,
-            config,
-        })
+        let state = CoreState::new(config)?;
+        let scheduler = MinorCycleScheduler::new(&state.config);
+        Ok(Self { state, scheduler })
     }
 
     /// The configuration this engine runs.
     pub fn config(&self) -> &EngineConfig {
-        &self.config
+        self.state.config()
+    }
+
+    /// The shared stage state (read-only; stages mutate it through the
+    /// scheduler).
+    pub fn state(&self) -> &CoreState {
+        &self.state
+    }
+
+    /// The minor-cycle scheduler: stage roster, evaluation order and
+    /// per-stage activity totals.
+    pub fn scheduler(&self) -> &MinorCycleScheduler {
+        &self.scheduler
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> SimStats {
-        let mut s = self.stats;
-        s.cycles = self.cycle;
-        s.minor_cycles = self.cycle * self.config.minor_cycles_per_major();
-        s.predictor = self.predictor.stats();
-        s.memory = self.memory.stats();
-        s.load_forwards = self.lsq.forwards();
-        s
+        self.state.stats()
     }
 
     /// Runs the trace to completion (source exhausted and pipeline
@@ -224,6 +120,11 @@ impl Engine {
     }
 
     /// Runs for at most `max_cycles` simulated cycles.
+    ///
+    /// The cursor built over `source` reads ahead in batches; if the
+    /// cycle budget stops the run early, records already decoded into
+    /// the ring are dropped with it (the statistics only ever count
+    /// records the engine consumed).
     pub fn run_for(&mut self, source: impl TraceSource, max_cycles: u64) -> SimStats {
         let mut cursor = TraceCursor::new(source);
         self.drain_for(&mut cursor, max_cycles)
@@ -252,7 +153,7 @@ impl Engine {
     ) -> SimStats {
         let target = cursor.consumed().saturating_add(records);
         while cursor.consumed() < target {
-            if cursor.peek().is_none() && self.ifq.is_empty() && self.rob.is_empty() {
+            if cursor.peek().is_none() && self.state.is_drained() {
                 break;
             }
             self.step(cursor);
@@ -272,8 +173,8 @@ impl Engine {
         cursor: &mut TraceCursor<S>,
         max_cycles: u64,
     ) -> SimStats {
-        while self.cycle < max_cycles {
-            if cursor.peek().is_none() && self.ifq.is_empty() && self.rob.is_empty() {
+        while self.state.cycle() < max_cycles {
+            if cursor.peek().is_none() && self.state.is_drained() {
                 break;
             }
             self.step(cursor);
@@ -282,31 +183,30 @@ impl Engine {
         self.stats()
     }
 
+    /// Advances one simulated (major) cycle: the scheduler evaluates the
+    /// stage roster, then the state closes the cycle with occupancy and
+    /// minor-cycle accounting.
+    fn step<S: TraceSource>(&mut self, cursor: &mut TraceCursor<S>) {
+        let minors = self.scheduler.step(&mut self.state, cursor);
+        self.state.finish_cycle(minors);
+    }
+
     fn check_watchdog(&self) {
-        if !self.rob.is_empty() && self.cycle - self.last_commit_cycle > WATCHDOG_CYCLES {
+        let s = &self.state;
+        if !s.rob.is_empty() && s.cycle - s.last_commit_cycle > WATCHDOG_CYCLES {
             panic!(
                 "engine deadlock: no commit since cycle {} (now {}); head = {:?}",
-                self.last_commit_cycle,
-                self.cycle,
-                self.rob.head()
+                s.last_commit_cycle,
+                s.cycle,
+                s.rob.head()
             );
         }
     }
 
-    /// Captures the warm microarchitectural state — predictor tables,
-    /// BTB, RAS and cache tag arrays — as a serializable [`Checkpoint`].
-    ///
-    /// In-flight pipeline contents (IFQ/RB/LSQ entries, rename map) are
-    /// **not** part of a checkpoint: snapshots are meant to be taken at
-    /// drained window boundaries, where the pipeline is architecturally
-    /// empty. `position` is left at 0 — the driver that knows the trace
-    /// offset fills it in.
+    /// Captures the warm microarchitectural state as a serializable
+    /// [`Checkpoint`] — see [`CoreState::snapshot`].
     pub fn snapshot(&self) -> Checkpoint {
-        Checkpoint {
-            position: 0,
-            predictor: self.predictor.state(),
-            memory: self.memory.state(),
-        }
+        self.state.snapshot()
     }
 
     /// Builds a fresh engine whose predictor and memory system start from
@@ -322,831 +222,7 @@ impl Engine {
     /// checkpoint was taken under a different predictor/memory geometry.
     pub fn resume_from(config: EngineConfig, checkpoint: &Checkpoint) -> Result<Self, ResumeError> {
         let mut engine = Engine::new(config)?;
-        engine.predictor.restore_state(&checkpoint.predictor)?;
-        engine.memory.restore_state(&checkpoint.memory)?;
+        engine.state.restore(checkpoint)?;
         Ok(engine)
-    }
-
-    /// Advances one simulated (major) cycle.
-    fn step<S: TraceSource>(&mut self, la: &mut TraceCursor<S>) {
-        self.commit();
-        self.writeback(la);
-        self.lsq.refresh(|seq| self.rob.is_outstanding(seq));
-        self.issue();
-        self.dispatch();
-        self.fetch(la);
-        self.stats.ifq_occupancy_sum += self.ifq.len() as u64;
-        self.stats.rb_occupancy_sum += self.rob.len() as u64;
-        self.stats.lsq_occupancy_sum += self.lsq.len() as u64;
-        self.stats.ifq_occupancy_max = self.stats.ifq_occupancy_max.max(self.ifq.len() as u64);
-        self.stats.rb_occupancy_max = self.stats.rb_occupancy_max.max(self.rob.len() as u64);
-        self.stats.lsq_occupancy_max = self.stats.lsq_occupancy_max.max(self.lsq.len() as u64);
-        self.cycle += 1;
-    }
-
-    /// Commit: retire up to N completed instructions in order; stores
-    /// need a memory write port and access the D-cache; branches train
-    /// the predictor (§III).
-    fn commit(&mut self) {
-        let mut write_ports = self.config.mem_write_ports;
-        for _ in 0..self.config.width {
-            let Some(head) = self.rob.head() else { break };
-            let InstState::Completed { at } = head.state else {
-                break;
-            };
-            // Strictly-earlier completion: the paper's same-cycle flag.
-            if at >= self.cycle {
-                break;
-            }
-            debug_assert!(
-                !head.record.wrong_path(),
-                "wrong-path instructions must be squashed before commit"
-            );
-            if head.record.is_store() {
-                if write_ports == 0 {
-                    break;
-                }
-                write_ports -= 1;
-            }
-            let entry = self.rob.pop_head().expect("head checked above");
-            match &entry.record {
-                TraceRecord::Mem(m) => {
-                    if m.is_store() {
-                        self.memory.data_access(m.addr, true);
-                        self.stats.committed_stores += 1;
-                    } else {
-                        self.stats.committed_loads += 1;
-                    }
-                }
-                TraceRecord::Branch(b) => {
-                    self.predictor.resolve(b.pc, b.kind, b.taken, b.target);
-                    self.stats.committed_branches += 1;
-                }
-                TraceRecord::Other(_) => {}
-            }
-            if entry.in_lsq {
-                self.lsq.remove(entry.seq);
-            }
-            self.stats.committed += 1;
-            self.last_commit_cycle = self.cycle;
-        }
-    }
-
-    /// Writeback: select the oldest N finished executions, broadcast
-    /// their results (wakeup), and run misprediction recovery (§III).
-    fn writeback<S: TraceSource>(&mut self, la: &mut TraceCursor<S>) {
-        let done: Vec<u64> = self
-            .rob
-            .iter()
-            .filter(|e| matches!(e.state, InstState::Executing { done_at } if done_at <= self.cycle))
-            .map(|e| e.seq)
-            .take(self.config.width)
-            .collect();
-        for seq in done {
-            // A recovery triggered by an older entry in this batch may
-            // have squashed this one.
-            let Some(e) = self.rob.find_mut(seq) else {
-                continue;
-            };
-            e.state = InstState::Completed { at: self.cycle };
-            let recover = e.mispredicted_branch;
-            self.rob.broadcast(seq);
-            if recover {
-                self.recover(seq, la);
-            }
-        }
-    }
-
-    /// Misprediction recovery at branch writeback: squash younger
-    /// instructions, discard the unfetched block remainder, pay the
-    /// penalty, resume correct-path fetch.
-    fn recover<S: TraceSource>(&mut self, branch_seq: u64, la: &mut TraceCursor<S>) {
-        self.stats.mispredict_recoveries += 1;
-        let squashed = self.rob.squash_younger(branch_seq);
-        self.stats.squashed += squashed.len() as u64;
-        for e in &squashed {
-            if e.in_lsq {
-                self.lsq.remove(e.seq);
-            }
-        }
-        self.lsq.squash_younger(branch_seq);
-        self.stats.squashed += self.ifq.len() as u64;
-        self.ifq.clear();
-        // "Tagged instructions that have not been fetched by the branch
-        // resolution point ... are discarded" (§V.A).
-        while la.peek().is_some_and(|r| r.wrong_path()) {
-            la.next();
-            self.stats.wrong_path_discarded += 1;
-        }
-        self.in_wrong_path = false;
-        self.rebuild_rename();
-        self.fetch_stall_until = self
-            .fetch_stall_until
-            .max(self.cycle + u64::from(self.config.mispredict_penalty));
-    }
-
-    /// Rebuilds the rename table from the surviving RB contents after a
-    /// squash (the youngest surviving producer of each register wins).
-    fn rebuild_rename(&mut self) {
-        self.rename = [None; 64];
-        let mut updates: Vec<(u8, u64)> = Vec::new();
-        for e in self.rob.iter() {
-            if let Some(d) = e.record.dest() {
-                updates.push((d.index(), e.seq));
-            }
-        }
-        for (reg, seq) in updates {
-            self.rename[reg as usize] = Some(seq);
-        }
-    }
-
-    /// Issue: schedule up to N ready instructions onto functional units,
-    /// read ports and the D-cache (§III). Examines the window oldest
-    /// first; instructions without a free resource are skipped.
-    fn issue(&mut self) {
-        let width = self.config.width;
-        let fus = self.config.fus;
-        let mut slots = width;
-        let mut alus_used = 0usize;
-        let mut mults_used = 0usize;
-        let mut divs_started = 0usize;
-        let mut read_ports_used = 0usize;
-        let mut loads_issued = 0usize;
-
-        let candidates: Vec<u64> = self
-            .rob
-            .iter()
-            .filter(|e| e.is_waiting() && e.operands_ready())
-            .map(|e| e.seq)
-            .collect();
-
-        for seq in candidates {
-            if slots == 0 {
-                break;
-            }
-            let record = self
-                .rob
-                .find(seq)
-                .expect("candidate cannot vanish mid-issue")
-                .record;
-            let done_at = match &record {
-                TraceRecord::Other(o) => match o.class {
-                    OpClass::IntAlu => {
-                        if alus_used == fus.alus {
-                            continue;
-                        }
-                        alus_used += 1;
-                        self.cycle + u64::from(fus.alu_latency)
-                    }
-                    OpClass::IntMult => {
-                        if mults_used == fus.mults {
-                            continue;
-                        }
-                        mults_used += 1;
-                        self.cycle + u64::from(fus.mult_latency)
-                    }
-                    OpClass::IntDiv => {
-                        if fus.div_pipelined {
-                            if divs_started == fus.divs {
-                                continue;
-                            }
-                        } else {
-                            let Some(unit) = self
-                                .div_busy_until
-                                .iter_mut()
-                                .find(|b| **b <= self.cycle)
-                            else {
-                                continue;
-                            };
-                            *unit = self.cycle + u64::from(fus.div_latency);
-                        }
-                        divs_started += 1;
-                        self.cycle + u64::from(fus.div_latency)
-                    }
-                    OpClass::Nop => self.cycle + 1,
-                },
-                TraceRecord::Branch(_) => {
-                    // Branches resolve on an ALU.
-                    if alus_used == fus.alus {
-                        continue;
-                    }
-                    alus_used += 1;
-                    self.cycle + u64::from(fus.alu_latency)
-                }
-                TraceRecord::Mem(m) => {
-                    if m.is_store() {
-                        // Stores "execute" (address generation) once base
-                        // and data are ready; memory is written at commit.
-                        self.lsq.mark_issued(seq);
-                        self.cycle + 1
-                    } else {
-                        let ready = self
-                            .lsq
-                            .find(seq)
-                            .map(|e| e.load_ready)
-                            .unwrap_or(LoadReady::NotReady);
-                        match ready {
-                            LoadReady::NotReady => continue,
-                            LoadReady::ReadyForward => {
-                                // Forwarded in the LSQ: no read port
-                                // (§III), single-cycle.
-                                loads_issued += 1;
-                                self.lsq.mark_issued(seq);
-                                self.cycle + 1
-                            }
-                            LoadReady::ReadyCache => {
-                                if read_ports_used == self.config.mem_read_ports {
-                                    continue;
-                                }
-                                read_ports_used += 1;
-                                loads_issued += 1;
-                                self.lsq.mark_issued(seq);
-                                let acc = self.memory.data_access(m.addr, false);
-                                self.cycle + u64::from(acc.latency)
-                            }
-                        }
-                    }
-                }
-            };
-            // §IV.B: the optimized pipeline cannot issue a load in the
-            // first slot. With ≤ N−1 memory ports (validated), a legal
-            // slot assignment always exists, so the restriction never
-            // shrinks the issue set — the paper's "without affecting the
-            // overall timing results".
-            if self.config.pipeline.restricts_first_slot_loads() {
-                debug_assert!(
-                    loads_issued < width,
-                    "optimized pipeline issued {loads_issued} loads at width {width}"
-                );
-            }
-            let e = self.rob.find_mut(seq).expect("candidate present");
-            e.state = InstState::Executing { done_at };
-            self.stats.issued += 1;
-            slots -= 1;
-        }
-    }
-
-    /// Dispatch: move up to N instructions from the IFQ into the RB (and
-    /// LSQ), reading the rename table for dependences (§III).
-    fn dispatch(&mut self) {
-        for _ in 0..self.config.width {
-            let Some(front) = self.ifq.front() else { break };
-            if self.rob.is_full() {
-                self.stats.dispatch_stall_rb += 1;
-                break;
-            }
-            let is_mem = matches!(front.record, TraceRecord::Mem(_));
-            if is_mem && self.lsq.is_full() {
-                self.stats.dispatch_stall_lsq += 1;
-                break;
-            }
-            let fi = self.ifq.pop_front().expect("front checked above");
-            let seq = self.next_seq;
-            self.next_seq += 1;
-
-            let mut pending = Vec::with_capacity(2);
-            for src in fi.record.sources().into_iter().flatten() {
-                if let Some(p) = self.rename[src.index() as usize] {
-                    if self.rob.is_outstanding(p) && !pending.contains(&p) {
-                        pending.push(p);
-                    }
-                }
-            }
-
-            if let TraceRecord::Mem(m) = fi.record {
-                let dep_of = |reg: Option<resim_trace::Reg>, rename: &[Option<u64>; 64], rob: &ReorderBuffer| {
-                    reg.and_then(|r| rename[r.index() as usize])
-                        .filter(|&p| rob.is_outstanding(p))
-                };
-                let base_dep = dep_of(m.base, &self.rename, &self.rob);
-                let data_dep = if m.is_store() {
-                    dep_of(m.data, &self.rename, &self.rob)
-                } else {
-                    None
-                };
-                self.lsq.push(LsqEntry {
-                    seq,
-                    mem: m,
-                    base_dep,
-                    data_dep,
-                    addr_known: false,
-                    data_ready: false,
-                    load_ready: LoadReady::NotReady,
-                    issued: false,
-                });
-            }
-
-            self.rob.push(RobEntry {
-                seq,
-                record: fi.record,
-                state: InstState::Waiting,
-                pending,
-                in_lsq: is_mem,
-                mispredicted_branch: fi.mispredicted,
-            });
-            if let Some(d) = fi.record.dest() {
-                self.rename[d.index() as usize] = Some(seq);
-            }
-        }
-    }
-
-    /// Fetch: pull up to N records from the trace into the IFQ, stopping
-    /// at a control-flow bubble, an IFQ-full condition, an I-cache miss,
-    /// a misfetch bubble or wrong-path exhaustion (§III).
-    fn fetch<S: TraceSource>(&mut self, la: &mut TraceCursor<S>) {
-        if self.cycle < self.fetch_stall_until {
-            self.stats.fetch_stall_cycles += 1;
-            return;
-        }
-        let mut fetched = 0;
-        while fetched < self.config.width {
-            if self.ifq.len() == self.config.ifq_size {
-                break;
-            }
-            let Some(peeked) = la.peek() else { break };
-            if self.in_wrong_path && !peeked.wrong_path() {
-                // Wrong-path block exhausted: fetch starves until the
-                // branch resolves (the block size is chosen so this is
-                // rare — "a very conservative assumption", §V.A).
-                self.stats.fetch_stall_cycles += 1;
-                break;
-            }
-            let record = la.next().expect("peeked above");
-
-            // I-cache probe; a miss stalls fetch for the fill time.
-            let acc = self.memory.inst_access(record.pc());
-            self.stats.fetched += 1;
-            if record.wrong_path() {
-                self.stats.wrong_path_fetched += 1;
-            }
-
-            let mut mispredicted = false;
-            let mut stop_group = false;
-            if let TraceRecord::Branch(b) = &record {
-                if !record.wrong_path() {
-                    let pred = self.predictor.predict(b.pc, b.kind, b.taken, b.target);
-                    if la.peek().is_some_and(|r| r.wrong_path()) {
-                        // The trace says this branch was mispredicted:
-                        // fetch continues down the tagged block.
-                        mispredicted = true;
-                        self.in_wrong_path = true;
-                        stop_group = true;
-                    } else if pred.outcome() == Resolution::Misfetch {
-                        // Right direction, wrong target: fetch bubble.
-                        self.stats.misfetches += 1;
-                        self.fetch_stall_until =
-                            self.cycle + 1 + u64::from(self.config.misfetch_penalty);
-                        stop_group = true;
-                    }
-                }
-            }
-
-            self.ifq.push_back(FetchedInst {
-                record,
-                mispredicted,
-            });
-            fetched += 1;
-
-            if acc.latency > 1 {
-                // Miss: the line arrives after `latency` cycles in total.
-                self.fetch_stall_until = self
-                    .fetch_stall_until
-                    .max(self.cycle + u64::from(acc.latency) - 1);
-                break;
-            }
-            if stop_group {
-                break;
-            }
-            // Control-flow bubble: fetch cannot cross a discontinuity.
-            if la
-                .peek()
-                .is_some_and(|n| n.pc() != record.pc().wrapping_add(4))
-            {
-                break;
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use resim_trace::{
-        BranchKind, BranchRecord, MemKind, MemRecord, MemSize, OtherRecord, Reg, Trace,
-    };
-
-    fn alu(pc: u32, dest: u8, src1: Option<u8>, src2: Option<u8>) -> TraceRecord {
-        TraceRecord::Other(OtherRecord {
-            pc,
-            class: OpClass::IntAlu,
-            dest: Some(Reg::new(dest)),
-            src1: src1.map(Reg::new),
-            src2: src2.map(Reg::new),
-            wrong_path: false,
-        })
-    }
-
-    fn run_trace(records: Vec<TraceRecord>, config: EngineConfig) -> SimStats {
-        let trace = Trace::from_records(records);
-        let mut e = Engine::new(config).unwrap();
-        e.run(trace.source())
-    }
-
-    fn seq_pcs(n: usize) -> impl Iterator<Item = u32> {
-        (0..n as u32).map(|i| 0x1000 + i * 4)
-    }
-
-    #[test]
-    fn empty_trace_finishes_immediately() {
-        let s = run_trace(vec![], EngineConfig::paper_4wide());
-        assert_eq!(s.committed, 0);
-        assert!(s.cycles <= 1);
-    }
-
-    #[test]
-    fn independent_alus_reach_full_width() {
-        // 4 independent ALU streams: IPC should approach the width.
-        let recs: Vec<TraceRecord> = seq_pcs(8000)
-            .enumerate()
-            .map(|(i, pc)| alu(pc, (8 + (i % 4)) as u8, None, None))
-            .collect();
-        let s = run_trace(recs, EngineConfig::paper_4wide());
-        assert_eq!(s.committed, 8000);
-        assert!(s.ipc() > 3.5, "independent ALU IPC was {}", s.ipc());
-        assert!(s.ipc() <= 4.0 + 1e-9);
-    }
-
-    #[test]
-    fn serial_dependence_chain_limits_ipc_to_one() {
-        // Every instruction depends on the previous one.
-        let recs: Vec<TraceRecord> = seq_pcs(4000)
-            .map(|pc| alu(pc, 9, Some(9), None))
-            .collect();
-        let s = run_trace(recs, EngineConfig::paper_4wide());
-        assert_eq!(s.committed, 4000);
-        assert!(
-            s.ipc() > 0.9 && s.ipc() <= 1.05,
-            "dependent-chain IPC was {}",
-            s.ipc()
-        );
-    }
-
-    #[test]
-    fn divider_chain_costs_its_latency() {
-        // Dependent divides: ~10 cycles each on the unpipelined divider.
-        let recs: Vec<TraceRecord> = seq_pcs(400)
-            .map(|pc| {
-                TraceRecord::Other(OtherRecord {
-                    pc,
-                    class: OpClass::IntDiv,
-                    dest: Some(Reg::new(9)),
-                    src1: Some(Reg::new(9)),
-                    src2: None,
-                    wrong_path: false,
-                })
-            })
-            .collect();
-        let s = run_trace(recs, EngineConfig::paper_4wide());
-        let cpi = s.cycles as f64 / s.committed as f64;
-        assert!(
-            (9.0..12.0).contains(&cpi),
-            "dependent divide CPI was {cpi}"
-        );
-    }
-
-    #[test]
-    fn conservation_fetched_equals_committed_plus_squashed_wrong_path() {
-        use resim_tracegen::{generate_trace, TraceGenConfig};
-        use resim_workloads::{SpecBenchmark, Workload};
-        let trace = generate_trace(
-            Workload::spec(SpecBenchmark::Vpr, 3),
-            30_000,
-            &TraceGenConfig::paper(),
-        );
-        let s = run_trace(trace.records().to_vec(), EngineConfig::paper_4wide());
-        assert_eq!(s.committed, 30_000);
-        assert_eq!(
-            s.fetched,
-            s.committed + s.wrong_path_fetched,
-            "every fetched instruction either commits or was wrong-path"
-        );
-        assert_eq!(
-            s.trace_records_consumed(),
-            trace.len() as u64,
-            "all trace records are consumed (fetched or discarded)"
-        );
-        assert!(s.mispredict_recoveries > 0, "vpr must mispredict");
-    }
-
-    #[test]
-    fn store_load_forwarding_is_used() {
-        // store to X, immediately load from X, repeatedly.
-        let mut recs = Vec::new();
-        for i in 0..500u32 {
-            let pc = 0x1000 + i * 8;
-            recs.push(TraceRecord::Mem(MemRecord {
-                pc,
-                addr: 0x8000,
-                size: MemSize::Word,
-                kind: MemKind::Store,
-                base: None,
-                data: Some(Reg::new(9)),
-                wrong_path: false,
-            }));
-            recs.push(TraceRecord::Mem(MemRecord {
-                pc: pc + 4,
-                addr: 0x8000,
-                size: MemSize::Word,
-                kind: MemKind::Load,
-                base: None,
-                data: Some(Reg::new(10)),
-                wrong_path: false,
-            }));
-        }
-        let s = run_trace(recs, EngineConfig::paper_4wide());
-        assert!(s.load_forwards > 400, "forwards: {}", s.load_forwards);
-    }
-
-    #[test]
-    fn rb_capacity_limits_inflight_window() {
-        // Long-latency producer + many dependents: occupancy approaches
-        // RB size, and dispatch stalls on a full RB are recorded.
-        let mut recs = Vec::new();
-        for i in 0..200u32 {
-            let pc = 0x1000 + i * 4 * 40;
-            recs.push(TraceRecord::Other(OtherRecord {
-                pc,
-                class: OpClass::IntDiv,
-                dest: Some(Reg::new(9)),
-                src1: Some(Reg::new(9)),
-                src2: None,
-                wrong_path: false,
-            }));
-            for j in 1..40u32 {
-                recs.push(alu(pc + j * 4, 10, Some(9), None));
-            }
-        }
-        let s = run_trace(recs, EngineConfig::paper_4wide());
-        assert!(s.dispatch_stall_rb > 0, "RB pressure must cause stalls");
-        assert!(s.avg_rb_occupancy() > 8.0);
-    }
-
-    #[test]
-    fn misfetch_penalty_slows_cold_jumps() {
-        // A chain of cold indirect jumps: each one misfetches.
-        let mut recs = Vec::new();
-        for i in 0..300u32 {
-            let pc = 0x1000 + i * 0x100;
-            recs.push(TraceRecord::Branch(BranchRecord {
-                pc,
-                target: pc + 0x100,
-                taken: true,
-                kind: BranchKind::IndirectJump,
-                src1: None,
-                src2: None,
-                wrong_path: false,
-            }));
-        }
-        let s = run_trace(recs, EngineConfig::paper_4wide());
-        assert!(s.misfetches > 250, "misfetches: {}", s.misfetches);
-        let cpi = s.cycles as f64 / s.committed as f64;
-        assert!(cpi > 3.0, "misfetch bubbles must dominate, CPI {cpi}");
-    }
-
-    #[test]
-    fn perfect_predictor_never_misfetches() {
-        let mut recs = Vec::new();
-        for i in 0..300u32 {
-            let pc = 0x1000 + i * 0x100;
-            recs.push(TraceRecord::Branch(BranchRecord {
-                pc,
-                target: pc + 0x100,
-                taken: true,
-                kind: BranchKind::IndirectJump,
-                src1: None,
-                src2: None,
-                wrong_path: false,
-            }));
-        }
-        let cfg = EngineConfig {
-            predictor: resim_bpred::PredictorConfig::perfect(),
-            ..EngineConfig::paper_4wide()
-        };
-        let s = run_trace(recs, cfg);
-        assert_eq!(s.misfetches, 0);
-    }
-
-    #[test]
-    fn wrong_path_instructions_never_commit() {
-        use resim_tracegen::{generate_trace, TraceGenConfig};
-        use resim_workloads::{SpecBenchmark, Workload};
-        let trace = generate_trace(
-            Workload::spec(SpecBenchmark::Parser, 5),
-            20_000,
-            &TraceGenConfig::paper(),
-        );
-        let s = run_trace(trace.records().to_vec(), EngineConfig::paper_4wide());
-        // committed == correct-path records exactly.
-        assert_eq!(s.committed, trace.correct_path_len() as u64);
-    }
-
-    #[test]
-    fn cached_config_is_slower_than_perfect_memory() {
-        use resim_tracegen::{generate_trace, TraceGenConfig};
-        use resim_workloads::{SpecBenchmark, Workload};
-        let trace = generate_trace(
-            Workload::spec(SpecBenchmark::Bzip2, 5),
-            30_000,
-            &TraceGenConfig::perfect(),
-        );
-        let perfect = run_trace(trace.records().to_vec(), EngineConfig {
-            predictor: resim_bpred::PredictorConfig::perfect(),
-            ..EngineConfig::paper_4wide()
-        });
-        let cached = run_trace(trace.records().to_vec(), EngineConfig {
-            predictor: resim_bpred::PredictorConfig::perfect(),
-            memory: resim_mem::MemorySystemConfig::l1_32k(),
-            pipeline: crate::pipeline::PipelineOrganization::ImprovedSerial,
-            ..EngineConfig::paper_4wide()
-        });
-        assert!(
-            perfect.ipc() > cached.ipc(),
-            "perfect {} vs cached {}",
-            perfect.ipc(),
-            cached.ipc()
-        );
-    }
-
-    #[test]
-    fn wider_machine_is_not_slower() {
-        use resim_tracegen::{generate_trace, TraceGenConfig};
-        use resim_workloads::{SpecBenchmark, Workload};
-        let trace = generate_trace(
-            Workload::spec(SpecBenchmark::Gzip, 6),
-            30_000,
-            &TraceGenConfig::paper(),
-        );
-        let narrow = run_trace(trace.records().to_vec(), EngineConfig {
-            width: 2,
-            fus: crate::config::FuConfig {
-                alus: 2,
-                ..Default::default()
-            },
-            mem_read_ports: 1,
-            ..EngineConfig::paper_4wide()
-        });
-        let wide = run_trace(trace.records().to_vec(), EngineConfig::paper_4wide());
-        assert!(
-            wide.ipc() >= narrow.ipc() * 0.98,
-            "wide {} vs narrow {}",
-            wide.ipc(),
-            narrow.ipc()
-        );
-    }
-
-    #[test]
-    fn determinism() {
-        use resim_tracegen::{generate_trace, TraceGenConfig};
-        use resim_workloads::{SpecBenchmark, Workload};
-        let trace = generate_trace(
-            Workload::spec(SpecBenchmark::Vortex, 7),
-            20_000,
-            &TraceGenConfig::paper(),
-        );
-        let a = run_trace(trace.records().to_vec(), EngineConfig::paper_4wide());
-        let b = run_trace(trace.records().to_vec(), EngineConfig::paper_4wide());
-        assert_eq!(a, b);
-    }
-
-    #[test]
-    fn windowed_run_is_bit_identical_to_one_run() {
-        use resim_tracegen::{generate_trace, TraceGenConfig};
-        use resim_workloads::{SpecBenchmark, Workload};
-        let trace = generate_trace(
-            Workload::spec(SpecBenchmark::Parser, 11),
-            25_000,
-            &TraceGenConfig::paper(),
-        );
-        let full = run_trace(trace.records().to_vec(), EngineConfig::paper_4wide());
-
-        for window in [1u64, 777, 5_000, 1 << 40] {
-            let mut engine = Engine::new(EngineConfig::paper_4wide()).unwrap();
-            let mut cursor = TraceCursor::new(trace.source());
-            let mut last_consumed = u64::MAX;
-            while cursor.consumed() != last_consumed {
-                last_consumed = cursor.consumed();
-                engine.run_window(&mut cursor, window);
-            }
-            let windowed = engine.drain(&mut cursor);
-            assert_eq!(windowed, full, "window={window} must replay run exactly");
-            assert_eq!(cursor.consumed(), trace.len() as u64);
-        }
-    }
-
-    #[test]
-    fn window_stats_deltas_merge_back_to_the_full_run() {
-        use resim_tracegen::{generate_trace, TraceGenConfig};
-        use resim_workloads::{SpecBenchmark, Workload};
-        let trace = generate_trace(
-            Workload::spec(SpecBenchmark::Gzip, 3),
-            12_000,
-            &TraceGenConfig::paper(),
-        );
-        let full = run_trace(trace.records().to_vec(), EngineConfig::paper_4wide());
-
-        // Cut the same run into 1k-record windows and re-merge the deltas.
-        let mut engine = Engine::new(EngineConfig::paper_4wide()).unwrap();
-        let mut cursor = TraceCursor::new(trace.source());
-        let mut merged = SimStats::default();
-        let mut prev = SimStats::default();
-        loop {
-            let before = cursor.consumed();
-            engine.run_window(&mut cursor, 1_000);
-            if cursor.consumed() == before {
-                break;
-            }
-            let now = engine.stats();
-            // Counts become deltas; maxima are already cumulative maxima,
-            // so merging the snapshots' maxima is a max over windows too.
-            let delta = SimStats {
-                cycles: now.cycles - prev.cycles,
-                committed: now.committed - prev.committed,
-                rb_occupancy_max: now.rb_occupancy_max,
-                ..SimStats::default()
-            };
-            prev = now;
-            merged = merged.merge(&delta);
-        }
-        let fin = engine.drain(&mut cursor);
-        let tail = SimStats {
-            cycles: fin.cycles - prev.cycles,
-            committed: fin.committed - prev.committed,
-            ..SimStats::default()
-        };
-        merged = merged.merge(&tail);
-        assert_eq!(merged.cycles, full.cycles);
-        assert_eq!(merged.committed, full.committed);
-        assert_eq!(merged.rb_occupancy_max, full.rb_occupancy_max);
-    }
-
-    #[test]
-    fn snapshot_resume_replays_identically_on_warm_state() {
-        use resim_tracegen::{generate_trace, TraceGenConfig};
-        use resim_workloads::{SpecBenchmark, Workload};
-        let config = EngineConfig {
-            memory: resim_mem::MemorySystemConfig::l1_32k(),
-            ..EngineConfig::paper_4wide()
-        };
-        let trace = generate_trace(
-            Workload::spec(SpecBenchmark::Bzip2, 9),
-            10_000,
-            &TraceGenConfig::paper(),
-        );
-        // Warm an engine on the trace, snapshot, resume twice: the two
-        // resumed engines must agree bit-for-bit on a second trace.
-        let mut warm = Engine::new(config.clone()).unwrap();
-        warm.run(trace.source());
-        let mut ck = warm.snapshot();
-        ck.position = trace.len() as u64;
-
-        let ck2 = Checkpoint::from_bytes(&ck.to_bytes()).unwrap();
-        assert_eq!(ck2, ck, "serialization round-trips");
-
-        let probe = generate_trace(
-            Workload::spec(SpecBenchmark::Bzip2, 10),
-            5_000,
-            &TraceGenConfig::paper(),
-        );
-        let mut a = Engine::resume_from(config.clone(), &ck).unwrap();
-        let mut b = Engine::resume_from(config.clone(), &ck2).unwrap();
-        let sa = a.run(probe.source());
-        let sb = b.run(probe.source());
-        assert_eq!(sa, sb);
-        // Warm state matters: a cold engine behaves differently.
-        let cold = Engine::new(config).unwrap().run(probe.source());
-        assert_ne!(sa, cold, "checkpoint must carry real warm state");
-        // Resumed stats start from zero (composability).
-        assert_eq!(sa.committed, 5_000);
-    }
-
-    #[test]
-    fn resume_rejects_mismatched_geometry() {
-        let small = Engine::new(EngineConfig {
-            predictor: resim_bpred::PredictorConfig::gshare(4, 256),
-            ..EngineConfig::paper_4wide()
-        })
-        .unwrap()
-        .snapshot();
-        let err = Engine::resume_from(EngineConfig::paper_4wide(), &small);
-        assert!(matches!(err, Err(ResumeError::Predictor(_))));
-        let perfect_mem = Engine::new(EngineConfig::paper_4wide()).unwrap().snapshot();
-        let cached = EngineConfig {
-            memory: resim_mem::MemorySystemConfig::l1_32k(),
-            ..EngineConfig::paper_4wide()
-        };
-        assert!(matches!(
-            Engine::resume_from(cached, &perfect_mem),
-            Err(ResumeError::Memory(_))
-        ));
     }
 }

@@ -17,9 +17,12 @@
 //! **minor cycles**, and three internal pipeline organizations trade
 //! engine latency for implementation simplicity
 //! ([`PipelineOrganization`], Figures 2–4: `2N+3`, `N+4`, `N+3` minor
-//! cycles). In this reproduction the architectural model is evaluated
-//! once per major cycle and the minor-cycle organization determines the
-//! engine-throughput accounting, exactly as it determines the FPGA
+//! cycles). In this reproduction the engine is that structure made
+//! explicit: each stage is a unit in [`stages`] implementing the common
+//! [`Stage`] trait over the shared [`CoreState`], and the
+//! [`MinorCycleScheduler`] owns the stage roster, the evaluation order
+//! and the per-organization minor-cycle accounting — derived from the
+//! organization's schedule grid, exactly as the grid determines the FPGA
 //! engine's MIPS (`resim-fpga` turns it into simulated MIPS).
 //!
 //! ## Quick start
@@ -51,6 +54,7 @@
 
 mod checkpoint;
 mod config;
+mod cursor;
 mod describe;
 mod engine;
 mod from_table;
@@ -59,17 +63,24 @@ mod lsq;
 mod multicore;
 mod pipeline;
 mod rob;
+mod scheduler;
+mod state;
+pub mod stages;
 mod stats;
 
 pub use checkpoint::{
     Checkpoint, CheckpointError, ResumeError, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
 };
 pub use config::{ConfigError, EngineConfig, FuConfig};
+pub use cursor::{TraceCursor, DEFAULT_BATCH};
 pub use describe::block_diagram;
-pub use engine::{Engine, TraceCursor};
+pub use engine::Engine;
 pub use grid::ConfigGrid;
 pub use lsq::{LoadReady, LoadStoreQueue, LsqEntry};
-pub use multicore::MultiCore;
+pub use multicore::{MultiCore, MultiCoreError};
 pub use pipeline::{PipelineOrganization, Schedule, ScheduleRow};
-pub use rob::{InstState, ReorderBuffer, RobEntry};
+pub use rob::{InstState, PendingSet, ReorderBuffer, RobEntry};
+pub use scheduler::MinorCycleScheduler;
+pub use stages::{Stage, StageActivity, TraceFeed};
+pub use state::CoreState;
 pub use stats::SimStats;

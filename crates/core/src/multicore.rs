@@ -13,6 +13,8 @@ use crate::config::{ConfigError, EngineConfig};
 use crate::engine::Engine;
 use crate::stats::SimStats;
 use resim_trace::TraceSource;
+use std::error::Error;
+use std::fmt;
 
 /// A set of independent per-core engines.
 #[derive(Debug)]
@@ -20,16 +22,62 @@ pub struct MultiCore {
     engines: Vec<Engine>,
 }
 
+/// Problems running a multi-core set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiCoreError {
+    /// The number of trace sources does not match the number of cores.
+    SourceCountMismatch {
+        /// Engines in the set.
+        cores: usize,
+        /// Sources supplied to [`MultiCore::run`].
+        sources: usize,
+    },
+}
+
+impl fmt::Display for MultiCoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiCoreError::SourceCountMismatch { cores, sources } => write!(
+                f,
+                "need one trace source per core: {cores} cores, {sources} sources"
+            ),
+        }
+    }
+}
+
+impl Error for MultiCoreError {}
+
 impl MultiCore {
     /// Builds `cores` engines with identical configuration.
     ///
     /// # Errors
     ///
-    /// Propagates configuration validation errors.
+    /// [`ConfigError::ZeroCores`] when `cores` is zero; otherwise
+    /// propagates configuration validation errors.
     pub fn homogeneous(cores: usize, config: &EngineConfig) -> Result<Self, ConfigError> {
-        assert!(cores > 0, "need at least one core");
+        if cores == 0 {
+            return Err(ConfigError::ZeroCores);
+        }
         let engines = (0..cores)
             .map(|_| Engine::new(config.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { engines })
+    }
+
+    /// Builds one engine per configuration — a heterogeneous multi-core
+    /// (e.g. wide cores next to narrow ones).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroCores`] on an empty configuration list;
+    /// otherwise the first configuration validation error.
+    pub fn heterogeneous(configs: &[EngineConfig]) -> Result<Self, ConfigError> {
+        if configs.is_empty() {
+            return Err(ConfigError::ZeroCores);
+        }
+        let engines = configs
+            .iter()
+            .map(|c| Engine::new(c.clone()))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self { engines })
     }
@@ -42,20 +90,30 @@ impl MultiCore {
     /// Runs every core to completion on its own trace source, returning
     /// per-core statistics.
     ///
-    /// # Panics
+    /// Sources are boxed trait objects so each core can replay a
+    /// different kind of trace — one core off an in-memory slice, another
+    /// streaming an on-disk container.
     ///
-    /// Panics if the number of sources differs from the number of cores.
-    pub fn run<S: TraceSource>(&mut self, sources: Vec<S>) -> Vec<SimStats> {
-        assert_eq!(
-            sources.len(),
-            self.engines.len(),
-            "one trace source per core"
-        );
-        self.engines
+    /// # Errors
+    ///
+    /// [`MultiCoreError::SourceCountMismatch`] when the number of
+    /// sources differs from the number of cores (no core runs).
+    pub fn run(
+        &mut self,
+        sources: Vec<Box<dyn TraceSource + '_>>,
+    ) -> Result<Vec<SimStats>, MultiCoreError> {
+        if sources.len() != self.engines.len() {
+            return Err(MultiCoreError::SourceCountMismatch {
+                cores: self.engines.len(),
+                sources: sources.len(),
+            });
+        }
+        Ok(self
+            .engines
             .iter_mut()
             .zip(sources)
             .map(|(e, s)| e.run(s))
-            .collect()
+            .collect())
     }
 
     /// Aggregate committed instructions across cores.
@@ -90,12 +148,17 @@ mod tests {
     fn four_cores_run_independent_traces() {
         let traces: Vec<_> = SpecBenchmark::ALL[..4]
             .iter()
-            .map(|&b| {
-                generate_trace(Workload::spec(b, 11), 5_000, &TraceGenConfig::paper())
-            })
+            .map(|&b| generate_trace(Workload::spec(b, 11), 5_000, &TraceGenConfig::paper()))
             .collect();
         let mut mc = MultiCore::homogeneous(4, &EngineConfig::paper_4wide()).unwrap();
-        let stats = mc.run(traces.iter().map(|t| t.source()).collect());
+        let stats = mc
+            .run(
+                traces
+                    .iter()
+                    .map(|t| Box::new(t.source()) as Box<dyn TraceSource>)
+                    .collect(),
+            )
+            .unwrap();
         assert_eq!(stats.len(), 4);
         for s in &stats {
             assert_eq!(s.committed, 5_000);
@@ -117,8 +180,65 @@ mod tests {
             .unwrap()
             .run(trace.source());
         let mut mc = MultiCore::homogeneous(2, &EngineConfig::paper_4wide()).unwrap();
-        let stats = mc.run(vec![trace.source(), trace.source()]);
+        let stats = mc
+            .run(vec![Box::new(trace.source()), Box::new(trace.source())])
+            .unwrap();
         assert_eq!(stats[0], solo);
         assert_eq!(stats[1], solo);
+    }
+
+    #[test]
+    fn heterogeneous_sources_per_core() {
+        // One core replays the raw record slice, the other streams the
+        // bit-packed codec: different source types, identical stats.
+        let trace = generate_trace(
+            Workload::spec(SpecBenchmark::Parser, 17),
+            4_000,
+            &TraceGenConfig::paper(),
+        );
+        let encoded = trace.encode();
+        let mut mc = MultiCore::homogeneous(2, &EngineConfig::paper_4wide()).unwrap();
+        let stats = mc
+            .run(vec![Box::new(trace.source()), Box::new(encoded.source())])
+            .unwrap();
+        assert_eq!(stats[0], stats[1], "slice and codec frontends agree");
+    }
+
+    #[test]
+    fn heterogeneous_configs() {
+        let configs = [EngineConfig::paper_4wide(), EngineConfig::paper_2wide_cached()];
+        let mc = MultiCore::heterogeneous(&configs).unwrap();
+        assert_eq!(mc.cores(), 2);
+        assert!(
+            matches!(MultiCore::heterogeneous(&[]), Err(ConfigError::ZeroCores)),
+            "empty config list is an error, not a panic"
+        );
+    }
+
+    #[test]
+    fn zero_cores_is_an_error_not_a_panic() {
+        assert_eq!(
+            MultiCore::homogeneous(0, &EngineConfig::paper_4wide()).unwrap_err(),
+            ConfigError::ZeroCores
+        );
+    }
+
+    #[test]
+    fn source_count_mismatch_is_an_error_not_a_panic() {
+        let trace = generate_trace(
+            Workload::spec(SpecBenchmark::Gzip, 1),
+            100,
+            &TraceGenConfig::paper(),
+        );
+        let mut mc = MultiCore::homogeneous(2, &EngineConfig::paper_4wide()).unwrap();
+        let err = mc.run(vec![Box::new(trace.source())]).unwrap_err();
+        assert_eq!(
+            err,
+            MultiCoreError::SourceCountMismatch {
+                cores: 2,
+                sources: 1
+            }
+        );
+        assert!(err.to_string().contains("2 cores"));
     }
 }

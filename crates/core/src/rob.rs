@@ -27,6 +27,71 @@ pub enum InstState {
     },
 }
 
+/// The (≤ 2) producer tags an instruction still waits on.
+///
+/// A fixed two-slot set rather than a `Vec`: an instruction has at most
+/// two source operands, and dispatch runs once per instruction on the
+/// hottest path of the simulator — this keeps the reservation-station
+/// wait list allocation-free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PendingSet([Option<u64>; 2]);
+
+impl PendingSet {
+    /// An empty set (no outstanding producers).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether no producer is awaited.
+    pub fn is_empty(&self) -> bool {
+        self.0.iter().all(Option::is_none)
+    }
+
+    /// Whether `tag` is awaited.
+    pub fn contains(&self, tag: u64) -> bool {
+        self.0.contains(&Some(tag))
+    }
+
+    /// Adds `tag` to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both slots are taken — an instruction has at most two
+    /// source operands.
+    pub fn push(&mut self, tag: u64) {
+        let slot = self
+            .0
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("an instruction waits on at most two producers");
+        *slot = Some(tag);
+    }
+
+    /// Removes `tag` if present (result broadcast / wakeup).
+    pub fn clear_tag(&mut self, tag: u64) {
+        for slot in &mut self.0 {
+            if *slot == Some(tag) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// The awaited tags, in insertion order.
+    pub fn tags(&self) -> impl Iterator<Item = u64> + '_ {
+        self.0.iter().copied().flatten()
+    }
+}
+
+impl FromIterator<u64> for PendingSet {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut set = PendingSet::new();
+        for tag in iter {
+            set.push(tag);
+        }
+        set
+    }
+}
+
 /// One Reorder Buffer entry.
 #[derive(Debug, Clone)]
 pub struct RobEntry {
@@ -37,7 +102,7 @@ pub struct RobEntry {
     /// Execution state.
     pub state: InstState,
     /// Producer tags this instruction still waits on (≤ 2).
-    pub pending: Vec<u64>,
+    pub pending: PendingSet,
     /// Whether the instruction occupies an LSQ slot.
     pub in_lsq: bool,
     /// Set on an (untagged) branch that the trace marks as mispredicted:
@@ -137,6 +202,20 @@ impl ReorderBuffer {
         self.entries.iter_mut().find(|e| e.seq == seq)
     }
 
+    /// The entry at position `idx` (0 = oldest), if in range.
+    ///
+    /// Positions are stable while no entry is pushed, popped or
+    /// squashed — stages that first scan the window and then revisit
+    /// their picks use this for O(1) access instead of a `find` scan.
+    pub fn at(&self, idx: usize) -> Option<&RobEntry> {
+        self.entries.get(idx)
+    }
+
+    /// Mutable access by position (0 = oldest).
+    pub fn at_mut(&mut self, idx: usize) -> Option<&mut RobEntry> {
+        self.entries.get_mut(idx)
+    }
+
     /// Whether `seq` names a producer whose result is still outstanding
     /// (present and not completed). Absent entries have committed (or
     /// been squashed along with every possible consumer).
@@ -155,10 +234,10 @@ impl ReorderBuffer {
     }
 
     /// Broadcasts a completed producer: removes `seq` from every pending
-    /// list (the wakeup of §III's Writeback).
+    /// set (the wakeup of §III's Writeback).
     pub fn broadcast(&mut self, seq: u64) {
         for e in &mut self.entries {
-            e.pending.retain(|&p| p != seq);
+            e.pending.clear_tag(seq);
         }
     }
 
@@ -187,7 +266,7 @@ mod tests {
                 wrong_path: false,
             }),
             state: InstState::Waiting,
-            pending: Vec::new(),
+            pending: PendingSet::new(),
             in_lsq: false,
             mispredicted_branch: false,
         }
@@ -226,14 +305,52 @@ mod tests {
         let mut rb = ReorderBuffer::new(4);
         rb.push(entry(1));
         let mut e2 = entry(2);
-        e2.pending = vec![1];
+        e2.pending = [1].into_iter().collect();
         rb.push(e2);
         let mut e3 = entry(3);
-        e3.pending = vec![1, 2];
+        e3.pending = [1, 2].into_iter().collect();
         rb.push(e3);
         rb.broadcast(1);
         assert!(rb.find(2).unwrap().operands_ready());
-        assert_eq!(rb.find(3).unwrap().pending, vec![2]);
+        assert_eq!(rb.find(3).unwrap().pending.tags().collect::<Vec<_>>(), [2]);
+    }
+
+    #[test]
+    fn pending_set_semantics() {
+        let mut p = PendingSet::new();
+        assert!(p.is_empty());
+        p.push(7);
+        p.push(9);
+        assert!(!p.is_empty());
+        assert!(p.contains(7) && p.contains(9));
+        assert!(!p.contains(8));
+        p.clear_tag(7);
+        assert!(!p.contains(7));
+        assert_eq!(p.tags().collect::<Vec<_>>(), [9]);
+        p.clear_tag(9);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most two")]
+    fn pending_set_overflow_panics() {
+        let mut p = PendingSet::new();
+        p.push(1);
+        p.push(2);
+        p.push(3);
+    }
+
+    #[test]
+    fn positional_access_matches_age_order() {
+        let mut rb = ReorderBuffer::new(4);
+        for s in 1..=3 {
+            rb.push(entry(s));
+        }
+        assert_eq!(rb.at(0).unwrap().seq, 1);
+        assert_eq!(rb.at(2).unwrap().seq, 3);
+        assert!(rb.at(3).is_none());
+        rb.at_mut(1).unwrap().state = InstState::Completed { at: 9 };
+        assert!(rb.find(2).unwrap().is_completed());
     }
 
     #[test]

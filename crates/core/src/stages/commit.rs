@@ -1,0 +1,66 @@
+//! Commit: in-order retirement at the Reorder Buffer head (§III).
+
+use super::{Stage, StageActivity, TraceFeed};
+use crate::rob::InstState;
+use crate::state::CoreState;
+use resim_trace::TraceRecord;
+
+/// Commit: retire up to N completed instructions in order; stores need a
+/// memory write port and access the D-cache; branches train the
+/// predictor (§III).
+#[derive(Debug, Default)]
+pub struct CommitStage;
+
+impl Stage for CommitStage {
+    fn name(&self) -> &'static str {
+        "Commit"
+    }
+
+    fn evaluate(&mut self, core: &mut CoreState, _feed: &mut dyn TraceFeed) -> StageActivity {
+        let mut write_ports = core.config.mem_write_ports;
+        let mut committed = 0u64;
+        for _ in 0..core.config.width {
+            let Some(head) = core.rob.head() else { break };
+            let InstState::Completed { at } = head.state else {
+                break;
+            };
+            // Strictly-earlier completion: the paper's same-cycle flag.
+            if at >= core.cycle {
+                break;
+            }
+            debug_assert!(
+                !head.record.wrong_path(),
+                "wrong-path instructions must be squashed before commit"
+            );
+            if head.record.is_store() {
+                if write_ports == 0 {
+                    break;
+                }
+                write_ports -= 1;
+            }
+            let entry = core.rob.pop_head().expect("head checked above");
+            match &entry.record {
+                TraceRecord::Mem(m) => {
+                    if m.is_store() {
+                        core.memory.data_access(m.addr, true);
+                        core.stats.committed_stores += 1;
+                    } else {
+                        core.stats.committed_loads += 1;
+                    }
+                }
+                TraceRecord::Branch(b) => {
+                    core.predictor.resolve(b.pc, b.kind, b.taken, b.target);
+                    core.stats.committed_branches += 1;
+                }
+                TraceRecord::Other(_) => {}
+            }
+            if entry.in_lsq {
+                core.lsq.remove(entry.seq);
+            }
+            core.stats.committed += 1;
+            core.last_commit_cycle = core.cycle;
+            committed += 1;
+        }
+        StageActivity::ops(committed)
+    }
+}

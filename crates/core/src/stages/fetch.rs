@@ -1,0 +1,94 @@
+//! Fetch: trace records → IFQ, with branch prediction and the I-cache
+//! (§III).
+
+use super::{Stage, StageActivity, TraceFeed};
+use crate::state::{CoreState, FetchedInst};
+use resim_bpred::Resolution;
+use resim_trace::TraceRecord;
+
+/// Fetch: pull up to N records from the trace into the IFQ, stopping at
+/// a control-flow bubble, an IFQ-full condition, an I-cache miss, a
+/// misfetch bubble or wrong-path exhaustion (§III).
+#[derive(Debug, Default)]
+pub struct FetchStage;
+
+impl Stage for FetchStage {
+    fn name(&self) -> &'static str {
+        "Fetch"
+    }
+
+    fn evaluate(&mut self, core: &mut CoreState, feed: &mut dyn TraceFeed) -> StageActivity {
+        if core.cycle < core.fetch_stall_until {
+            core.stats.fetch_stall_cycles += 1;
+            return StageActivity::ops(0);
+        }
+        let mut fetched = 0u64;
+        while fetched < core.config.width as u64 {
+            if core.ifq.len() == core.config.ifq_size {
+                break;
+            }
+            let Some(peeked) = feed.peek() else { break };
+            if core.in_wrong_path && !peeked.wrong_path() {
+                // Wrong-path block exhausted: fetch starves until the
+                // branch resolves (the block size is chosen so this is
+                // rare — "a very conservative assumption", §V.A).
+                core.stats.fetch_stall_cycles += 1;
+                break;
+            }
+            let record = feed.take().expect("peeked above");
+
+            // I-cache probe; a miss stalls fetch for the fill time.
+            let acc = core.memory.inst_access(record.pc());
+            core.stats.fetched += 1;
+            if record.wrong_path() {
+                core.stats.wrong_path_fetched += 1;
+            }
+
+            let mut mispredicted = false;
+            let mut stop_group = false;
+            if let TraceRecord::Branch(b) = &record {
+                if !record.wrong_path() {
+                    let pred = core.predictor.predict(b.pc, b.kind, b.taken, b.target);
+                    if feed.peek().is_some_and(|r| r.wrong_path()) {
+                        // The trace says this branch was mispredicted:
+                        // fetch continues down the tagged block.
+                        mispredicted = true;
+                        core.in_wrong_path = true;
+                        stop_group = true;
+                    } else if pred.outcome() == Resolution::Misfetch {
+                        // Right direction, wrong target: fetch bubble.
+                        core.stats.misfetches += 1;
+                        core.fetch_stall_until =
+                            core.cycle + 1 + u64::from(core.config.misfetch_penalty);
+                        stop_group = true;
+                    }
+                }
+            }
+
+            core.ifq.push_back(FetchedInst {
+                record,
+                mispredicted,
+            });
+            fetched += 1;
+
+            if acc.latency > 1 {
+                // Miss: the line arrives after `latency` cycles in total.
+                core.fetch_stall_until = core
+                    .fetch_stall_until
+                    .max(core.cycle + u64::from(acc.latency) - 1);
+                break;
+            }
+            if stop_group {
+                break;
+            }
+            // Control-flow bubble: fetch cannot cross a discontinuity.
+            if feed
+                .peek()
+                .is_some_and(|n| n.pc() != record.pc().wrapping_add(4))
+            {
+                break;
+            }
+        }
+        StageActivity::ops(fetched)
+    }
+}

@@ -1,0 +1,25 @@
+//! `Lsq_refresh`: the memory-dependence scan of §III, a stage of its own
+//! in every organization of §IV.
+
+use super::{Stage, StageActivity, TraceFeed};
+use crate::state::CoreState;
+
+/// `Lsq_refresh`: recomputes address/data availability and load
+/// readiness (including store-to-load forwarding) from producer state,
+/// once per major cycle (§III/§IV).
+#[derive(Debug, Default)]
+pub struct LsqRefreshStage;
+
+impl Stage for LsqRefreshStage {
+    fn name(&self) -> &'static str {
+        "Lsq_refresh"
+    }
+
+    fn evaluate(&mut self, core: &mut CoreState, _feed: &mut dyn TraceFeed) -> StageActivity {
+        // Split borrows: the LSQ refresh consults the RB for producer
+        // liveness while mutating LSQ entries.
+        let CoreState { lsq, rob, .. } = core;
+        lsq.refresh(|seq| rob.is_outstanding(seq));
+        StageActivity::ops(lsq.len() as u64)
+    }
+}

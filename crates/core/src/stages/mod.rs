@@ -1,0 +1,108 @@
+//! The pipeline stages of the ReSim engine as swappable units.
+//!
+//! The paper's engine is a set of hardware stages — Fetch, Dispatch,
+//! Issue, `Lsq_refresh`, Writeback, Commit — wired around shared
+//! structures (IFQ, rename table, RB, LSQ; Figure 1), and its three
+//! internal pipeline organizations (Figures 2–4) re-arrange *the same
+//! stages* onto different minor-cycle grids. This module mirrors that
+//! structure in software: each stage is a unit type in its own file
+//! implementing the common [`Stage`] trait over a shared
+//! [`CoreState`], and the
+//! [`MinorCycleScheduler`](crate::MinorCycleScheduler) owns the roster
+//! and evaluation order.
+//!
+//! ## Evaluation order vs. minor-cycle timeline
+//!
+//! Within a major cycle the stages are always *evaluated* as
+//! **Commit → Writeback → Lsq_refresh → Issue → Dispatch → Fetch**,
+//! which realises the paper's architectural contract directly:
+//!
+//! * Commit runs before Writeback, so an instruction can never commit in
+//!   the cycle it completes — the behaviour the hardware enforces with a
+//!   flag (§IV.B);
+//! * Writeback precedes Lsq_refresh and Issue, so instructions woken by
+//!   a producer "may be issued during the same simulated cycle" (§IV);
+//! * Dispatch precedes Fetch, so it consumes IFQ contents fetched in
+//!   earlier cycles.
+//!
+//! What the three organizations change is the **minor-cycle timeline**
+//! — how the hardware time-multiplexes these stage evaluations onto
+//! engine clock cycles (`2N+3`, `N+4` or `N+3` of them). The paper
+//! proves the organizations semantically equivalent (§IV); the scheduler
+//! keeps that equivalence by construction: one architectural evaluation
+//! order, three minor-cycle cost grids.
+
+mod commit;
+mod dispatch;
+mod fetch;
+mod issue;
+mod lsq_refresh;
+mod writeback;
+
+pub use commit::CommitStage;
+pub use dispatch::DispatchStage;
+pub use fetch::FetchStage;
+pub use issue::IssueStage;
+pub use lsq_refresh::LsqRefreshStage;
+pub use writeback::WritebackStage;
+
+use crate::state::CoreState;
+use resim_trace::TraceRecord;
+
+/// A pull-based, peekable supply of trace records, as the Fetch stage
+/// (and misprediction recovery) consumes them.
+///
+/// This is the stage-facing face of the ring-buffered
+/// [`TraceCursor`](crate::TraceCursor): one record of lookahead
+/// (`peek`) plus consumption (`take`). Keeping the trait object-safe is
+/// what lets stage units live behind `dyn Stage` in the scheduler while
+/// the engine stays generic over its [`TraceSource`] — the per-record
+/// virtual call lands on a ring-buffer index bump, not on the decoder.
+///
+/// [`TraceSource`]: resim_trace::TraceSource
+pub trait TraceFeed {
+    /// The next record, without consuming it.
+    fn peek(&mut self) -> Option<&TraceRecord>;
+
+    /// Consumes and returns the next record.
+    fn take(&mut self) -> Option<TraceRecord>;
+}
+
+/// What a stage did during one major-cycle evaluation, as reported back
+/// to the scheduler.
+///
+/// The scheduler aggregates these per stage ([`MinorCycleScheduler::activity`])
+/// — the activity-derived view of the engine that `resim run` reports
+/// after a simulation ("stage activity (ops): …").
+///
+/// [`MinorCycleScheduler::activity`]: crate::MinorCycleScheduler::activity
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageActivity {
+    /// Architectural operations performed: instructions committed /
+    /// written back / issued / dispatched / fetched, or LSQ entries
+    /// refreshed, depending on the stage.
+    pub ops: u64,
+}
+
+impl StageActivity {
+    /// Activity of `ops` operations.
+    pub fn ops(ops: u64) -> Self {
+        Self { ops }
+    }
+}
+
+/// One pipeline stage of the engine: a unit evaluated once per major
+/// cycle against the shared [`CoreState`].
+///
+/// Implementations hold only state that is genuinely *inside* the stage
+/// hardware (e.g. the Issue stage's divider busy timers); everything
+/// shared between stages lives in [`CoreState`], and trace consumption
+/// goes through the [`TraceFeed`].
+pub trait Stage: Send + std::fmt::Debug {
+    /// The stage's name as the paper spells it (used in rosters,
+    /// schedules and `describe` output).
+    fn name(&self) -> &'static str;
+
+    /// Evaluates the stage for one major cycle.
+    fn evaluate(&mut self, core: &mut CoreState, feed: &mut dyn TraceFeed) -> StageActivity;
+}

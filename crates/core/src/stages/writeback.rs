@@ -1,0 +1,54 @@
+//! Writeback: result broadcast (wakeup) and misprediction recovery
+//! (§III).
+
+use super::{Stage, StageActivity, TraceFeed};
+use crate::rob::InstState;
+use crate::state::CoreState;
+
+/// Writeback: select the oldest N finished executions, broadcast their
+/// results (wakeup), and run misprediction recovery (§III).
+#[derive(Debug, Default)]
+pub struct WritebackStage {
+    /// Scratch select list `(rob position, seq)`, reused across cycles
+    /// so the hot loop never allocates.
+    done: Vec<(usize, u64)>,
+}
+
+impl Stage for WritebackStage {
+    fn name(&self) -> &'static str {
+        "Writeback"
+    }
+
+    fn evaluate(&mut self, core: &mut CoreState, feed: &mut dyn TraceFeed) -> StageActivity {
+        self.done.clear();
+        self.done.extend(
+            core.rob
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| {
+                    matches!(e.state, InstState::Executing { done_at } if done_at <= core.cycle)
+                })
+                .map(|(idx, e)| (idx, e.seq))
+                .take(core.config.width),
+        );
+        let mut written_back = 0u64;
+        for &(idx, seq) in &self.done {
+            // A recovery triggered by an older entry in this batch may
+            // have squashed this one: recovery truncates the RB at the
+            // branch, so surviving positions are unchanged and a stale
+            // position is either out of range or (impossibly, guarded by
+            // the seq check) someone else.
+            let Some(e) = core.rob.at_mut(idx).filter(|e| e.seq == seq) else {
+                continue;
+            };
+            e.state = InstState::Completed { at: core.cycle };
+            let recover = e.mispredicted_branch;
+            core.rob.broadcast(seq);
+            written_back += 1;
+            if recover {
+                core.recover(seq, feed);
+            }
+        }
+        StageActivity::ops(written_back)
+    }
+}

@@ -1,0 +1,207 @@
+//! [`CoreState`]: the shared microarchitectural state every pipeline
+//! stage operates on.
+//!
+//! The stage units in [`crate::stages`] are deliberately stateless where
+//! the hardware is stateless: everything a stage reads or writes that
+//! outlives one minor cycle — the rename table, IFQ, Reorder Buffer,
+//! LSQ, branch predictor, memory system and the statistics counters —
+//! lives here, exactly as Figure 1 draws the structures *between* the
+//! stages rather than inside them. The minor-cycle scheduler
+//! ([`crate::MinorCycleScheduler`]) hands each stage a `&mut CoreState`;
+//! the stages communicate only through it.
+
+use crate::checkpoint::{Checkpoint, ResumeError};
+use crate::config::{ConfigError, EngineConfig};
+use crate::lsq::LoadStoreQueue;
+use crate::rob::ReorderBuffer;
+use crate::stages::TraceFeed;
+use crate::stats::SimStats;
+use resim_bpred::BranchPredictor;
+use resim_mem::MemorySystem;
+use resim_trace::TraceRecord;
+use std::collections::VecDeque;
+
+/// An IFQ slot: a fetched record plus fetch-time metadata.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FetchedInst {
+    pub(crate) record: TraceRecord,
+    /// The trace marks this branch as direction-mispredicted.
+    pub(crate) mispredicted: bool,
+}
+
+/// The microarchitectural state of one simulated core, shared by every
+/// [`Stage`](crate::stages::Stage).
+///
+/// Owns the structures of the paper's Figure 1 — IFQ, rename table,
+/// Reorder Buffer, Load/Store Queue, branch predictor, memory system —
+/// plus the cycle counters and statistics. [`Engine`](crate::Engine) is
+/// a thin shell around one `CoreState` and one scheduler; checkpointing
+/// ([`CoreState::snapshot`] / [`CoreState::restore`]) operates directly
+/// on this state.
+#[derive(Debug)]
+pub struct CoreState {
+    pub(crate) config: EngineConfig,
+    pub(crate) predictor: BranchPredictor,
+    pub(crate) memory: MemorySystem,
+    pub(crate) rob: ReorderBuffer,
+    pub(crate) lsq: LoadStoreQueue,
+    /// Architectural register → producing age tag.
+    pub(crate) rename: [Option<u64>; 64],
+    pub(crate) ifq: VecDeque<FetchedInst>,
+    pub(crate) cycle: u64,
+    /// Minor cycles the engine has spent, accumulated per major cycle
+    /// from the scheduler's grid — not derived from a closed-form
+    /// formula at read time.
+    pub(crate) minor_cycles: u64,
+    pub(crate) next_seq: u64,
+    /// Fetch is allowed again once `cycle >= fetch_stall_until`.
+    pub(crate) fetch_stall_until: u64,
+    /// Fetch is inside a wrong-path block awaiting branch resolution.
+    pub(crate) in_wrong_path: bool,
+    pub(crate) stats: SimStats,
+    pub(crate) last_commit_cycle: u64,
+}
+
+impl CoreState {
+    /// Builds cold state for `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from [`EngineConfig::validate`] on
+    /// structural inconsistencies.
+    pub fn new(config: EngineConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Self {
+            predictor: BranchPredictor::new(config.predictor),
+            memory: MemorySystem::new(config.memory),
+            rob: ReorderBuffer::new(config.rb_size),
+            lsq: LoadStoreQueue::new(config.lsq_size),
+            rename: [None; 64],
+            ifq: VecDeque::with_capacity(config.ifq_size),
+            cycle: 0,
+            minor_cycles: 0,
+            next_seq: 1,
+            fetch_stall_until: 0,
+            in_wrong_path: false,
+            stats: SimStats::default(),
+            last_commit_cycle: 0,
+            config,
+        })
+    }
+
+    /// The configuration this state was built for.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Simulated (major) cycles elapsed.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether the pipeline holds no in-flight work (IFQ and RB empty).
+    pub fn is_drained(&self) -> bool {
+        self.ifq.is_empty() && self.rob.is_empty()
+    }
+
+    /// Statistics so far, with the live component counters folded in.
+    pub fn stats(&self) -> SimStats {
+        let mut s = self.stats;
+        s.cycles = self.cycle;
+        s.minor_cycles = self.minor_cycles;
+        s.predictor = self.predictor.stats();
+        s.memory = self.memory.stats();
+        s.load_forwards = self.lsq.forwards();
+        s
+    }
+
+    /// End-of-major-cycle bookkeeping: occupancy statistics, then the
+    /// cycle counters advance (`minor_cycles` by whatever the scheduler
+    /// charged for the cycle just executed).
+    pub(crate) fn finish_cycle(&mut self, minor_cycles: u64) {
+        self.stats.ifq_occupancy_sum += self.ifq.len() as u64;
+        self.stats.rb_occupancy_sum += self.rob.len() as u64;
+        self.stats.lsq_occupancy_sum += self.lsq.len() as u64;
+        self.stats.ifq_occupancy_max = self.stats.ifq_occupancy_max.max(self.ifq.len() as u64);
+        self.stats.rb_occupancy_max = self.stats.rb_occupancy_max.max(self.rob.len() as u64);
+        self.stats.lsq_occupancy_max = self.stats.lsq_occupancy_max.max(self.lsq.len() as u64);
+        self.cycle += 1;
+        self.minor_cycles += minor_cycles;
+    }
+
+    /// Misprediction recovery at branch writeback: squash younger
+    /// instructions, discard the unfetched block remainder, pay the
+    /// penalty, resume correct-path fetch.
+    ///
+    /// Invoked by the Writeback stage; lives on `CoreState` because it
+    /// cuts across every structure at once (RB, LSQ, IFQ, rename table,
+    /// the trace feed and the fetch throttle).
+    pub(crate) fn recover(&mut self, branch_seq: u64, feed: &mut dyn TraceFeed) {
+        self.stats.mispredict_recoveries += 1;
+        let squashed = self.rob.squash_younger(branch_seq);
+        self.stats.squashed += squashed.len() as u64;
+        for e in &squashed {
+            if e.in_lsq {
+                self.lsq.remove(e.seq);
+            }
+        }
+        self.lsq.squash_younger(branch_seq);
+        self.stats.squashed += self.ifq.len() as u64;
+        self.ifq.clear();
+        // "Tagged instructions that have not been fetched by the branch
+        // resolution point ... are discarded" (§V.A).
+        while feed.peek().is_some_and(|r| r.wrong_path()) {
+            feed.take();
+            self.stats.wrong_path_discarded += 1;
+        }
+        self.in_wrong_path = false;
+        self.rebuild_rename();
+        self.fetch_stall_until = self
+            .fetch_stall_until
+            .max(self.cycle + u64::from(self.config.mispredict_penalty));
+    }
+
+    /// Rebuilds the rename table from the surviving RB contents after a
+    /// squash (the youngest surviving producer of each register wins).
+    fn rebuild_rename(&mut self) {
+        let Self { rob, rename, .. } = self;
+        *rename = [None; 64];
+        for e in rob.iter() {
+            if let Some(d) = e.record.dest() {
+                rename[d.index() as usize] = Some(e.seq);
+            }
+        }
+    }
+
+    /// Captures the warm microarchitectural state — predictor tables,
+    /// BTB, RAS and cache tag arrays — as a serializable [`Checkpoint`].
+    ///
+    /// In-flight pipeline contents (IFQ/RB/LSQ entries, rename map) are
+    /// **not** part of a checkpoint: snapshots are meant to be taken at
+    /// drained window boundaries, where the pipeline is architecturally
+    /// empty. `position` is left at 0 — the driver that knows the trace
+    /// offset fills it in.
+    pub fn snapshot(&self) -> Checkpoint {
+        Checkpoint {
+            position: 0,
+            predictor: self.predictor.state(),
+            memory: self.memory.state(),
+        }
+    }
+
+    /// Overwrites the predictor and memory warm state from `checkpoint`
+    /// (statistics and pipeline contents are untouched — restore into
+    /// freshly built state, as [`Engine::resume_from`] does).
+    ///
+    /// # Errors
+    ///
+    /// [`ResumeError`] if the checkpoint was taken under a different
+    /// predictor/memory geometry.
+    ///
+    /// [`Engine::resume_from`]: crate::Engine::resume_from
+    pub fn restore(&mut self, checkpoint: &Checkpoint) -> Result<(), ResumeError> {
+        self.predictor.restore_state(&checkpoint.predictor)?;
+        self.memory.restore_state(&checkpoint.memory)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,96 @@
+//! Differential proof that the ring-buffered batch frontend is
+//! behavior-invisible: a run through the default batched [`TraceCursor`]
+//! is bit-identical to a forced batch-size-1 cursor (the historical
+//! one-record-lookahead frontend) across every workload model and
+//! several seeds, over both the slice and the bit-codec frontends.
+
+use resim_core::{Engine, EngineConfig, SimStats, TraceCursor};
+use resim_tracegen::{generate_trace, TraceGenConfig};
+use resim_workloads::{SpecBenchmark, Workload};
+
+fn drain_with_batch(
+    config: &EngineConfig,
+    src: impl resim_trace::TraceSource,
+    batch: usize,
+) -> SimStats {
+    let mut engine = Engine::new(config.clone()).unwrap();
+    let mut cursor = TraceCursor::with_batch_size(src, batch);
+    engine.drain(&mut cursor)
+}
+
+#[test]
+fn batched_run_is_bit_identical_to_batch_size_one() {
+    let config = EngineConfig::paper_4wide();
+    for &benchmark in &SpecBenchmark::ALL {
+        for seed in [1u64, 2, 3] {
+            let trace = generate_trace(
+                Workload::spec(benchmark, seed),
+                8_000,
+                &TraceGenConfig::paper(),
+            );
+            let via_run = Engine::new(config.clone()).unwrap().run(trace.source());
+            let batch1 = drain_with_batch(&config, trace.source(), 1);
+            let batch7 = drain_with_batch(&config, trace.source(), 7);
+            let batch_default =
+                drain_with_batch(&config, trace.source(), resim_core::DEFAULT_BATCH);
+            assert_eq!(
+                batch1, via_run,
+                "{benchmark:?} seed {seed}: batch-1 cursor vs Engine::run"
+            );
+            assert_eq!(
+                batch7, via_run,
+                "{benchmark:?} seed {seed}: odd batch size vs Engine::run"
+            );
+            assert_eq!(
+                batch_default, via_run,
+                "{benchmark:?} seed {seed}: default batch vs Engine::run"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_run_is_bit_identical_over_the_codec_frontend() {
+    // Same differential over the bit-packed stream, where the batched
+    // path exercises the specialized block decoder.
+    let config = EngineConfig::paper_4wide();
+    for &benchmark in &SpecBenchmark::ALL {
+        let trace = generate_trace(
+            Workload::spec(benchmark, 5),
+            8_000,
+            &TraceGenConfig::paper(),
+        );
+        let encoded = trace.encode();
+        let batch1 = drain_with_batch(&config, encoded.source(), 1);
+        let batched = drain_with_batch(&config, encoded.source(), resim_core::DEFAULT_BATCH);
+        let via_slice = Engine::new(config.clone()).unwrap().run(trace.source());
+        assert_eq!(batched, batch1, "{benchmark:?}: codec batched vs batch-1");
+        assert_eq!(batched, via_slice, "{benchmark:?}: codec vs slice frontend");
+    }
+}
+
+#[test]
+fn windowed_batched_run_replays_run_exactly() {
+    // Windowed execution threads one ring-buffered cursor through many
+    // run_window calls; records read ahead into the ring must survive
+    // window boundaries at any batch size.
+    let config = EngineConfig::paper_4wide();
+    let trace = generate_trace(
+        Workload::spec(SpecBenchmark::Parser, 23),
+        10_000,
+        &TraceGenConfig::paper(),
+    );
+    let full = Engine::new(config.clone()).unwrap().run(trace.source());
+    for batch in [1usize, 3, 64, 256] {
+        let mut engine = Engine::new(config.clone()).unwrap();
+        let mut cursor = TraceCursor::with_batch_size(trace.source(), batch);
+        let mut last = u64::MAX;
+        while cursor.consumed() != last {
+            last = cursor.consumed();
+            engine.run_window(&mut cursor, 937);
+        }
+        let windowed = engine.drain(&mut cursor);
+        assert_eq!(windowed, full, "batch {batch} windowed replay");
+        assert_eq!(cursor.consumed(), trace.len() as u64);
+    }
+}

@@ -9,7 +9,8 @@
 
 use proptest::prelude::*;
 use resim_core::{
-    Engine, EngineConfig, InstState, LoadReady, LoadStoreQueue, LsqEntry, ReorderBuffer, RobEntry,
+    Engine, EngineConfig, InstState, LoadReady, LoadStoreQueue, LsqEntry, PendingSet, ReorderBuffer,
+    RobEntry,
 };
 use resim_trace::{MemKind, MemRecord, MemSize, OpClass, OtherRecord, TraceRecord};
 use resim_tracegen::{generate_trace, TraceGenConfig};
@@ -32,7 +33,7 @@ fn rob_entry(seq: u64) -> RobEntry {
         seq,
         record: alu_record(seq),
         state: InstState::Waiting,
-        pending: Vec::new(),
+        pending: PendingSet::new(),
         in_lsq: false,
         mispredicted_branch: false,
     }

@@ -273,6 +273,28 @@ impl crate::TraceSource for EncodedSource<'_> {
         }
     }
 
+    fn fill(&mut self, buf: &mut [TraceRecord]) -> usize {
+        // Block decode: the bit-level parse loop runs to completion over
+        // the whole buffer, so decoder state (reader position, expected
+        // PC) stays hot instead of being reloaded per pulled record.
+        let mut n = 0;
+        while n < buf.len() && self.error.is_none() {
+            match self.decoder.next_record() {
+                Ok(Some(r)) => {
+                    buf[n] = r;
+                    n += 1;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    self.error = Some(e);
+                    break;
+                }
+            }
+        }
+        self.remaining = self.remaining.saturating_sub(n as u64);
+        n
+    }
+
     fn len_hint(&self) -> Option<u64> {
         Some(self.remaining)
     }

@@ -350,6 +350,31 @@ impl<R: Read> TraceSource for FileSource<R> {
         }
     }
 
+    fn fill(&mut self, buf: &mut [TraceRecord]) -> usize {
+        // Block decode straight off the reader: one `fill` call amortises
+        // the per-record dispatch and keeps the bit cursor and expected-PC
+        // chain in registers across the whole batch.
+        let mut n = 0;
+        while n < buf.len() && self.error.is_none() && self.remaining > 0 {
+            match decode_record_bits(&mut self.bits, &mut self.expected_pc) {
+                Ok(Some(r)) => {
+                    buf[n] = r;
+                    n += 1;
+                    self.remaining -= 1;
+                }
+                Ok(None) => {
+                    self.error = Some(FileError::Decode(DecodeError::Truncated));
+                    break;
+                }
+                Err(e) => {
+                    self.fail(e);
+                    break;
+                }
+            }
+        }
+        n
+    }
+
     fn len_hint(&self) -> Option<u64> {
         Some(self.remaining)
     }

@@ -17,6 +17,37 @@ pub trait TraceSource {
     /// Produces the next record, or `None` at end of trace.
     fn next_record(&mut self) -> Option<TraceRecord>;
 
+    /// Decodes up to `buf.len()` records into `buf`, returning how many
+    /// were written (0 only at end of trace; fused thereafter).
+    ///
+    /// This is the batched counterpart of [`TraceSource::next_record`]:
+    /// a consumer that pulls records in blocks pays the source's
+    /// per-call costs (virtual dispatch, decoder state loads, bounds
+    /// set-up) once per block instead of once per record. The default
+    /// implementation loops `next_record`, so every source gets the API
+    /// for free; sources with a cheaper block path override it —
+    /// [`SliceSource`] copies a sub-slice, and the codec-backed sources
+    /// ([`EncodedSource`](crate::EncodedSource),
+    /// [`FileSource`](crate::FileSource)) run their bit-level decode
+    /// loop without surfacing between records.
+    ///
+    /// Records land in `buf[..n]` in trace order; `buf[n..]` is left
+    /// untouched. A short return (`n < buf.len()`) means end of trace,
+    /// exactly like `next_record` returning `None`.
+    fn fill(&mut self, buf: &mut [TraceRecord]) -> usize {
+        let mut n = 0;
+        while n < buf.len() {
+            match self.next_record() {
+                Some(r) => {
+                    buf[n] = r;
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
     /// A hint of how many records remain, if known.
     fn len_hint(&self) -> Option<u64> {
         None
@@ -64,6 +95,10 @@ impl<T: TraceSource + ?Sized> TraceSource for &mut T {
         (**self).next_record()
     }
 
+    fn fill(&mut self, buf: &mut [TraceRecord]) -> usize {
+        (**self).fill(buf)
+    }
+
     fn len_hint(&self) -> Option<u64> {
         (**self).len_hint()
     }
@@ -76,6 +111,10 @@ impl<T: TraceSource + ?Sized> TraceSource for &mut T {
 impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
     fn next_record(&mut self) -> Option<TraceRecord> {
         (**self).next_record()
+    }
+
+    fn fill(&mut self, buf: &mut [TraceRecord]) -> usize {
+        (**self).fill(buf)
     }
 
     fn len_hint(&self) -> Option<u64> {
@@ -117,6 +156,13 @@ impl<S: TraceSource> TraceSource for Window<'_, S> {
         r
     }
 
+    fn fill(&mut self, buf: &mut [TraceRecord]) -> usize {
+        let cap = (buf.len() as u64).min(self.remaining) as usize;
+        let n = self.source.fill(&mut buf[..cap]);
+        self.remaining -= n as u64;
+        n
+    }
+
     fn len_hint(&self) -> Option<u64> {
         let cap = self.remaining;
         Some(self.source.len_hint().map_or(cap, |n| n.min(cap)))
@@ -155,6 +201,13 @@ impl TraceSource for SliceSource<'_> {
             self.pos += 1;
         }
         r
+    }
+
+    fn fill(&mut self, buf: &mut [TraceRecord]) -> usize {
+        let n = buf.len().min(self.records.len() - self.pos);
+        buf[..n].copy_from_slice(&self.records[self.pos..self.pos + n]);
+        self.pos += n;
+        n
     }
 
     fn len_hint(&self) -> Option<u64> {

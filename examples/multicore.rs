@@ -35,7 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     let mut mc = MultiCore::homogeneous(cores, &config)?;
-    let stats = mc.run(traces.iter().map(|t| t.source()).collect());
+    let stats = mc.run(
+        traces
+            .iter()
+            .map(|t| Box::new(t.source()) as Box<dyn TraceSource>)
+            .collect(),
+    )?;
 
     let throughput = ThroughputModel::new(device);
     println!(

@@ -66,8 +66,8 @@ pub use resim_workloads as workloads;
 pub mod prelude {
     pub use resim_bpred::{BranchPredictor, PredictorConfig};
     pub use resim_core::{
-        block_diagram, Checkpoint, Engine, EngineConfig, MultiCore, PipelineOrganization,
-        SimStats, TraceCursor,
+        block_diagram, Checkpoint, CoreState, Engine, EngineConfig, MinorCycleScheduler,
+        MultiCore, PipelineOrganization, SimStats, Stage, TraceCursor,
     };
     pub use resim_fpga::{
         effective_mips, AreaModel, FpgaDevice, ThroughputModel, TraceLink,

@@ -165,7 +165,13 @@ fn multicore_fits_and_matches() {
         .unwrap()
         .run(trace.source());
     let mut mc = MultiCore::homogeneous(3, &EngineConfig::paper_4wide()).unwrap();
-    let all = mc.run(vec![trace.source(), trace.source(), trace.source()]);
+    let all = mc
+        .run(vec![
+            Box::new(trace.source()),
+            Box::new(trace.source()),
+            Box::new(trace.source()),
+        ])
+        .unwrap();
     for s in all {
         assert_eq!(s, solo);
     }
