@@ -277,6 +277,9 @@ pub(crate) fn sweep(
 
     let cache = Arc::new(TraceCache::new());
     let mut s = String::new();
+    for note in scenario.grid_notes() {
+        let _ = writeln!(s, "note: {note}");
+    }
     for path in &trace_files {
         let preloaded = preload(&cache, &scenario, path)?;
         if preloaded == 0 {
@@ -370,6 +373,13 @@ fn preload(
 pub(crate) fn describe(scenario_path: &str, out: &mut dyn Write) -> CmdResult {
     let doc = load_scenario(scenario_path)?;
     let mut s = block_diagram(&doc.engine);
+    // The minor-cycle schedule grid (the paper's Figures 2-4, or the
+    // scenario's custom [pipeline] laid out the same way).
+    if let Ok(schedule) = doc.engine.pipeline.schedule(doc.engine.width) {
+        s.push('\n');
+        s.push_str(&schedule.render());
+    }
+    let _ = writeln!(s, "engine fingerprint: {:#018x}", doc.engine.fingerprint());
     let _ = writeln!(
         s,
         "trace generator: wrong-path block {}, synthesis seed {:#x}, fingerprint {:#018x}{}",
@@ -412,6 +422,9 @@ pub(crate) fn describe(scenario_path: &str, out: &mut dyn Write) -> CmdResult {
             scenario.mode_values().len(),
             scenario.len(),
         );
+        for note in scenario.grid_notes() {
+            let _ = writeln!(s, "note: {note}");
+        }
     }
     emit(out, &s)
 }

@@ -1,13 +1,14 @@
 //! The resolved scenario document driving every subcommand.
 //!
-//! A scenario file is one TOML document with up to six sections —
-//! `[engine]`, `[tracegen]`, `[workload]`, `[trace]`, `[sample]` and
-//! `[sweep]` — each mapped onto the simulator's types through the
+//! A scenario file is one TOML document with up to seven sections —
+//! `[engine]`, `[tracegen]`, `[workload]`, `[trace]`, `[sample]`,
+//! `[sweep]` and `[pipeline]` (a custom engine organization) — each
+//! mapped onto the simulator's types through the
 //! `from_table` constructors of the respective crates, so every
 //! mistake is a line-numbered diagnostic. `docs/guide.md` documents
 //! every key with examples.
 
-use resim_core::EngineConfig;
+use resim_core::{EngineConfig, PipelineDescription};
 use resim_sample::SamplePlan;
 use resim_sweep::{Scenario, WorkloadPoint};
 use resim_toml::{Error, Table};
@@ -91,6 +92,10 @@ pub struct ScenarioDoc {
     pub trace_file: Option<String>,
     /// Resolved `[sample]` plan, if the section is present.
     pub sample: Option<SamplePlan>,
+    /// The document's custom `[pipeline]` description, if present —
+    /// already the `engine.pipeline` (unless `[engine]` overrode it by
+    /// name) and in scope for the sweep grid's `pipelines` axis.
+    pub pipeline: Option<PipelineDescription>,
     /// The raw `[sweep]` table, resolved on demand by
     /// [`ScenarioDoc::sweep_scenario`].
     sweep: Option<Table>,
@@ -105,11 +110,27 @@ impl ScenarioDoc {
     /// or keys, or any section failing its `from_table` constructor.
     pub fn parse_str(input: &str) -> Result<Self, Error> {
         let doc = resim_toml::parse(input)?;
-        doc.ensure_only(&["engine", "tracegen", "workload", "trace", "sample", "sweep"])?;
+        doc.ensure_only(&[
+            "engine", "tracegen", "workload", "trace", "sample", "sweep", "pipeline",
+        ])?;
+
+        // A top-level [pipeline] defines a custom organization: it
+        // becomes the engine's pipeline (unless [engine] picks another
+        // by name) and is name-resolvable in the sweep grid.
+        let pipeline = match doc.opt_table("pipeline")? {
+            Some(t) => Some(PipelineDescription::from_table(t)?),
+            None => None,
+        };
 
         let engine = match doc.opt_table("engine")? {
-            Some(t) => EngineConfig::from_table(t)?,
-            None => EngineConfig::paper_4wide(),
+            Some(t) => EngineConfig::from_table_with(t, pipeline.as_ref())?,
+            None => match &pipeline {
+                Some(p) => EngineConfig {
+                    pipeline: p.clone(),
+                    ..EngineConfig::paper_4wide()
+                },
+                None => EngineConfig::paper_4wide(),
+            },
         };
         // The single inheritance rule shared with the sweep grid: the
         // generator predictor follows the engine's unless given.
@@ -169,6 +190,7 @@ impl ScenarioDoc {
             workload_explicit,
             trace_file,
             sample,
+            pipeline,
             sweep,
         })
     }
@@ -202,7 +224,7 @@ impl ScenarioDoc {
             .sweep
             .as_ref()
             .ok_or_else(|| Error::new(0, "this command needs a [sweep] section"))?;
-        Scenario::from_table(t)
+        Scenario::from_table_with(t, self.pipeline.as_ref())
     }
 
     /// The `[sweep]` table's `threads` key (0 = all cores) — the
@@ -303,6 +325,83 @@ mod tests {
         // No sweep at all is its own message.
         let doc = ScenarioDoc::parse_str("").unwrap();
         assert!(doc.sweep_scenario().unwrap_err().to_string().contains("[sweep]"));
+    }
+
+    #[test]
+    fn pipeline_section_becomes_the_engine_pipeline() {
+        let doc = ScenarioDoc::parse_str(
+            r#"
+[pipeline]
+name = "compact"
+pipelined = true
+[[pipeline.stage]]
+name = "fetch"
+slots = "2*i"
+[[pipeline.stage]]
+name = "commit"
+slots = "2*i+1"
+"#,
+        )
+        .unwrap();
+        let p = doc.pipeline.as_ref().expect("custom pipeline parsed");
+        assert_eq!(p.name(), "compact");
+        assert_eq!(doc.engine.pipeline, *p);
+        // And the sweep grid can reference it by name.
+        let doc = ScenarioDoc::parse_str(
+            r#"
+[pipeline]
+name = "compact"
+pipelined = true
+[[pipeline.stage]]
+name = "fetch"
+slots = "2*i"
+[[pipeline.stage]]
+name = "commit"
+slots = "2*i+1"
+[sweep]
+workloads = ["gzip"]
+budgets = [100]
+seeds = [1]
+[sweep.grid]
+pipelines = ["improved", "compact"]
+"#,
+        )
+        .unwrap();
+        let s = doc.sweep_scenario().unwrap();
+        assert_eq!(s.configs().len(), 2);
+        assert_eq!(s.configs()[1].name, "compact");
+        assert_eq!(s.configs()[1].engine.pipeline.name(), "compact");
+    }
+
+    #[test]
+    fn engine_can_override_the_custom_pipeline_by_name() {
+        let doc = ScenarioDoc::parse_str(
+            r#"
+[pipeline]
+name = "compact"
+pipelined = true
+[[pipeline.stage]]
+name = "fetch"
+slots = "2*i"
+[[pipeline.stage]]
+name = "commit"
+slots = "2*i+1"
+[engine]
+pipeline = "improved"
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.engine.pipeline.name(), "improved");
+        assert_eq!(doc.pipeline.unwrap().name(), "compact");
+    }
+
+    #[test]
+    fn broken_pipeline_section_is_a_line_diagnostic() {
+        let err = ScenarioDoc::parse_str(
+            "[pipeline]\nname = \"bad\"\npipelined = true\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("stage"), "{err}");
     }
 
     #[test]

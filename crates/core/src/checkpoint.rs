@@ -278,7 +278,7 @@ impl Error for CheckpointError {}
 
 /// Errors building an engine from a checkpoint
 /// ([`Engine::resume_from`](crate::Engine::resume_from)).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ResumeError {
     /// The engine configuration itself is invalid.
     Config(ConfigError),

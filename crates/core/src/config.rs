@@ -3,9 +3,11 @@
 //! Everything the paper lists as a user parameter of the VHDL generator is
 //! a field here: processor width, IFQ/RB/LSQ sizes, functional-unit mix
 //! and latencies, memory ports, misfetch/misprediction penalties, the full
-//! branch-predictor geometry and the memory system (§III, §V.C).
+//! branch-predictor geometry and the memory system (§III, §V.C) — and,
+//! since the declarative-pipeline refactor, the complete internal
+//! [`PipelineDescription`] rather than a closed three-way enum.
 
-use crate::pipeline::PipelineOrganization;
+use crate::description::{DescriptionError, PipelineDescription};
 use resim_bpred::PredictorConfig;
 use resim_mem::MemorySystemConfig;
 use std::error::Error;
@@ -80,8 +82,10 @@ pub struct EngineConfig {
     pub predictor: PredictorConfig,
     /// Memory system (perfect, or split L1 caches).
     pub memory: MemorySystemConfig,
-    /// Internal engine pipeline organization (Figures 2–4).
-    pub pipeline: PipelineOrganization,
+    /// Internal engine pipeline organization — a built-in paper figure
+    /// ([`PipelineDescription::optimized`] and friends) or any custom
+    /// description.
+    pub pipeline: PipelineDescription,
 }
 
 impl EngineConfig {
@@ -100,7 +104,7 @@ impl EngineConfig {
             mispredict_penalty: 3,
             predictor: PredictorConfig::paper_two_level(),
             memory: MemorySystemConfig::perfect(),
-            pipeline: PipelineOrganization::OptimizedSerial,
+            pipeline: PipelineDescription::optimized(),
         }
     }
 
@@ -123,7 +127,7 @@ impl EngineConfig {
             mispredict_penalty: 3,
             predictor: PredictorConfig::perfect(),
             memory: MemorySystemConfig::l1_32k(),
-            pipeline: PipelineOrganization::ImprovedSerial,
+            pipeline: PipelineDescription::improved(),
         }
     }
 
@@ -132,8 +136,9 @@ impl EngineConfig {
     /// # Errors
     ///
     /// Returns a [`ConfigError`] when sizes are zero, the RB cannot cover
-    /// one dispatch group, or the optimized pipeline's memory-port
-    /// precondition (≤ N−1 ports, §IV.B) is violated.
+    /// one dispatch group, the pipeline description cannot build a
+    /// schedule grid at this width, or the first-slot load restriction's
+    /// memory-port precondition (≤ N−1 ports, §IV.B) is violated.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.width == 0 {
             return Err(ConfigError::ZeroWidth);
@@ -159,14 +164,14 @@ impl EngineConfig {
         if self.mem_read_ports == 0 || self.mem_write_ports == 0 {
             return Err(ConfigError::NoMemPorts);
         }
-        if self.pipeline == PipelineOrganization::OptimizedSerial {
-            let ports = self.mem_read_ports.max(self.mem_write_ports);
-            if ports > self.width.saturating_sub(1) {
-                return Err(ConfigError::OptimizedPortLimit {
-                    ports,
-                    width: self.width,
-                });
-            }
+        self.pipeline
+            .validate_at(self.width)
+            .map_err(ConfigError::Pipeline)?;
+        let ports = self.mem_read_ports.max(self.mem_write_ports);
+        if let Err(DescriptionError::PortLimit { ports, width, .. }) =
+            self.pipeline.check_port_limit(self.width, ports)
+        {
+            return Err(ConfigError::OptimizedPortLimit { ports, width });
         }
         Ok(())
     }
@@ -177,9 +182,104 @@ impl EngineConfig {
         self.rb_size + self.ifq_size
     }
 
-    /// Minor cycles one simulated cycle costs on this configuration.
+    /// Minor cycles one simulated cycle costs on this configuration,
+    /// derived from the pipeline description's schedule grid (highest
+    /// occupied slot + 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the description cannot build a grid at this width —
+    /// [`EngineConfig::validate`] first on untrusted configurations.
     pub fn minor_cycles_per_major(&self) -> u64 {
-        self.pipeline.minor_cycles_per_major(self.width)
+        self.pipeline
+            .minor_cycles_per_major(self.width)
+            .expect("validated configurations have a buildable schedule grid")
+    }
+
+    /// A platform-stable FNV-1a fingerprint of every configuration field,
+    /// pipeline description included — two configs share a fingerprint
+    /// exactly when they simulate the same machine the same way, which is
+    /// what keys the sweep trace cache and any future result cache.
+    ///
+    /// ```
+    /// use resim_core::EngineConfig;
+    ///
+    /// assert_eq!(EngineConfig::paper_4wide().fingerprint(),
+    ///            EngineConfig::paper_4wide().fingerprint());
+    /// assert_ne!(EngineConfig::paper_4wide().fingerprint(),
+    ///            EngineConfig::paper_2wide_cached().fingerprint());
+    /// ```
+    pub fn fingerprint(&self) -> u64 {
+        use resim_bpred::DirectionConfig;
+        use resim_mem::MemorySystemConfig as Mem;
+
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for v in [
+            self.width,
+            self.ifq_size,
+            self.rb_size,
+            self.lsq_size,
+            self.fus.alus,
+            self.fus.mults,
+            self.fus.divs,
+            self.mem_read_ports,
+            self.mem_write_ports,
+        ] {
+            eat(&(v as u64).to_le_bytes());
+        }
+        eat(&self.fus.alu_latency.to_le_bytes());
+        eat(&self.fus.mult_latency.to_le_bytes());
+        eat(&self.fus.div_latency.to_le_bytes());
+        eat(&[u8::from(self.fus.div_pipelined)]);
+        eat(&self.misfetch_penalty.to_le_bytes());
+        eat(&self.mispredict_penalty.to_le_bytes());
+        match self.predictor.direction {
+            DirectionConfig::Perfect => eat(&[0]),
+            DirectionConfig::Taken => eat(&[1]),
+            DirectionConfig::NotTaken => eat(&[2]),
+            DirectionConfig::Bimodal { size } => {
+                eat(&[3]);
+                eat(&(size as u64).to_le_bytes());
+            }
+            DirectionConfig::TwoLevel(t) => {
+                eat(&[4]);
+                eat(&(t.l1_size as u64).to_le_bytes());
+                eat(&t.history_bits.to_le_bytes());
+                eat(&(t.l2_size as u64).to_le_bytes());
+                eat(&[u8::from(t.xor)]);
+                eat(&t.counter_bits.to_le_bytes());
+            }
+        }
+        eat(&(self.predictor.btb.entries as u64).to_le_bytes());
+        eat(&(self.predictor.btb.associativity as u64).to_le_bytes());
+        eat(&(self.predictor.ras_entries as u64).to_le_bytes());
+        match &self.memory {
+            Mem::Perfect { latency } => {
+                eat(&[0]);
+                eat(&latency.to_le_bytes());
+            }
+            Mem::Split { l1i, l1d } => {
+                eat(&[1]);
+                for c in [l1i, l1d] {
+                    eat(&(c.size_bytes as u64).to_le_bytes());
+                    eat(&(c.block_bytes as u64).to_le_bytes());
+                    eat(&(c.associativity as u64).to_le_bytes());
+                    eat(&[c.replacement as u8]);
+                    eat(&c.hit_latency.to_le_bytes());
+                    eat(&c.miss_penalty.to_le_bytes());
+                }
+            }
+        }
+        self.pipeline.feed_fingerprint(&mut eat);
+        hash
     }
 }
 
@@ -190,7 +290,7 @@ impl Default for EngineConfig {
 }
 
 /// Structural configuration errors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
     /// Width must be at least 1.
     ZeroWidth,
@@ -214,13 +314,17 @@ pub enum ConfigError {
     NoAlus,
     /// At least one read and one write port are required.
     NoMemPorts,
-    /// The optimized N+3 pipeline requires ≤ N−1 memory ports (§IV.B).
+    /// A pipeline barring loads from its first issue slot requires
+    /// ≤ N−1 memory ports (§IV.B; the optimized N+3 organization).
     OptimizedPortLimit {
         /// Offending port count.
         ports: usize,
         /// Configured width.
         width: usize,
     },
+    /// The pipeline description cannot build a schedule grid for this
+    /// configuration.
+    Pipeline(DescriptionError),
     /// A multi-core set needs at least one core
     /// ([`MultiCore`](crate::MultiCore)).
     ZeroCores,
@@ -243,19 +347,29 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::OptimizedPortLimit { ports, width } => write!(
                 f,
-                "optimized N+3 pipeline allows at most {} memory ports for width {width}, got {ports}",
-                width - 1
+                "a pipeline that bars loads from the first issue slot allows at most {} \
+                 memory ports for width {width}, got {ports}",
+                width.saturating_sub(1)
             ),
+            ConfigError::Pipeline(e) => write!(f, "invalid pipeline description: {e}"),
             ConfigError::ZeroCores => write!(f, "a multi-core set needs at least one core"),
         }
     }
 }
 
-impl Error for ConfigError {}
+impl Error for ConfigError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ConfigError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::description::{SlotExpr, StageRow};
 
     #[test]
     fn paper_configs_validate() {
@@ -311,8 +425,58 @@ mod tests {
     }
 
     #[test]
+    fn invalid_description_surfaces_as_config_error() {
+        let bad = EngineConfig {
+            pipeline: PipelineDescription::new("broken", true, false, vec![]),
+            ..EngineConfig::paper_4wide()
+        };
+        assert_eq!(
+            bad.validate(),
+            Err(ConfigError::Pipeline(DescriptionError::EmptyRoster))
+        );
+        let colliding = EngineConfig {
+            pipeline: PipelineDescription::new(
+                "colliding",
+                true,
+                false,
+                vec![StageRow::per_way("Fetch", "F", SlotExpr::constant(0))],
+            ),
+            ..EngineConfig::paper_4wide()
+        };
+        let err = colliding.validate().unwrap_err();
+        assert!(err.to_string().contains("collide"), "{err}");
+    }
+
+    #[test]
     fn errors_display() {
         let e = ConfigError::OptimizedPortLimit { ports: 4, width: 4 };
         assert!(e.to_string().contains("at most 3"));
+        assert!(e.to_string().contains("memory ports"));
+    }
+
+    #[test]
+    fn fingerprint_covers_the_pipeline_description() {
+        let base = EngineConfig::paper_4wide();
+        let improved = EngineConfig {
+            pipeline: PipelineDescription::improved(),
+            ..base.clone()
+        };
+        assert_ne!(base.fingerprint(), improved.fingerprint());
+        // A custom description with the same grid as a built-in still
+        // fingerprints differently (different name ⇒ different config).
+        let mut renamed = PipelineDescription::optimized();
+        renamed = PipelineDescription::new(
+            "my-optimized",
+            renamed.pipelined(),
+            renamed.restricts_first_slot_loads(),
+            renamed.rows().to_vec(),
+        );
+        let custom = EngineConfig {
+            pipeline: renamed,
+            ..base.clone()
+        };
+        assert_ne!(base.fingerprint(), custom.fingerprint());
+        // Stable across clones.
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
     }
 }

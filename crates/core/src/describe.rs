@@ -9,8 +9,14 @@ use resim_mem::MemorySystemConfig;
 /// Renders the block diagram of the simulated machine (Figure 1) for a
 /// given configuration: the stages, the structures between them and
 /// their configured sizes.
+///
+/// Invalid configurations render as a one-line diagnosis instead of a
+/// diagram — this function never panics.
 pub fn block_diagram(config: &EngineConfig) -> String {
-    let scheduler = MinorCycleScheduler::new(config);
+    let scheduler = match MinorCycleScheduler::new(config) {
+        Ok(s) => s,
+        Err(e) => return format!("invalid configuration: {e}\n"),
+    };
     let dir = match config.predictor.direction {
         DirectionConfig::Perfect => "perfect".to_owned(),
         DirectionConfig::Taken => "static-taken".to_owned(),

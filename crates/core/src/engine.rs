@@ -81,7 +81,7 @@ impl Engine {
     /// structural inconsistencies.
     pub fn new(config: EngineConfig) -> Result<Self, ConfigError> {
         let state = CoreState::new(config)?;
-        let scheduler = MinorCycleScheduler::new(&state.config);
+        let scheduler = MinorCycleScheduler::new(&state.config)?;
         Ok(Self { state, scheduler })
     }
 

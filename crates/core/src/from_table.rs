@@ -9,25 +9,190 @@
 //! from declarative files. See `docs/guide.md` for the key reference.
 
 use crate::config::{EngineConfig, FuConfig};
+use crate::description::{PipelineDescription, SlotExpr, SlotSpec, StageRow};
 use crate::grid::ConfigGrid;
-use crate::pipeline::PipelineOrganization;
 use resim_bpred::PredictorConfig;
 use resim_mem::MemorySystemConfig;
-use resim_toml::{Error, Table};
+use resim_toml::{Error, Table, Value};
 
-/// Parses a pipeline-organization name as used in scenario files
-/// (`"simple"`, `"improved"`, `"optimized"` — the names of
-/// [`PipelineOrganization::name`]).
-fn pipeline_by_name(name: &str, line: u32) -> Result<PipelineOrganization, Error> {
-    PipelineOrganization::ALL
-        .into_iter()
-        .find(|p| p.name() == name)
-        .ok_or_else(|| {
-            Error::new(
-                line,
-                format!("unknown pipeline {name:?} (expected simple, improved or optimized)"),
-            )
-        })
+/// Resolves a pipeline name as used in scenario files: the scenario's
+/// own `[pipeline]` description (when its name matches), or one of the
+/// built-ins `"simple"` / `"improved"` / `"optimized"`.
+fn pipeline_by_name(
+    name: &str,
+    line: u32,
+    custom: Option<&PipelineDescription>,
+) -> Result<PipelineDescription, Error> {
+    if let Some(c) = custom {
+        if c.name() == name {
+            return Ok(c.clone());
+        }
+    }
+    PipelineDescription::builtin(name).ok_or_else(|| {
+        let expected = match custom {
+            Some(c) => format!(
+                "expected simple, improved, optimized or the scenario's {:?}",
+                c.name()
+            ),
+            None => "expected simple, improved or optimized".to_string(),
+        };
+        Error::new(line, format!("unknown pipeline {name:?} ({expected})"))
+    })
+}
+
+impl PipelineDescription {
+    /// Builds a pipeline description from a `[pipeline]` table — the
+    /// declarative form of the paper's Figures 2–4, open to new
+    /// organizations.
+    ///
+    /// Top-level keys: `name` (required), `pipelined` (default `true`),
+    /// `restrict_first_slot_loads` (default `false`). Each
+    /// `[[pipeline.stage]]` entry takes `name` (required), `label`
+    /// (cell prefix; default the name's first character), `slots` (a
+    /// formula string over the way index `i` and width `n`, e.g.
+    /// `"2*i+1"`, or an explicit slot array like `[0, 2, 5]`), `ways`
+    /// (how many ways the row covers, a formula over `n` or an integer;
+    /// default `"n"`, and `1` makes the single cell carry the bare
+    /// label), `first_way` (default 0) and `area` (a Table 4 stage-logic
+    /// key — `fetch`, `disp`, `issue`, `lsq`, `wb`, `cmt` — or `"none"`;
+    /// default inferred from the stage name).
+    ///
+    /// The description's *shape* is validated here (non-empty roster,
+    /// unique stages, known area keys) with line-numbered diagnostics;
+    /// width-dependent checks (slot collisions, ordering, the §IV.B
+    /// port rule) run in [`EngineConfig::validate`] once the width is
+    /// known.
+    ///
+    /// ```
+    /// use resim_core::PipelineDescription;
+    ///
+    /// let t = resim_toml::parse(r#"
+    /// name = "tiny"
+    /// [[stage]]
+    /// name = "Fetch"
+    /// slots = "i"
+    /// [[stage]]
+    /// name = "Commit"
+    /// slots = "i+1"
+    /// "#).unwrap();
+    /// let d = PipelineDescription::from_table(&t).unwrap();
+    /// assert_eq!(d.name(), "tiny");
+    /// assert_eq!(d.minor_cycles_per_major(4).unwrap(), 5);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// A line-numbered [`Error`] for unknown keys, missing names, bad
+    /// formulas or an invalid shape.
+    pub fn from_table(t: &Table) -> Result<Self, Error> {
+        t.ensure_only(&["name", "pipelined", "restrict_first_slot_loads", "stage"])?;
+        let name = t.req_str("name")?;
+        if PipelineDescription::builtin(name).is_some() {
+            return Err(Error::new(
+                t.key_line("name"),
+                format!("pipeline name {name:?} is reserved for a built-in organization"),
+            ));
+        }
+        let pipelined = t.opt_bool("pipelined")?.unwrap_or(true);
+        let restrict = t.opt_bool("restrict_first_slot_loads")?.unwrap_or(false);
+        let mut rows = Vec::new();
+        for stage in t.table_array("stage")? {
+            rows.push(stage_row_from_table(stage)?);
+        }
+        let d = PipelineDescription::new(name, pipelined, restrict, rows);
+        d.validate_shape()
+            .map_err(|e| Error::new(t.line(), format!("invalid pipeline description: {e}")))?;
+        Ok(d)
+    }
+}
+
+/// Parses one `[[pipeline.stage]]` entry.
+fn stage_row_from_table(t: &Table) -> Result<StageRow, Error> {
+    t.ensure_only(&["name", "label", "slots", "ways", "first_way", "area"])?;
+    let name = t.req_str("name")?;
+    let label = match t.opt_str("label")? {
+        Some(l) => l.to_string(),
+        None => name.chars().take(1).collect::<String>().to_ascii_uppercase(),
+    };
+    let slots_value = t
+        .get("slots")
+        .ok_or_else(|| t.error(format!("stage {name:?} needs a `slots` formula or array")))?;
+    let spec = match &slots_value.value {
+        Value::Str(formula) => {
+            let expr: SlotExpr = formula
+                .parse()
+                .map_err(|e| slots_value.error(format!("{e}")))?;
+            let count = match t.get("ways") {
+                None => SlotExpr::new(0, 1, 0),
+                Some(v) => match &v.value {
+                    Value::Str(f) => f.parse().map_err(|e| v.error(format!("{e}")))?,
+                    Value::Int(k) if *k >= 0 => SlotExpr::constant(*k),
+                    other => {
+                        return Err(v.error(format!(
+                            "expected a ways formula string or a non-negative integer, \
+                             got {}",
+                            other.type_name()
+                        )))
+                    }
+                },
+            };
+            let first_way = t.opt_usize("first_way")?.unwrap_or(0);
+            SlotSpec::PerWay {
+                expr,
+                count,
+                first_way,
+            }
+        }
+        Value::Array(items) => {
+            for key in ["ways", "first_way"] {
+                if t.get(key).is_some() {
+                    return Err(Error::new(
+                        t.key_line(key),
+                        format!("`{key}` does not apply to an explicit slot list"),
+                    ));
+                }
+            }
+            let mut slots = Vec::with_capacity(items.len());
+            for item in items {
+                match item.value {
+                    Value::Int(v) if v >= 0 => slots.push(v as usize),
+                    _ => {
+                        return Err(item.error("explicit slots must be non-negative integers"))
+                    }
+                }
+            }
+            SlotSpec::Explicit(slots)
+        }
+        other => {
+            return Err(slots_value.error(format!(
+                "expected a slot formula string (e.g. \"2*i+1\") or an explicit slot \
+                 array, got {}",
+                other.type_name()
+            )))
+        }
+    };
+    let area = match t.opt_str("area")? {
+        Some("none") => None,
+        Some(key) => {
+            if !crate::description::STAGE_AREA_KEYS.contains(&key) {
+                return Err(Error::new(
+                    t.key_line("area"),
+                    format!(
+                        "unknown area key {key:?} (expected one of {}, or \"none\")",
+                        crate::description::STAGE_AREA_KEYS.join(", ")
+                    ),
+                ));
+            }
+            Some(key)
+        }
+        None => crate::description::infer_area_key(name),
+    };
+    Ok(StageRow {
+        stage: name.to_string(),
+        label,
+        slots: spec,
+        area: area.map(str::to_string),
+    })
 }
 
 impl FuConfig {
@@ -104,6 +269,23 @@ impl EngineConfig {
     /// pipeline name, sub-table problems, or a configuration that fails
     /// structural validation.
     pub fn from_table(t: &Table) -> Result<Self, Error> {
+        Self::from_table_with(t, None)
+    }
+
+    /// Like [`EngineConfig::from_table`], but with the scenario's
+    /// `[pipeline]` description in scope: when `custom` is given it
+    /// becomes the configuration's pipeline (that is what declaring a
+    /// `[pipeline]` section *means*), unless a `pipeline = "..."` key
+    /// explicitly picks a built-in — and the custom description is also
+    /// resolvable by its own name there.
+    ///
+    /// # Errors
+    ///
+    /// As [`EngineConfig::from_table`].
+    pub fn from_table_with(
+        t: &Table,
+        custom: Option<&PipelineDescription>,
+    ) -> Result<Self, Error> {
         t.ensure_only(&[
             "preset",
             "width",
@@ -155,8 +337,15 @@ impl EngineConfig {
         if let Some(v) = t.opt_u32("mispredict_penalty")? {
             config.mispredict_penalty = v;
         }
-        if let Some(name) = t.opt_str("pipeline")? {
-            config.pipeline = pipeline_by_name(name, t.key_line("pipeline"))?;
+        match t.opt_str("pipeline")? {
+            Some(name) => {
+                config.pipeline = pipeline_by_name(name, t.key_line("pipeline"), custom)?;
+            }
+            None => {
+                if let Some(c) = custom {
+                    config.pipeline = c.clone();
+                }
+            }
         }
         if let Some(sub) = t.opt_table("fu")? {
             config.fus = FuConfig::from_table(sub)?;
@@ -206,6 +395,20 @@ impl ConfigGrid {
     /// A line-numbered [`Error`] for unknown keys or unknown pipeline
     /// names.
     pub fn from_table(base: EngineConfig, t: &Table) -> Result<Self, Error> {
+        Self::from_table_with(base, t, None)
+    }
+
+    /// Like [`ConfigGrid::from_table`], with the scenario's `[pipeline]`
+    /// description resolvable by name on the `pipelines` axis.
+    ///
+    /// # Errors
+    ///
+    /// As [`ConfigGrid::from_table`].
+    pub fn from_table_with(
+        base: EngineConfig,
+        t: &Table,
+        custom: Option<&PipelineDescription>,
+    ) -> Result<Self, Error> {
         // `base` and `tracegen` belong to the caller (`Scenario::from_table`
         // reads them from the same [sweep.grid] table before calling here).
         t.ensure_only(&["widths", "rb_sizes", "lsq_sizes", "pipelines", "base", "tracegen"])?;
@@ -222,7 +425,7 @@ impl ConfigGrid {
         if let Some(names) = t.opt_str_array("pipelines")? {
             let orgs = names
                 .iter()
-                .map(|n| pipeline_by_name(&n.value, n.line))
+                .map(|n| pipeline_by_name(&n.value, n.line, custom))
                 .collect::<Result<Vec<_>, _>>()?;
             grid = grid.pipelines(orgs);
         }
@@ -251,7 +454,7 @@ mod tests {
         assert_eq!(c.rb_size, 24);
         assert_eq!(
             c.pipeline,
-            PipelineOrganization::ImprovedSerial,
+            PipelineDescription::improved(),
             "preset fields survive unrelated overrides"
         );
         assert!(parse("preset = \"paper-8wide\"").unwrap_err().to_string().contains("preset"));
@@ -269,7 +472,94 @@ mod tests {
         assert_eq!(c.lsq_size, 4);
         assert_eq!(c.misfetch_penalty, 2);
         assert_eq!(c.mispredict_penalty, 5);
-        assert_eq!(c.pipeline, PipelineOrganization::SimpleSerial);
+        assert_eq!(c.pipeline, PipelineDescription::simple());
+    }
+
+    #[test]
+    fn pipeline_table_parses_and_overrides_the_default() {
+        let pipe = resim_toml::parse(
+            "name = \"dual\"\n\
+             [[stage]]\nname = \"Fetch\"\nslots = \"i\"\n\
+             [[stage]]\nname = \"Issue\"\nslots = \"i+1\"\n\
+             [[stage]]\nname = \"Writeback\"\nslots = \"i+2\"\n\
+             [[stage]]\nname = \"Commit\"\nslots = \"i+3\"\n",
+        )
+        .unwrap();
+        let d = PipelineDescription::from_table(&pipe).unwrap();
+        assert_eq!(d.name(), "dual");
+        assert!(d.pipelined());
+        assert!(!d.restricts_first_slot_loads());
+        assert_eq!(d.rows()[0].label, "F", "label defaults to the first letter");
+        assert_eq!(d.area_keys(), vec!["fetch", "issue", "wb", "cmt"]);
+
+        // With a [pipeline] in scope, it becomes the engine default...
+        let engine = resim_toml::parse("width = 2\nmem_read_ports = 1").unwrap();
+        let c = EngineConfig::from_table_with(&engine, Some(&d)).unwrap();
+        assert_eq!(c.pipeline, d);
+        // ...resolvable by name, and built-ins stay nameable.
+        let engine = resim_toml::parse("pipeline = \"dual\"").unwrap();
+        assert_eq!(EngineConfig::from_table_with(&engine, Some(&d)).unwrap().pipeline, d);
+        let engine = resim_toml::parse("pipeline = \"improved\"").unwrap();
+        assert_eq!(
+            EngineConfig::from_table_with(&engine, Some(&d)).unwrap().pipeline,
+            PipelineDescription::improved()
+        );
+    }
+
+    #[test]
+    fn pipeline_table_diagnostics_are_line_numbered() {
+        // Reserved built-in name.
+        let t = resim_toml::parse("name = \"optimized\"\n[[stage]]\nname = \"Fetch\"\nslots = \"i\"")
+            .unwrap();
+        let err = PipelineDescription::from_table(&t).unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.to_string().contains("reserved"));
+        // Bad slot formula, reported at the offending line.
+        let t = resim_toml::parse("name = \"x\"\n[[stage]]\nname = \"Fetch\"\nslots = \"i*i\"")
+            .unwrap();
+        let err = PipelineDescription::from_table(&t).unwrap_err();
+        assert_eq!(err.line(), 4);
+        assert!(err.to_string().contains("linear"));
+        // Unknown area key.
+        let t = resim_toml::parse(
+            "name = \"x\"\n[[stage]]\nname = \"Fetch\"\nslots = \"i\"\narea = \"alu\"",
+        )
+        .unwrap();
+        let err = PipelineDescription::from_table(&t).unwrap_err();
+        assert_eq!(err.line(), 5);
+        assert!(err.to_string().contains("alu"));
+        // ways/first_way clash with explicit slot lists.
+        let t = resim_toml::parse(
+            "name = \"x\"\n[[stage]]\nname = \"Fetch\"\nslots = [0, 2]\nways = 2",
+        )
+        .unwrap();
+        let err = PipelineDescription::from_table(&t).unwrap_err();
+        assert!(err.to_string().contains("explicit slot list"));
+        // Empty roster is caught at parse time.
+        let t = resim_toml::parse("name = \"x\"").unwrap();
+        assert!(PipelineDescription::from_table(&t)
+            .unwrap_err()
+            .to_string()
+            .contains("no stage rows"));
+    }
+
+    #[test]
+    fn explicit_slot_lists_and_ways_counts_parse() {
+        let t = resim_toml::parse(
+            "name = \"odd\"\n\
+             [[stage]]\nname = \"Fetch\"\nslots = [0, 2, 5]\n\
+             [[stage]]\nname = \"Exec\"\nlabel = \"X\"\nslots = \"i+1\"\nways = \"n-1\"\nfirst_way = 1\n\
+             [[stage]]\nname = \"Retire\"\nslots = \"6\"\nways = 1\narea = \"cmt\"\n",
+        )
+        .unwrap();
+        let d = PipelineDescription::from_table(&t).unwrap();
+        let s = d.schedule(3).unwrap();
+        assert_eq!(s.minor_cycles(), 7);
+        assert_eq!(s.slot_of("Fetch", "F2"), Some(5));
+        assert_eq!(s.slot_of("Exec", "X1"), Some(2), "first_way starts at 1");
+        assert_eq!(s.slot_of("Exec", "X0"), None);
+        assert_eq!(s.slot_of("Retire", "R"), Some(6), "ways = 1 keeps the bare label");
+        assert_eq!(d.area_keys(), vec!["fetch", "cmt"]);
     }
 
     #[test]

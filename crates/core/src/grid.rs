@@ -5,16 +5,19 @@
 //! system and reruns the same traces per design point. [`ConfigGrid`]
 //! builds the cross product of such axis choices from a base
 //! configuration, applying the structural fix-ups each point needs to
-//! stay valid (ALU pool and memory ports scale with width; the optimized
-//! N+3 pipeline falls back to the improved N+4 one at width 1, where its
-//! ≤ N−1 port precondition is unsatisfiable).
+//! stay valid (ALU pool and memory ports scale with width; the built-in
+//! optimized N+3 pipeline falls back to the improved N+4 one at width 1,
+//! where its ≤ N−1 port precondition is unsatisfiable — and since the
+//! declarative-pipeline refactor that rewrite is an *explicit rule* on
+//! [`PipelineDescription`] whose reason is reported through
+//! [`ConfigGrid::try_build_with_notes`]).
 //!
 //! Every produced point is validated; the labels concatenate the varied
 //! axes only, so a grid that varies nothing yields one point named
 //! `"base"`.
 
 use crate::config::{EngineConfig, FuConfig};
-use crate::pipeline::PipelineOrganization;
+use crate::description::PipelineDescription;
 use resim_bpred::PredictorConfig;
 use resim_mem::MemorySystemConfig;
 
@@ -41,7 +44,7 @@ pub struct ConfigGrid {
     widths: Vec<usize>,
     rb_sizes: Vec<usize>,
     lsq_sizes: Vec<usize>,
-    pipelines: Vec<PipelineOrganization>,
+    pipelines: Vec<PipelineDescription>,
     predictors: Vec<(String, PredictorConfig)>,
     memories: Vec<(String, MemorySystemConfig)>,
 }
@@ -85,9 +88,14 @@ impl ConfigGrid {
         self
     }
 
-    /// Varies the internal pipeline organization.
-    pub fn pipelines(mut self, orgs: impl IntoIterator<Item = PipelineOrganization>) -> Self {
-        self.pipelines = orgs.into_iter().collect();
+    /// Varies the internal pipeline organization; accepts
+    /// [`PipelineDescription`] values or the built-in
+    /// [`PipelineOrganization`](crate::PipelineOrganization) handles.
+    pub fn pipelines(
+        mut self,
+        orgs: impl IntoIterator<Item = impl Into<PipelineDescription>>,
+    ) -> Self {
+        self.pipelines = orgs.into_iter().map(Into::into).collect();
         self
     }
 
@@ -148,6 +156,22 @@ impl ConfigGrid {
     /// The first point that fails [`EngineConfig::validate`] after the
     /// width fix-ups.
     pub fn try_build(&self) -> Result<Vec<(String, EngineConfig)>, (String, crate::ConfigError)> {
+        self.try_build_with_notes().map(|(points, _)| points)
+    }
+
+    /// Like [`ConfigGrid::try_build`], but also returns one
+    /// human-readable note per point whose pipeline had to be rewritten
+    /// to stay valid (today: the built-in optimized organization at
+    /// width 1), explaining *why*. The CLI surfaces these on `sweep`.
+    ///
+    /// # Errors
+    ///
+    /// The first point that fails [`EngineConfig::validate`] after the
+    /// width fix-ups.
+    #[allow(clippy::type_complexity)]
+    pub fn try_build_with_notes(
+        &self,
+    ) -> Result<(Vec<(String, EngineConfig)>, Vec<String>), (String, crate::ConfigError)> {
         let opt = |v: &[usize]| -> Vec<Option<usize>> {
             if v.is_empty() {
                 vec![None]
@@ -158,10 +182,10 @@ impl ConfigGrid {
         let widths = opt(&self.widths);
         let rbs = opt(&self.rb_sizes);
         let lsqs = opt(&self.lsq_sizes);
-        let pipes: Vec<Option<PipelineOrganization>> = if self.pipelines.is_empty() {
+        let pipes: Vec<Option<&PipelineDescription>> = if self.pipelines.is_empty() {
             vec![None]
         } else {
-            self.pipelines.iter().copied().map(Some).collect()
+            self.pipelines.iter().map(Some).collect()
         };
         let preds: Vec<Option<&(String, PredictorConfig)>> = if self.predictors.is_empty() {
             vec![None]
@@ -175,20 +199,21 @@ impl ConfigGrid {
         };
 
         let mut out = Vec::with_capacity(self.len());
+        let mut notes = Vec::new();
         for &w in &widths {
             for &rb in &rbs {
                 for &lsq in &lsqs {
                     for &pipe in &pipes {
                         for &pred in &preds {
                             for &mem in &mems {
-                                out.push(self.point(w, rb, lsq, pipe, pred, mem)?);
+                                out.push(self.point(w, rb, lsq, pipe, pred, mem, &mut notes)?);
                             }
                         }
                     }
                 }
             }
         }
-        Ok(out)
+        Ok((out, notes))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -197,9 +222,10 @@ impl ConfigGrid {
         width: Option<usize>,
         rb: Option<usize>,
         lsq: Option<usize>,
-        pipeline: Option<PipelineOrganization>,
+        pipeline: Option<&PipelineDescription>,
         predictor: Option<&(String, PredictorConfig)>,
         memory: Option<&(String, MemorySystemConfig)>,
+        notes: &mut Vec<String>,
     ) -> Result<(String, EngineConfig), (String, crate::ConfigError)> {
         let mut config = self.base.clone();
         let mut labels: Vec<String> = Vec::new();
@@ -226,7 +252,7 @@ impl ConfigGrid {
         }
         if let Some(p) = pipeline {
             labels.push(p.name().to_string());
-            config.pipeline = p;
+            config.pipeline = p.clone();
         }
         if let Some((name, p)) = predictor {
             labels.push(name.clone());
@@ -236,16 +262,20 @@ impl ConfigGrid {
             labels.push(name.clone());
             config.memory = *m;
         }
-        // The optimized N+3 organization needs ≤ N−1 memory ports, which
-        // no width-1 machine can satisfy: fall back to improved N+4.
-        if config.width == 1 && config.pipeline == PipelineOrganization::OptimizedSerial {
-            config.pipeline = PipelineOrganization::ImprovedSerial;
-        }
         let name = if labels.is_empty() {
             "base".to_string()
         } else {
             labels.join("-")
         };
+        // The explicit width-1 rewrite rule: the built-in optimized
+        // organization cannot satisfy its ≤ N−1 port precondition there,
+        // so the description substitutes improved N+4 and says why; any
+        // other unsatisfiable description falls through to validate()
+        // and is rejected with its own explanation.
+        if let Some((substitute, why)) = config.pipeline.width1_fallback(config.width) {
+            notes.push(format!("{name}: {why}"));
+            config.pipeline = substitute;
+        }
         if let Err(e) = config.validate() {
             return Err((name, e));
         }
@@ -256,6 +286,7 @@ impl ConfigGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::PipelineOrganization;
 
     #[test]
     fn empty_grid_is_the_base_point() {
@@ -274,11 +305,28 @@ mod tests {
         }
         let w1 = &points[0].1;
         assert_eq!(points[0].0, "w1");
-        assert_eq!(w1.pipeline, PipelineOrganization::ImprovedSerial);
+        assert_eq!(w1.pipeline, PipelineDescription::improved());
         assert_eq!(w1.mem_read_ports, 1);
         let w8 = &points[3].1;
         assert_eq!(w8.fus.alus, 8);
         assert_eq!(w8.mem_read_ports, 3, "read ports capped for the optimized pipeline");
+    }
+
+    #[test]
+    fn width1_rewrite_is_reported_with_its_reason() {
+        let (points, notes) = EngineConfig::paper_4wide()
+            .grid()
+            .widths([1, 4])
+            .try_build_with_notes()
+            .unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(notes.len(), 1, "only the w1 point is rewritten: {notes:?}");
+        assert!(notes[0].starts_with("w1:"), "{}", notes[0]);
+        assert!(notes[0].contains("unsatisfiable"), "{}", notes[0]);
+        assert!(notes[0].contains("improved"), "{}", notes[0]);
+        // The rewrite itself is unchanged from the historical behavior.
+        assert_eq!(points[0].1.pipeline, PipelineDescription::improved());
+        assert_eq!(points[1].1.pipeline, PipelineDescription::optimized());
     }
 
     #[test]
@@ -294,6 +342,29 @@ mod tests {
         // Width-major, pipeline-minor ordering.
         assert!(points[2].0.starts_with("w2-"));
         assert!(points[3].0.starts_with("w4-"));
+    }
+
+    #[test]
+    fn custom_descriptions_ride_the_pipeline_axis() {
+        use crate::description::{SlotExpr, StageRow};
+        let custom = PipelineDescription::new(
+            "skewed",
+            true,
+            false,
+            vec![
+                StageRow::per_way("Fetch", "F", SlotExpr::new(1, 0, 0)),
+                StageRow::per_way("Issue", "I", SlotExpr::new(2, 0, 1)),
+                StageRow::per_way("Writeback", "W", SlotExpr::new(2, 0, 2)),
+                StageRow::per_way("Commit", "C", SlotExpr::new(1, 0, 3)),
+            ],
+        );
+        let points = EngineConfig::paper_4wide()
+            .grid()
+            .pipelines([custom.clone(), PipelineDescription::improved()])
+            .build();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].0, "skewed");
+        assert_eq!(points[0].1.pipeline, custom);
     }
 
     #[test]

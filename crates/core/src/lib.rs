@@ -56,6 +56,7 @@ mod checkpoint;
 mod config;
 mod cursor;
 mod describe;
+mod description;
 mod engine;
 mod from_table;
 mod grid;
@@ -74,6 +75,10 @@ pub use checkpoint::{
 pub use config::{ConfigError, EngineConfig, FuConfig};
 pub use cursor::{TraceCursor, DEFAULT_BATCH};
 pub use describe::block_diagram;
+pub use description::{
+    infer_area_key, DescriptionError, FormulaError, PipelineDescription, SlotExpr, SlotSpec,
+    StageRow, MAX_SLOT, STAGE_AREA_KEYS,
+};
 pub use engine::Engine;
 pub use grid::ConfigGrid;
 pub use lsq::{LoadReady, LoadStoreQueue, LsqEntry};

@@ -18,10 +18,19 @@
 //! throughput — fewer minor cycles per major cycle means more simulated
 //! MIPS at the same FPGA clock.
 //!
+//! Since the declarative-pipeline refactor, these three are no longer
+//! special: each is a built-in [`PipelineDescription`] (obtained via
+//! [`PipelineOrganization::description`]), and the grids below are
+//! *derived* from those descriptions, bit-identical to the original
+//! hand-coded tables. The enum survives as the convenient closed-world
+//! handle for the paper's organizations; anything richer goes through
+//! [`PipelineDescription`] directly.
+//!
 //! [`SimpleSerial`]: PipelineOrganization::SimpleSerial
 //! [`ImprovedSerial`]: PipelineOrganization::ImprovedSerial
 //! [`OptimizedSerial`]: PipelineOrganization::OptimizedSerial
 
+use crate::description::PipelineDescription;
 use std::fmt;
 
 /// The three internal pipeline organizations of §IV.
@@ -42,6 +51,16 @@ impl PipelineOrganization {
         PipelineOrganization::ImprovedSerial,
         PipelineOrganization::OptimizedSerial,
     ];
+
+    /// The declarative description of this organization — the data the
+    /// scheduler, grid renderer, and area model actually consume.
+    pub fn description(self) -> PipelineDescription {
+        match self {
+            PipelineOrganization::SimpleSerial => PipelineDescription::simple(),
+            PipelineOrganization::ImprovedSerial => PipelineDescription::improved(),
+            PipelineOrganization::OptimizedSerial => PipelineDescription::optimized(),
+        }
+    }
 
     /// Minor cycles consumed per major (simulated) cycle for an `N`-wide
     /// processor.
@@ -79,105 +98,17 @@ impl PipelineOrganization {
     }
 
     /// Builds the minor-cycle schedule of one major cycle for an
-    /// `N`-wide processor (the content of Figures 2–4).
+    /// `N`-wide processor (the content of Figures 2–4), derived from
+    /// [`PipelineOrganization::description`].
     ///
     /// # Panics
     ///
     /// Panics if `width` is zero.
     pub fn schedule(self, width: usize) -> Schedule {
         assert!(width >= 1, "schedule needs width >= 1");
-        let n = width;
-        let total = self.minor_cycles_per_major(width) as usize;
-        let mut rows: Vec<ScheduleRow> = Vec::new();
-        let mut row = |stage: &'static str, cells: Vec<(usize, String)>| {
-            let mut r = ScheduleRow {
-                stage,
-                cells: vec![None; total],
-            };
-            for (mc, label) in cells {
-                assert!(mc < total, "{stage} slot at {mc} exceeds {total}");
-                r.cells[mc] = Some(label);
-            }
-            rows.push(r);
-        };
-
-        match self {
-            PipelineOrganization::SimpleSerial => {
-                // WB(N) → LSQR(1) → Issue step1(N) / step2 pipelined(+1)
-                // → CA(+1) = 2N+3. Fetch/decouple/dispatch/commit overlap.
-                row("Fetch", (0..n).map(|i| (i, format!("F{i}"))).collect());
-                row("Decouple", (0..n).map(|i| (i + 1, format!("DPL{i}"))).collect());
-                row(
-                    "Dispatch",
-                    (0..n).map(|i| (i + 2, format!("D{i}"))).collect(),
-                );
-                row("Writeback", (0..n).map(|i| (i, format!("W{i}"))).collect());
-                row("Lsq_refresh", vec![(n, "LR".to_owned())]);
-                row(
-                    "Issue-1",
-                    (0..n).map(|i| (n + 1 + i, format!("I{i}"))).collect(),
-                );
-                row(
-                    "Issue-2",
-                    (0..n).map(|i| (n + 2 + i, format!("E{i}"))).collect(),
-                );
-                row(
-                    "CacheAccess",
-                    (0..n).map(|i| (n + 3 + i, format!("CA{i}"))).collect(),
-                );
-                row("Commit", (0..n).map(|i| (i + 2, format!("C{i}"))).collect());
-            }
-            PipelineOrganization::ImprovedSerial => {
-                // LSQR(1) → Issue(N) with CA and WB pipelined two and
-                // three slots behind, bookkeeping in the last slot = N+4.
-                row("Fetch", (0..n).map(|i| (i, format!("F{i}"))).collect());
-                row("Decouple", (0..n).map(|i| (i + 1, format!("DPL{i}"))).collect());
-                row(
-                    "Dispatch",
-                    (0..n).map(|i| (i + 2, format!("D{i}"))).collect(),
-                );
-                row("Lsq_refresh", vec![(0, "LR".to_owned())]);
-                row("Issue", (0..n).map(|i| (1 + i, format!("I{i}"))).collect());
-                row(
-                    "CacheAccess",
-                    (0..n).map(|i| (2 + i, format!("CA{i}"))).collect(),
-                );
-                row(
-                    "Writeback",
-                    (0..n).map(|i| (3 + i, format!("W{i}"))).collect(),
-                );
-                row("Commit", (0..n).map(|i| (i + 1, format!("C{i}"))).collect());
-                row("Bookkeeping", vec![(n + 3, "BK".to_owned())]);
-            }
-            PipelineOrganization::OptimizedSerial => {
-                // LSQR ∥ I0; I0 carries no load so CA starts after I1;
-                // WB pipelined behind CA; bookkeeping folded into the
-                // last slot = N+3.
-                row("Fetch", (0..n).map(|i| (i, format!("F{i}"))).collect());
-                row("Decouple", (0..n).map(|i| (i + 1, format!("DPL{i}"))).collect());
-                row(
-                    "Dispatch",
-                    (0..n).map(|i| (i + 2, format!("D{i}"))).collect(),
-                );
-                row("Lsq_refresh", vec![(0, "LR".to_owned())]);
-                row("Issue", (0..n).map(|i| (i, format!("I{i}"))).collect());
-                row(
-                    "CacheAccess",
-                    (1..n).map(|i| (i + 2, format!("CA{i}"))).collect(),
-                );
-                row(
-                    "Writeback",
-                    (0..n).map(|i| (i + 3, format!("W{i}"))).collect(),
-                );
-                row("Commit", (0..n).map(|i| (i + 1, format!("C{i}"))).collect());
-            }
-        }
-
-        Schedule {
-            organization: self,
-            width,
-            rows,
-        }
+        self.description()
+            .schedule(width)
+            .expect("builtin descriptions are valid at any width >= 1")
     }
 }
 
@@ -191,23 +122,45 @@ impl fmt::Display for PipelineOrganization {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScheduleRow {
     /// Stage name.
-    pub stage: &'static str,
+    pub stage: String,
     /// Activity label per minor cycle (`None` = idle).
     pub cells: Vec<Option<String>>,
 }
 
-/// A rendered minor-cycle schedule for one major cycle (Figures 2–4).
+/// A rendered minor-cycle schedule for one major cycle — a paper figure
+/// for the built-ins, the same grid shape for custom descriptions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
-    organization: PipelineOrganization,
+    name: String,
+    figure: Option<u32>,
     width: usize,
     rows: Vec<ScheduleRow>,
 }
 
 impl Schedule {
-    /// The organization this schedule belongs to.
-    pub fn organization(&self) -> PipelineOrganization {
-        self.organization
+    pub(crate) fn from_parts(
+        name: String,
+        figure: Option<u32>,
+        width: usize,
+        rows: Vec<ScheduleRow>,
+    ) -> Self {
+        Self {
+            name,
+            figure,
+            width,
+            rows,
+        }
+    }
+
+    /// Name of the organization this schedule belongs to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The paper figure the organization reproduces, if it is a
+    /// built-in.
+    pub fn figure(&self) -> Option<u32> {
+        self.figure
     }
 
     /// Processor width.
@@ -253,13 +206,14 @@ impl Schedule {
             .max()
             .unwrap_or(8)
             .max(11);
+        let origin = match self.figure {
+            Some(fig) => format!("Figure {fig}"),
+            None => "custom".to_string(),
+        };
         let mut out = String::new();
         out.push_str(&format!(
-            "{} pipeline (Figure {}), {}-wide: {} minor cycles per major cycle\n",
-            self.organization,
-            self.organization.figure(),
-            self.width,
-            mcs
+            "{} pipeline ({}), {}-wide: {} minor cycles per major cycle\n",
+            self.name, origin, self.width, mcs
         ));
         out.push_str(&format!("{:stage_w$} |", "minor cycle"));
         for mc in 0..mcs {
@@ -337,6 +291,16 @@ mod tests {
     }
 
     #[test]
+    fn enum_schedule_matches_description_schedule() {
+        // The enum path is a thin veneer over the description path.
+        for org in PipelineOrganization::ALL {
+            for w in 1..=8 {
+                assert_eq!(org.schedule(w), org.description().schedule(w).unwrap());
+            }
+        }
+    }
+
+    #[test]
     fn simple_orders_wb_before_lsqr_before_issue() {
         // §IV.A: "first Writeback is performed ... Then Lsq_refresh ...
         // Then Issue can proceed".
@@ -392,6 +356,7 @@ mod tests {
             assert!(text.contains(label), "render must include {label}:\n{text}");
         }
         assert!(text.contains("7 minor cycles"));
+        assert!(text.contains("optimized pipeline (Figure 4)"));
     }
 
     #[test]

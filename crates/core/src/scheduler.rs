@@ -1,4 +1,4 @@
-//! The minor-cycle scheduler: [`PipelineOrganization`] made executable.
+//! The minor-cycle scheduler: a [`PipelineDescription`] made executable.
 //!
 //! The paper's engine processes the N ways of the simulated processor
 //! serially, splitting each **major** (simulated) cycle into **minor**
@@ -11,15 +11,15 @@
 //!   architectural order (see [`crate::stages`] for why the order is
 //!   organization-independent);
 //! * the **minor-cycle cost** of a major cycle — *derived from the
-//!   organization's schedule grid* (the highest occupied slot across
+//!   description's schedule grid* (the highest occupied slot across
 //!   stage rows, plus one), not from the closed-form `2N+3` / `N+4` /
 //!   `N+3` formulas. The formulas remain in
-//!   [`PipelineOrganization::minor_cycles_per_major`] as the paper's
-//!   analytical result, and a dedicated test pins grid-derived ==
-//!   closed-form for every organization and width.
+//!   [`PipelineOrganization`](crate::PipelineOrganization) as the
+//!   paper's analytical result, and a dedicated test pins grid-derived
+//!   == closed-form for every built-in organization and width.
 
-use crate::config::EngineConfig;
-use crate::pipeline::PipelineOrganization;
+use crate::config::{ConfigError, EngineConfig};
+use crate::description::PipelineDescription;
 use crate::stages::{
     CommitStage, DispatchStage, FetchStage, IssueStage, LsqRefreshStage, Stage, TraceFeed,
     WritebackStage,
@@ -27,14 +27,14 @@ use crate::stages::{
 use crate::state::CoreState;
 
 /// Executes one major cycle of the engine: evaluates the stage roster in
-/// architectural order and charges the organization's minor-cycle cost.
+/// architectural order and charges the description's minor-cycle cost.
 ///
 /// Built by [`Engine::new`](crate::Engine::new) from the configuration's
-/// [`PipelineOrganization`]; exposed so `describe` and tests can inspect
+/// [`PipelineDescription`]; exposed so `describe` and tests can inspect
 /// the roster and the activity-derived accounting.
 #[derive(Debug)]
 pub struct MinorCycleScheduler {
-    organization: PipelineOrganization,
+    description: PipelineDescription,
     width: usize,
     /// Minor cycles one major cycle costs, derived from the schedule
     /// grid at construction.
@@ -49,16 +49,22 @@ impl MinorCycleScheduler {
     /// Builds the scheduler (stage roster + minor-cycle grid) for a
     /// configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `config.width` is zero (validated configurations never
-    /// are).
-    pub fn new(config: &EngineConfig) -> Self {
-        let organization = config.pipeline;
+    /// Returns [`ConfigError::Pipeline`] (or [`ConfigError::ZeroWidth`])
+    /// when the description cannot build a schedule grid at
+    /// `config.width` — no input panics.
+    pub fn new(config: &EngineConfig) -> Result<Self, ConfigError> {
+        if config.width == 0 {
+            return Err(ConfigError::ZeroWidth);
+        }
+        let description = config.pipeline.clone();
         let width = config.width;
-        let schedule = organization.schedule(width);
+        let schedule = description
+            .schedule(width)
+            .map_err(ConfigError::Pipeline)?;
         // Activity-derived cost: the last minor-cycle slot any stage
-        // occupies in the organization's grid bounds the major cycle.
+        // occupies in the description's grid bounds the major cycle.
         let minor_cycles_per_major = schedule
             .rows()
             .iter()
@@ -79,18 +85,18 @@ impl MinorCycleScheduler {
             Box::new(FetchStage),
         ];
         let activity = vec![0; stages.len()];
-        Self {
-            organization,
+        Ok(Self {
+            description,
             width,
             minor_cycles_per_major,
             stages,
             activity,
-        }
+        })
     }
 
-    /// The organization this scheduler realises.
-    pub fn organization(&self) -> PipelineOrganization {
-        self.organization
+    /// The pipeline description this scheduler realises.
+    pub fn description(&self) -> &PipelineDescription {
+        &self.description
     }
 
     /// Simulated processor width.
@@ -134,6 +140,7 @@ impl MinorCycleScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::PipelineOrganization;
 
     fn config_for(org: PipelineOrganization, width: usize) -> EngineConfig {
         EngineConfig {
@@ -145,7 +152,7 @@ mod tests {
                 ..Default::default()
             },
             mem_read_ports: 1.max(width.saturating_sub(1).min(2)),
-            pipeline: org,
+            pipeline: org.description(),
             ..EngineConfig::paper_4wide()
         }
     }
@@ -157,7 +164,7 @@ mod tests {
         // / N+3 must agree for every organization and width.
         for org in PipelineOrganization::ALL {
             for width in 1..=16usize {
-                let sched = MinorCycleScheduler::new(&config_for(org, width));
+                let sched = MinorCycleScheduler::new(&config_for(org, width)).unwrap();
                 assert_eq!(
                     sched.minor_cycles_per_major(),
                     org.minor_cycles_per_major(width),
@@ -169,18 +176,42 @@ mod tests {
 
     #[test]
     fn roster_is_the_architectural_evaluation_order() {
-        let sched = MinorCycleScheduler::new(&EngineConfig::paper_4wide());
+        let sched = MinorCycleScheduler::new(&EngineConfig::paper_4wide()).unwrap();
         assert_eq!(
             sched.roster(),
             ["Commit", "Writeback", "Lsq_refresh", "Issue", "Dispatch", "Fetch"]
         );
-        assert_eq!(sched.organization(), PipelineOrganization::OptimizedSerial);
+        assert_eq!(sched.description().name(), "optimized");
         assert_eq!(sched.width(), 4);
     }
 
     #[test]
+    fn zero_width_is_an_error_not_a_panic() {
+        let bad = EngineConfig {
+            width: 0,
+            ..EngineConfig::paper_4wide()
+        };
+        assert_eq!(
+            MinorCycleScheduler::new(&bad).unwrap_err(),
+            ConfigError::ZeroWidth
+        );
+    }
+
+    #[test]
+    fn invalid_description_is_an_error_not_a_panic() {
+        let bad = EngineConfig {
+            pipeline: PipelineDescription::new("empty", true, false, vec![]),
+            ..EngineConfig::paper_4wide()
+        };
+        assert!(matches!(
+            MinorCycleScheduler::new(&bad).unwrap_err(),
+            ConfigError::Pipeline(_)
+        ));
+    }
+
+    #[test]
     fn activity_starts_at_zero_for_every_stage() {
-        let sched = MinorCycleScheduler::new(&EngineConfig::paper_4wide());
+        let sched = MinorCycleScheduler::new(&EngineConfig::paper_4wide()).unwrap();
         let activity = sched.activity();
         assert_eq!(activity.len(), 6);
         assert!(activity.iter().all(|&(_, ops)| ops == 0));

@@ -242,7 +242,7 @@ fn cached_config_is_slower_than_perfect_memory() {
         EngineConfig {
             predictor: resim_bpred::PredictorConfig::perfect(),
             memory: resim_mem::MemorySystemConfig::l1_32k(),
-            pipeline: PipelineOrganization::ImprovedSerial,
+            pipeline: PipelineOrganization::ImprovedSerial.description(),
             ..EngineConfig::paper_4wide()
         },
     );

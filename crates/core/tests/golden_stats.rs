@@ -32,7 +32,7 @@ fn golden_trace() -> Trace {
 fn cached_config() -> EngineConfig {
     EngineConfig {
         memory: resim_mem::MemorySystemConfig::l1_32k(),
-        pipeline: PipelineOrganization::ImprovedSerial,
+        pipeline: PipelineOrganization::ImprovedSerial.description(),
         ..EngineConfig::paper_4wide()
     }
 }

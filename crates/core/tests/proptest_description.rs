@@ -1,0 +1,98 @@
+//! Property tests over [`PipelineDescription`]: randomly generated
+//! stage rosters whose derived schedules must obey the paper's cost
+//! rule — one major cycle costs exactly `highest occupied minor-cycle
+//! slot + 1` engine cycles, and never less than 1.
+
+use proptest::prelude::*;
+use resim_core::{PipelineDescription, SlotExpr, SlotSpec, StageRow};
+
+/// A random linear slot formula with small coefficients, so grids stay
+/// comfortably under [`resim_core::MAX_SLOT`] at any tested width.
+fn arb_expr() -> impl Strategy<Value = SlotExpr> {
+    (0i64..4, 0i64..3, 0i64..8).prop_map(|(way, width, offset)| SlotExpr::new(way, width, offset))
+}
+
+/// A random slot spec: a per-way formula (with a formula or constant
+/// way count and a small first-way offset) or an explicit slot list.
+fn arb_slots() -> impl Strategy<Value = SlotSpec> {
+    prop_oneof![
+        (arb_expr(), 0i64..3, 0usize..2).prop_map(|(expr, count_c, first_way)| {
+            SlotSpec::PerWay {
+                expr,
+                // Mix constant counts with the width-dependent `n`.
+                count: if count_c == 0 {
+                    SlotExpr::new(0, 1, 0)
+                } else {
+                    SlotExpr::constant(count_c)
+                },
+                first_way,
+            }
+        }),
+        prop::collection::vec(0usize..24, 1..5).prop_map(SlotSpec::Explicit),
+    ]
+}
+
+fn arb_description() -> impl Strategy<Value = PipelineDescription> {
+    prop::collection::vec(arb_slots(), 1..6).prop_map(|specs| {
+        let rows = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, slots)| StageRow {
+                stage: format!("Stage{i}"),
+                label: format!("S{i}"),
+                slots,
+                area: None,
+            })
+            .collect();
+        PipelineDescription::new("random", true, false, rows)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// For every *valid* (description, width) pair, the derived
+    /// minor-cycle cost is exactly the highest occupied slot in the
+    /// schedule plus one — never below it, and never below 1.
+    #[test]
+    fn cost_is_highest_occupied_slot_plus_one(
+        desc in arb_description(),
+        width in 1usize..9,
+    ) {
+        // Random rosters may collide or produce an empty grid; those
+        // are rejected by validation, which is itself the contract
+        // under test for the valid remainder.
+        if desc.validate_at(width).is_err() {
+            return;
+        }
+
+        let schedule = desc.schedule(width).expect("validated descriptions schedule");
+        let highest = schedule
+            .rows()
+            .iter()
+            .flat_map(|r| {
+                r.cells
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.is_some())
+                    .map(|(i, _)| i)
+            })
+            .max()
+            .expect("a validated grid is non-empty");
+
+        let cost = desc.minor_cycles_per_major(width).unwrap();
+        prop_assert!(cost >= 1);
+        prop_assert_eq!(cost, highest as u64 + 1);
+        prop_assert_eq!(schedule.minor_cycles() as u64, cost);
+    }
+
+    /// Validation itself never panics, whatever the roster shape.
+    #[test]
+    fn validation_never_panics(
+        desc in arb_description(),
+        width in 0usize..9,
+    ) {
+        let _ = desc.validate_at(width);
+        let _ = desc.minor_cycles_per_major(width);
+    }
+}

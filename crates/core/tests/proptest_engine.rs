@@ -54,9 +54,9 @@ fn arb_config() -> impl Strategy<Value = EngineConfig> {
             },
             mem_read_ports: (width - 1).max(1),
             pipeline: if width == 1 {
-                PipelineOrganization::ImprovedSerial
+                PipelineOrganization::ImprovedSerial.description()
             } else {
-                PipelineOrganization::OptimizedSerial
+                PipelineOrganization::OptimizedSerial.description()
             },
             ..EngineConfig::paper_4wide()
         })
@@ -108,7 +108,7 @@ proptest! {
                 width,
                 fus: FuConfig { alus: width, ..FuConfig::paper() },
                 mem_read_ports: width - 1,
-                pipeline: org,
+                pipeline: org.description(),
                 ..EngineConfig::paper_4wide()
             };
             let stats = Engine::new(config.clone()).unwrap().run(trace.source());

@@ -129,6 +129,15 @@ impl AreaModel {
     /// At [`AreaModel::calibration_config`] this returns Table 4's
     /// absolute numbers exactly; elsewhere each structure scales with
     /// its governing parameters (first-order models, documented inline).
+    ///
+    /// The six per-stage logic rows (`fetch` … `cmt`) are charged only
+    /// when the configuration's pipeline description maps a stage row
+    /// onto them (its *area keys*): an organization without, say, a
+    /// bookkeeping writeback row spends no `wb` logic. The storage
+    /// structures (RT/RB/LSQ/BP and the caches) exist regardless of the
+    /// minor-cycle organization and are always charged. All three
+    /// built-ins carry all six keys, so their estimates equal the
+    /// original closed-world model.
     pub fn estimate(&self, config: &EngineConfig) -> AreaEstimate {
         let cal = Self::calibration_config();
         let w = config.width as f64 / cal.width as f64;
@@ -137,10 +146,20 @@ impl AreaModel {
         let lsq = config.lsq_size as f64 / cal.lsq_size as f64;
         let fus = (config.fus.alus + config.fus.mults + config.fus.divs) as f64
             / (cal.fus.alus + cal.fus.mults + cal.fus.divs) as f64;
+        let area_keys = config.pipeline.area_keys();
 
         let stages = TABLE4
             .iter()
             .map(|&(name, s_pct, l_pct, brams)| {
+                let is_stage_logic = resim_core::STAGE_AREA_KEYS.contains(&name);
+                if is_stage_logic && !area_keys.contains(&name) {
+                    return StageArea {
+                        name,
+                        slices: 0.0,
+                        luts: 0.0,
+                        brams: 0,
+                    };
+                }
                 let scale = self.scale_of(name, config, w, ifq, rb, lsq, fus);
                 let brams_scaled = self.brams_of(name, config, brams);
                 StageArea {
@@ -324,6 +343,36 @@ mod tests {
         };
         assert!((pick(&a8, "wb") / pick(&a4, "wb") - 2.0).abs() < 1e-9);
         assert!(pick(&a8, "fetch") > pick(&a4, "fetch"));
+    }
+
+    #[test]
+    fn custom_descriptions_pay_only_their_stage_logic() {
+        use resim_core::{PipelineDescription, SlotExpr, StageRow};
+        // A two-row organization touching only fetch and commit logic.
+        let skeleton = PipelineDescription::new(
+            "skeleton",
+            true,
+            false,
+            vec![
+                StageRow::per_way("Fetch", "F", SlotExpr::new(1, 0, 0)),
+                StageRow::per_way("Commit", "C", SlotExpr::new(1, 0, 1)),
+            ],
+        );
+        let config = EngineConfig {
+            pipeline: skeleton,
+            ..AreaModel::calibration_config()
+        };
+        let est = AreaModel::new().estimate(&config);
+        let full = AreaModel::new().estimate(&AreaModel::calibration_config());
+        for gone in ["disp", "issue", "lsq", "wb"] {
+            assert_eq!(est.slice_percent(gone), 0.0, "{gone} logic must vanish");
+        }
+        // Stage logic shrinks; storage structures are untouched.
+        assert!(est.total_slices() < full.total_slices());
+        let pick = |e: &AreaEstimate, n: &str| e.stages().iter().find(|s| s.name == n).unwrap().slices;
+        assert_eq!(pick(&est, "RB"), pick(&full, "RB"));
+        assert_eq!(pick(&est, "BP"), pick(&full, "BP"));
+        assert!(pick(&est, "fetch") > 0.0);
     }
 
     #[test]

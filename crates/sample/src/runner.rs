@@ -9,7 +9,7 @@ use std::error::Error;
 use std::fmt;
 
 /// Reasons a sampled run cannot start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SampleError {
     /// The plan is degenerate.
     Plan(PlanError),

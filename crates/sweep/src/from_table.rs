@@ -5,7 +5,7 @@
 //! path (`resim sweep`). See `docs/guide.md` for the key reference.
 
 use crate::scenario::{CellMode, Scenario, WorkloadPoint};
-use resim_core::{ConfigGrid, EngineConfig};
+use resim_core::{ConfigGrid, EngineConfig, PipelineDescription};
 use resim_sample::SamplePlan;
 use resim_toml::{Error, Table};
 use resim_tracegen::TraceGenConfig;
@@ -135,6 +135,23 @@ impl Scenario {
     /// [`Scenario::validate`] (duplicate names, zero budgets, invalid
     /// configurations).
     pub fn from_table(t: &Table) -> Result<Self, Error> {
+        Self::from_table_with(t, None)
+    }
+
+    /// [`Scenario::from_table`] with a scenario-level custom
+    /// [`PipelineDescription`] in scope (a top-level `[pipeline]`
+    /// table, parsed by the caller). When given, the description is
+    /// the default pipeline of every `[[sweep.config]]` engine and of
+    /// the `[sweep.grid]` base, and its name is resolvable on the
+    /// grid's `pipelines` axis alongside the built-ins.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::from_table`].
+    pub fn from_table_with(
+        t: &Table,
+        custom: Option<&PipelineDescription>,
+    ) -> Result<Self, Error> {
         t.ensure_only(&[
             "workloads",
             "budgets",
@@ -152,23 +169,35 @@ impl Scenario {
             entry.ensure_only(&["name", "engine", "tracegen"])?;
             let name = entry.req_str("name")?;
             let engine = match entry.opt_table("engine")? {
-                Some(e) => EngineConfig::from_table(e)?,
-                None => EngineConfig::paper_4wide(),
+                Some(e) => EngineConfig::from_table_with(e, custom)?,
+                None => match custom {
+                    Some(p) => EngineConfig {
+                        pipeline: p.clone(),
+                        ..EngineConfig::paper_4wide()
+                    },
+                    None => EngineConfig::paper_4wide(),
+                },
             };
             let tracegen = resolve_tracegen(&engine, entry.opt_table("tracegen")?)?;
             scenario = scenario.config(name, engine, tracegen);
         }
         if let Some(g) = t.opt_table("grid")? {
             let base = match g.opt_table("base")? {
-                Some(b) => EngineConfig::from_table(b)?,
-                None => EngineConfig::paper_4wide(),
+                Some(b) => EngineConfig::from_table_with(b, custom)?,
+                None => match custom {
+                    Some(p) => EngineConfig {
+                        pipeline: p.clone(),
+                        ..EngineConfig::paper_4wide()
+                    },
+                    None => EngineConfig::paper_4wide(),
+                },
             };
             let tracegen = resolve_tracegen(&base, g.opt_table("tracegen")?)?;
-            let grid = ConfigGrid::from_table(base, g)?;
-            let points = grid
-                .try_build()
+            let grid = ConfigGrid::from_table_with(base, g, custom)?;
+            let (points, notes) = grid
+                .try_build_with_notes()
                 .map_err(|(name, e)| g.error(format!("grid point {name:?}: {e}")))?;
-            scenario = scenario.config_grid(points, tracegen);
+            scenario = scenario.config_grid(points, tracegen).with_grid_notes(notes);
         }
         if scenario.configs().is_empty() {
             return Err(t.error(
@@ -414,6 +443,61 @@ name = "base"
         )
         .unwrap();
         assert_eq!(s.workloads()[0].name, "generic");
+    }
+
+    #[test]
+    fn custom_pipeline_is_the_default_and_axis_resolvable() {
+        let custom = PipelineDescription::new(
+            "skewed",
+            true,
+            false,
+            vec![
+                resim_core::StageRow::per_way("fetch", "F", "2*i".parse().unwrap()),
+                resim_core::StageRow::per_way("commit", "C", "2*i+1".parse().unwrap()),
+            ],
+        );
+        let doc = resim_toml::parse(
+            r#"
+[sweep]
+workloads = ["gzip"]
+budgets = [1000]
+seeds = [1]
+[[sweep.config]]
+name = "plain"
+[sweep.grid]
+pipelines = ["improved", "skewed"]
+"#,
+        )
+        .unwrap();
+        let sweep = doc.opt_table("sweep").unwrap().unwrap();
+        let s = Scenario::from_table_with(sweep, Some(&custom)).unwrap();
+        assert_eq!(
+            s.configs()[0].engine.pipeline, custom,
+            "a config entry without [engine] inherits the scenario pipeline"
+        );
+        assert_eq!(s.configs()[2].name, "skewed");
+        assert_eq!(s.configs()[2].engine.pipeline, custom);
+    }
+
+    #[test]
+    fn grid_substitution_notes_reach_the_scenario() {
+        let s = parse(
+            r#"
+[sweep]
+workloads = ["gzip"]
+budgets = [1000]
+seeds = [1]
+[sweep.grid]
+widths = [1, 2]
+pipelines = ["optimized"]
+[sweep.grid.base]
+mem_read_ports = 1
+"#,
+        )
+        .unwrap();
+        assert_eq!(s.configs().len(), 2);
+        assert_eq!(s.grid_notes().len(), 1, "{:?}", s.grid_notes());
+        assert!(s.grid_notes()[0].contains("unsatisfiable"), "{:?}", s.grid_notes());
     }
 
     #[test]

@@ -127,6 +127,10 @@ pub struct Scenario {
     seeds: Vec<u64>,
     /// Execution-mode axis; empty means the implicit `[CellMode::Full]`.
     modes: Vec<CellMode>,
+    /// Human-readable notes from grid construction (e.g. a pipeline
+    /// substituted because the requested one is unsatisfiable at a
+    /// width) — surfaced by the CLI, never silent.
+    grid_notes: Vec<String>,
 }
 
 impl Scenario {
@@ -201,6 +205,21 @@ impl Scenario {
     pub fn modes(mut self, modes: impl IntoIterator<Item = CellMode>) -> Self {
         self.modes = modes.into_iter().collect();
         self
+    }
+
+    /// Attaches grid-construction notes (see [`Scenario::grid_notes`]).
+    pub fn with_grid_notes(mut self, notes: impl IntoIterator<Item = String>) -> Self {
+        self.grid_notes.extend(notes);
+        self
+    }
+
+    /// Notes emitted while the configuration grid was built — for
+    /// example a grid point whose requested pipeline organization is
+    /// unsatisfiable at its width and was substituted with an
+    /// equivalent one. The CLI prints these before running so the
+    /// substitution is never silent.
+    pub fn grid_notes(&self) -> &[String] {
+        &self.grid_notes
     }
 
     /// The configuration axis.

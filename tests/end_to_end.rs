@@ -132,7 +132,7 @@ fn pointer_chase_is_cache_sensitive() {
     let cached = Engine::new(EngineConfig {
         predictor: PredictorConfig::perfect(),
         memory: MemorySystemConfig::l1_32k(),
-        pipeline: PipelineOrganization::ImprovedSerial,
+        pipeline: PipelineOrganization::ImprovedSerial.description(),
         ..EngineConfig::paper_4wide()
     })
     .unwrap()

@@ -189,7 +189,7 @@ fn pipeline_organizations_equivalent_but_faster() {
     let mut cycles = Vec::new();
     for org in PipelineOrganization::ALL {
         let config = EngineConfig {
-            pipeline: org,
+            pipeline: org.description(),
             ..EngineConfig::paper_4wide()
         };
         let stats = Engine::new(config.clone()).unwrap().run(trace.source());
