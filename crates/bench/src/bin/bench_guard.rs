@@ -1,0 +1,168 @@
+//! CI bench-regression guard for the `engine_throughput` benchmark.
+//!
+//! Re-measures committed-records-per-second for the three trace
+//! frontends (`slice`, `encoded`, `file`) at the quick-mode budget and
+//! compares each against the checked-in `BENCH_BASELINE.json` at the
+//! repository root. A frontend that drops below
+//! `baseline * (1 - allowed_drop)` fails the run (exit 1), which is how
+//! CI catches an accidental O(n)-per-record regression in the decode or
+//! dispatch path without a full criterion run.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_guard            # measure and compare against the baseline
+//! bench_guard --write    # measure and rewrite the baseline in place
+//! ```
+//!
+//! The measurement is best-of-N wall-clock (N = 5), which is stable to
+//! a few percent on an idle machine; the 20% default tolerance leaves
+//! room for CI-runner noise while still catching step-function
+//! regressions. Regenerate the baseline (`--write`, on a quiet machine)
+//! whenever a deliberate engine or codec change moves throughput.
+
+use resim_core::{Engine, EngineConfig};
+use resim_trace::{save_trace_file, FileSource, Trace, TraceFileHeader, TraceSource};
+use resim_tracegen::{generate_trace, TraceGenConfig};
+use resim_workloads::{SpecBenchmark, Workload};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Same workload/budget as `engine_throughput` under `RESIM_BENCH_QUICK=1`.
+const BUDGET: usize = 20_000;
+const RUNS: usize = 5;
+const FRONTENDS: [&str; 3] = ["slice", "encoded", "file"];
+
+fn baseline_path() -> PathBuf {
+    // crates/bench -> repository root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_BASELINE.json")
+}
+
+/// Best-of-N committed-records-per-second for one engine run thunk.
+fn measure<S: TraceSource, F: FnMut() -> S>(config: &EngineConfig, mut source: F) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..RUNS {
+        let mut engine = Engine::new(config.clone()).expect("paper config is valid");
+        let src = source();
+        let start = Instant::now();
+        let stats = engine.run(src);
+        let secs = start.elapsed().as_secs_f64();
+        assert!(stats.committed > 0, "bench run must make progress");
+        best = best.max(stats.committed as f64 / secs);
+    }
+    best
+}
+
+fn measure_all() -> Vec<(&'static str, f64)> {
+    let config = EngineConfig::paper_4wide();
+    let trace: Trace = generate_trace(
+        Workload::spec(SpecBenchmark::Gzip, 2009),
+        BUDGET,
+        &TraceGenConfig::paper(),
+    );
+    let encoded = trace.encode();
+    let header = TraceFileHeader::for_trace(&encoded, "gzip", 2009, 0)
+        .with_correct_records(trace.correct_path_len() as u64);
+    let path = std::env::temp_dir().join(format!("resim-bench-guard-{}.trace", std::process::id()));
+    save_trace_file(&path, &header, &encoded).expect("write bench trace");
+
+    let out = vec![
+        ("slice", measure(&config, || trace.source())),
+        ("encoded", measure(&config, || encoded.source())),
+        (
+            "file",
+            measure(&config, || {
+                FileSource::open(&path).expect("bench trace readable")
+            }),
+        ),
+    ];
+    let _ = std::fs::remove_file(&path);
+    out
+}
+
+/// Pulls `"key": <number>` out of the baseline JSON. The file is flat
+/// and machine-written, so a scan is enough — no JSON dependency.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let after = &text[text.find(&needle)? + needle.len()..];
+    let after = after.trim_start().strip_prefix(':')?.trim_start();
+    let end = after
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(after.len());
+    after[..end].parse().ok()
+}
+
+fn write_baseline(path: &Path, rates: &[(&str, f64)]) {
+    let mut body = String::from("{\n");
+    body.push_str("  \"bench\": \"engine_throughput\",\n");
+    body.push_str(&format!("  \"budget\": {BUDGET},\n"));
+    body.push_str(&format!("  \"runs\": {RUNS},\n"));
+    body.push_str("  \"allowed_drop\": 0.20,\n");
+    body.push_str("  \"records_per_sec\": {\n");
+    for (i, (name, rate)) in rates.iter().enumerate() {
+        let comma = if i + 1 < rates.len() { "," } else { "" };
+        body.push_str(&format!("    \"{name}\": {:.0}{comma}\n", rate));
+    }
+    body.push_str("  }\n}\n");
+    std::fs::write(path, body).expect("write baseline");
+}
+
+fn main() {
+    let write = std::env::args().any(|a| a == "--write");
+    let path = baseline_path();
+
+    println!("bench_guard: engine_throughput quick mode ({BUDGET} records, best of {RUNS})");
+    let rates = measure_all();
+    for (name, rate) in &rates {
+        println!("  {name:8} {:10.0} records/s", rate);
+    }
+
+    if write {
+        write_baseline(&path, &rates);
+        println!("baseline written to {}", path.display());
+        return;
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "bench_guard: cannot read {} ({e}); run `bench_guard --write` to create it",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    let allowed_drop = json_number(&text, "allowed_drop").unwrap_or(0.20);
+    let mut failed = false;
+    for (name, rate) in &rates {
+        let Some(baseline) = json_number(&text, name) else {
+            eprintln!("bench_guard: baseline has no entry for {name:?}");
+            failed = true;
+            continue;
+        };
+        let floor = baseline * (1.0 - allowed_drop);
+        let verdict = if *rate >= floor { "ok" } else { "REGRESSION" };
+        println!(
+            "  {name:8} baseline {baseline:10.0}  floor {floor:10.0}  measured {rate:10.0}  {verdict}"
+        );
+        if *rate < floor {
+            failed = true;
+        }
+    }
+    // Belt and braces: the frontend list itself is part of the contract.
+    for name in FRONTENDS {
+        assert!(
+            rates.iter().any(|(n, _)| *n == name),
+            "frontend {name} missing from measurement"
+        );
+    }
+    if failed {
+        eprintln!(
+            "bench_guard: throughput regressed more than {:.0}% below BENCH_BASELINE.json",
+            allowed_drop * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("bench_guard: all frontends within {:.0}% of baseline", allowed_drop * 100.0);
+}

@@ -14,6 +14,8 @@ pub enum Command {
         budget: Option<usize>,
         /// `--seed` override of the `[workload]` seed.
         seed: Option<u64>,
+        /// `--layout` body layout version (default 1).
+        layout: Option<u16>,
     },
     /// `resim run`.
     Run {
@@ -49,6 +51,22 @@ pub enum Command {
         /// Scenario file path.
         scenario: String,
     },
+    /// `resim record`.
+    Record {
+        /// Scenario file path.
+        scenario: String,
+        /// `--trace` input container (embedded into the session).
+        trace: Option<String>,
+        /// `--out` override of the session path.
+        out: Option<String>,
+        /// `--cell` sweep-grid cell index to record.
+        cell: Option<usize>,
+    },
+    /// `resim replay`.
+    Replay {
+        /// Session record path.
+        session: String,
+    },
     /// `resim help [topic]`, `resim --help`, or `resim <cmd> --help`.
     Help(Option<String>),
     /// `resim --version`.
@@ -69,11 +87,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     match cmd {
         "-h" | "--help" | "help" => Ok(Command::Help(it.next().map(str::to_string))),
         "-V" | "--version" => Ok(Command::Version),
-        "trace" | "run" | "sample" | "sweep" | "describe" => {
+        "trace" | "run" | "sample" | "sweep" | "describe" | "record" | "replay" => {
             parse_subcommand(cmd, &args[1..])
         }
         other => Err(format!(
-            "unknown command {other:?} (expected trace, run, sample, sweep, describe or help)"
+            "unknown command {other:?} (expected trace, run, sample, sweep, describe, \
+             record, replay or help)"
         )),
     }
 }
@@ -84,6 +103,8 @@ fn parse_subcommand(cmd: &str, rest: &[String]) -> Result<Command, String> {
     let mut trace: Option<String> = None;
     let mut budget: Option<usize> = None;
     let mut seed: Option<u64> = None;
+    let mut layout: Option<u16> = None;
+    let mut cell: Option<usize> = None;
     let mut threads: Option<usize> = None;
     let mut csv: Option<String> = None;
     let mut stable_csv: Option<String> = None;
@@ -101,13 +122,20 @@ fn parse_subcommand(cmd: &str, rest: &[String]) -> Result<Command, String> {
         }
         match flag {
             "-h" | "--help" => return Ok(Command::Help(Some(cmd.to_string()))),
-            "-s" | "--scenario" => scenario = Some(value!().to_string()),
-            "-o" | "--out" if cmd == "trace" => out = Some(value!().to_string()),
-            "-t" | "--trace" if cmd == "run" || cmd == "sample" => {
+            // `replay` takes a session file, not a scenario; `-s` is
+            // its short form there too.
+            "-s" | "--session" if cmd == "replay" => scenario = Some(value!().to_string()),
+            "-s" | "--scenario" if cmd != "replay" => scenario = Some(value!().to_string()),
+            "-o" | "--out" if cmd == "trace" || cmd == "record" => {
+                out = Some(value!().to_string());
+            }
+            "-t" | "--trace" if cmd == "run" || cmd == "sample" || cmd == "record" => {
                 trace = Some(value!().to_string());
             }
             "--budget" if cmd == "trace" => budget = Some(parse_num(flag, value!())?),
             "--seed" if cmd == "trace" => seed = Some(parse_num(flag, value!())?),
+            "--layout" if cmd == "trace" => layout = Some(parse_num(flag, value!())?),
+            "--cell" if cmd == "record" => cell = Some(parse_num(flag, value!())?),
             "-j" | "--threads" if cmd == "sweep" => threads = Some(parse_num(flag, value!())?),
             "--csv" if cmd == "sweep" => csv = Some(value!().to_string()),
             "--stable-csv" if cmd == "sweep" => stable_csv = Some(value!().to_string()),
@@ -116,13 +144,17 @@ fn parse_subcommand(cmd: &str, rest: &[String]) -> Result<Command, String> {
             other => return Err(format!("unknown option {other:?} for `resim {cmd}`")),
         }
     }
-    let scenario = scenario.ok_or_else(|| format!("`resim {cmd}` requires --scenario <FILE>"))?;
+    let scenario = scenario.ok_or_else(|| {
+        let key = if cmd == "replay" { "session" } else { "scenario" };
+        format!("`resim {cmd}` requires --{key} <FILE>")
+    })?;
     Ok(match cmd {
         "trace" => Command::Trace {
             scenario,
             out,
             budget,
             seed,
+            layout,
         },
         "run" => Command::Run { scenario, trace },
         "sample" => Command::Sample { scenario, trace },
@@ -135,6 +167,13 @@ fn parse_subcommand(cmd: &str, rest: &[String]) -> Result<Command, String> {
             trace_files,
         },
         "describe" => Command::Describe { scenario },
+        "record" => Command::Record {
+            scenario,
+            trace,
+            out,
+            cell,
+        },
+        "replay" => Command::Replay { session: scenario },
         _ => unreachable!("caller matched the command"),
     })
 }
@@ -166,12 +205,14 @@ mod tests {
     #[test]
     fn subcommands_parse() {
         assert_eq!(
-            p(&["trace", "-s", "a.toml", "-o", "t.trace", "--budget", "5000", "--seed", "7"]),
+            p(&["trace", "-s", "a.toml", "-o", "t.trace", "--budget", "5000", "--seed", "7",
+                "--layout", "2"]),
             Ok(Command::Trace {
                 scenario: "a.toml".into(),
                 out: Some("t.trace".into()),
                 budget: Some(5000),
                 seed: Some(7),
+                layout: Some(2),
             })
         );
         assert_eq!(
@@ -197,6 +238,40 @@ mod tests {
             p(&["describe", "-s", "a.toml"]),
             Ok(Command::Describe { scenario: "a.toml".into() })
         );
+    }
+
+    #[test]
+    fn record_and_replay_parse() {
+        assert_eq!(
+            p(&["record", "-s", "a.toml", "-t", "x.trace", "-o", "a.rssn", "--cell", "3"]),
+            Ok(Command::Record {
+                scenario: "a.toml".into(),
+                trace: Some("x.trace".into()),
+                out: Some("a.rssn".into()),
+                cell: Some(3),
+            })
+        );
+        assert_eq!(
+            p(&["record", "--scenario", "a.toml"]),
+            Ok(Command::Record {
+                scenario: "a.toml".into(),
+                trace: None,
+                out: None,
+                cell: None,
+            })
+        );
+        assert_eq!(
+            p(&["replay", "--session", "a.rssn"]),
+            Ok(Command::Replay { session: "a.rssn".into() })
+        );
+        assert_eq!(
+            p(&["replay", "-s", "a.rssn"]),
+            Ok(Command::Replay { session: "a.rssn".into() })
+        );
+        assert!(p(&["replay"]).unwrap_err().contains("--session"));
+        assert!(p(&["replay", "--scenario", "a"]).unwrap_err().contains("unknown option"));
+        assert!(p(&["record", "-s", "a", "--cell", "x"]).unwrap_err().contains("invalid number"));
+        assert!(p(&["replay", "-s", "a", "--cell", "1"]).unwrap_err().contains("unknown option"));
     }
 
     #[test]

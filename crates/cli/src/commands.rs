@@ -5,11 +5,15 @@
 //! plain strings already carrying file/line context.
 
 use crate::scenario::ScenarioDoc;
-use resim_core::{block_diagram, Engine};
-use resim_sample::run_sampled;
-use resim_sweep::SweepRunner;
-use resim_trace::{save_trace_file, FileSource, Trace, TraceFileHeader, TraceSource};
-use resim_tracegen::{TraceCache, TraceKey};
+use resim_core::{block_diagram, Engine, EngineConfig, SimStats, SIM_STATS_FIELDS};
+use resim_sample::{run_sampled, SamplePlan};
+use resim_session::SessionRecord;
+use resim_sweep::{CellMode, SweepRunner};
+use resim_trace::{
+    save_trace_file, FileSource, Trace, TraceFileHeader, TraceSource, TRACE_CONTAINER_VERSION,
+    TRACE_LAYOUT_VERSION,
+};
+use resim_tracegen::{generate_trace, TraceCache, TraceKey};
 use std::fmt::Write as _;
 use std::fs;
 use std::io::Write;
@@ -37,6 +41,7 @@ pub(crate) fn trace(
     out_path: Option<&str>,
     budget: Option<usize>,
     seed: Option<u64>,
+    layout: Option<u16>,
     out: &mut dyn Write,
 ) -> CmdResult {
     let mut doc = load_scenario(scenario_path)?;
@@ -55,7 +60,11 @@ pub(crate) fn trace(
         .unwrap_or(&default_path);
 
     let trace = doc.generate();
-    let encoded = trace.encode();
+    let encoded = match layout.unwrap_or(TRACE_LAYOUT_VERSION) {
+        resim_trace::TRACE_LAYOUT_VERSION => trace.encode(),
+        resim_trace::TRACE_LAYOUT_VERSION_V2 => trace.encode_v2(),
+        other => return Err(format!("--layout {other} is not supported (supported: 1, 2)")),
+    };
     let header = TraceFileHeader::for_trace(
         &encoded,
         doc.workload.name.clone(),
@@ -88,6 +97,15 @@ pub(crate) fn trace(
         header.encoded_len() + encoded.bytes().len(),
         encoded.stats().bits_per_instruction(),
     );
+    // The default layout stays silent so existing tooling that parses
+    // this banner is unaffected; opting in to v2 is worth a mention.
+    if encoded.layout_version() != TRACE_LAYOUT_VERSION {
+        let _ = writeln!(
+            s,
+            "  layout   v{} (delta/run-length body)",
+            encoded.layout_version(),
+        );
+    }
     emit(out, &s)
 }
 
@@ -367,6 +385,292 @@ fn preload(
         }
     }
     Ok(inserted)
+}
+
+/// Runs `source` on `config`, cycle-accurately or under `plan`.
+///
+/// Sampled runs record/replay the merged detailed-window statistics
+/// (`SampledStats::sim`): the full per-window confidence data is a
+/// deterministic function of the same inputs, so the merged stats are
+/// the right bit-identity witness.
+fn execute(
+    config: &EngineConfig,
+    source: impl TraceSource,
+    plan: Option<&SamplePlan>,
+) -> Result<SimStats, String> {
+    match plan {
+        None => {
+            let mut engine = Engine::new(config.clone())
+                .map_err(|e| format!("invalid engine configuration: {e}"))?;
+            Ok(engine.run(source))
+        }
+        Some(plan) => run_sampled(config, source, plan)
+            .map(|sampled| sampled.sim)
+            .map_err(|e| format!("sampled run failed: {e}")),
+    }
+}
+
+/// `resim record`: execute the scenario's run (full, sampled, or one
+/// sweep cell) and capture every nondeterministic input plus the
+/// resulting statistics in an RSSN session file.
+pub(crate) fn record(
+    scenario_path: &str,
+    trace_flag: Option<&str>,
+    out_path: Option<&str>,
+    cell: Option<usize>,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let scenario_text = fs::read_to_string(scenario_path)
+        .map_err(|e| format!("cannot read scenario {scenario_path:?}: {e}"))?;
+    let doc = ScenarioDoc::parse_str(&scenario_text).map_err(|e| e.display_in(scenario_path))?;
+
+    let mut rec = SessionRecord {
+        tool_version: crate::help::VERSION.to_string(),
+        trace_container_version: TRACE_CONTAINER_VERSION,
+        trace_layout_version: TRACE_LAYOUT_VERSION,
+        scenario_toml: scenario_text,
+        ..SessionRecord::default()
+    };
+
+    if let Some(n) = cell {
+        if trace_flag.is_some() {
+            return Err(
+                "--cell regenerates the cell's trace; it cannot be combined with --trace"
+                    .to_string(),
+            );
+        }
+        let scenario = doc
+            .sweep_scenario()
+            .map_err(|e| e.display_in(scenario_path))?;
+        scenario
+            .validate()
+            .map_err(|e| format!("invalid scenario: {e}"))?;
+        let cells = scenario.cells();
+        let Some(cell) = cells.get(n) else {
+            return Err(format!(
+                "--cell {n} is out of range: the [sweep] grid has {} cells",
+                cells.len()
+            ));
+        };
+        let config = &scenario.configs()[cell.config];
+        let workload = &scenario.workloads()[cell.workload];
+        let trace = generate_trace(workload.instantiate(cell.seed), cell.budget, &config.tracegen);
+        rec.engine_fingerprint = config.engine.fingerprint();
+        rec.tracegen_fingerprint = config.tracegen.fingerprint();
+        rec.workload = workload.name.clone();
+        rec.seed = cell.seed;
+        rec.budget = cell.budget as u64;
+        rec.cell_index = Some(cell.index as u64);
+        rec.sample = match scenario.cell_mode(cell) {
+            CellMode::Full => None,
+            CellMode::Sampled(plan) => Some(plan),
+        };
+        rec.stats = execute(&config.engine, trace.source(), rec.sample.as_ref())?;
+    } else {
+        rec.engine_fingerprint = doc.engine.fingerprint();
+        rec.sample = doc.sample;
+        match resolve_source(&doc, trace_flag)? {
+            Source::File(mut src, path) => {
+                // The file's header, not the scenario, says what was
+                // actually simulated — record it, and embed the whole
+                // container so the session replays self-contained.
+                let h = src.header().clone();
+                rec.tracegen_fingerprint = h.tracegen_fingerprint;
+                rec.workload = h.workload;
+                rec.seed = h.seed;
+                rec.budget = h.correct_records;
+                rec.trace_container_version = h.container_version;
+                rec.trace_layout_version = h.layout_version;
+                rec.stats = execute(&doc.engine, &mut *src, rec.sample.as_ref())?;
+                if let Some(e) = src.error() {
+                    return Err(format!("trace {path:?} ended abnormally: {e}"));
+                }
+                rec.embedded_trace = Some(
+                    fs::read(&path).map_err(|e| format!("cannot re-read trace {path:?}: {e}"))?,
+                );
+            }
+            Source::Generated(trace) => {
+                rec.tracegen_fingerprint = doc.tracegen.fingerprint();
+                rec.workload = doc.workload.name.clone();
+                rec.seed = doc.workload.seed;
+                rec.budget = doc.workload.budget as u64;
+                rec.stats = execute(&doc.engine, trace.source(), rec.sample.as_ref())?;
+            }
+        }
+    }
+
+    let default_path = match cell {
+        Some(n) => format!("{}-cell{n}.rssn", rec.workload),
+        None => format!("{}.rssn", rec.workload),
+    };
+    let path = out_path.unwrap_or(&default_path);
+    rec.save(path).map_err(|e| format!("cannot write session: {e}"))?;
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "recorded {path}: workload \"{}\" (seed {}, budget {})",
+        rec.workload, rec.seed, rec.budget,
+    );
+    let mode = match &rec.sample {
+        Some(plan) => format!("sampled {}", plan.name()),
+        None => "full".to_string(),
+    };
+    let cell_note = match rec.cell_index {
+        Some(i) => format!(", sweep cell {i}"),
+        None => String::new(),
+    };
+    let _ = writeln!(s, "  mode     {mode}{cell_note}");
+    let _ = match &rec.embedded_trace {
+        Some(bytes) => writeln!(
+            s,
+            "  trace    embedded ({} bytes, container v{} layout v{})",
+            bytes.len(),
+            rec.trace_container_version,
+            rec.trace_layout_version,
+        ),
+        None => writeln!(s, "  trace    regenerated at replay"),
+    };
+    let _ = writeln!(
+        s,
+        "  engine   fingerprint {:#018x}, tracegen {:#018x}",
+        rec.engine_fingerprint, rec.tracegen_fingerprint,
+    );
+    let _ = writeln!(
+        s,
+        "  stats    digest {:#018x} ({} fields)",
+        rec.stats.digest(),
+        SIM_STATS_FIELDS.len(),
+    );
+    emit(out, &s)
+}
+
+/// A fingerprint cross-check failure message, or `Ok`.
+fn check_fingerprint(kind: &str, recorded: u64, resolved: u64) -> Result<(), String> {
+    if recorded == resolved {
+        Ok(())
+    } else {
+        Err(format!(
+            "{kind} fingerprint mismatch: session recorded {recorded:#018x}, scenario resolves \
+             to {resolved:#018x} (the {kind} configuration semantics changed since recording; \
+             a replay would not re-execute the same machine)"
+        ))
+    }
+}
+
+/// `resim replay`: re-execute a recorded session and diff the resulting
+/// statistics field for field against what was recorded.
+pub(crate) fn replay(session_path: &str, out: &mut dyn Write) -> CmdResult {
+    let rec = SessionRecord::load(session_path).map_err(|e| e.to_string())?;
+    let embedded_name = format!("{session_path} (embedded scenario)");
+    let doc =
+        ScenarioDoc::parse_str(&rec.scenario_toml).map_err(|e| e.display_in(&embedded_name))?;
+
+    let stats = if let Some(cell_index) = rec.cell_index {
+        let scenario = doc
+            .sweep_scenario()
+            .map_err(|e| e.display_in(&embedded_name))?;
+        let cells = scenario.cells();
+        let n = usize::try_from(cell_index)
+            .ok()
+            .filter(|n| *n < cells.len())
+            .ok_or_else(|| {
+                format!(
+                    "session records sweep cell {cell_index}, but the embedded scenario's grid \
+                     has {} cells",
+                    cells.len()
+                )
+            })?;
+        let cell = &cells[n];
+        let config = &scenario.configs()[cell.config];
+        let workload = &scenario.workloads()[cell.workload];
+        check_fingerprint("engine", rec.engine_fingerprint, config.engine.fingerprint())?;
+        check_fingerprint(
+            "tracegen",
+            rec.tracegen_fingerprint,
+            config.tracegen.fingerprint(),
+        )?;
+        if workload.name != rec.workload || cell.seed != rec.seed || cell.budget as u64 != rec.budget
+        {
+            return Err(format!(
+                "session cell {n} resolves to workload \"{}\" seed {} budget {}, but the record \
+                 says \"{}\" seed {} budget {}",
+                workload.name, cell.seed, cell.budget, rec.workload, rec.seed, rec.budget,
+            ));
+        }
+        let trace = generate_trace(workload.instantiate(cell.seed), cell.budget, &config.tracegen);
+        execute(&config.engine, trace.source(), rec.sample.as_ref())?
+    } else if let Some(bytes) = &rec.embedded_trace {
+        // A self-contained file-frontend session: the engine still has
+        // to match, but the trace bytes are authoritative as-is.
+        check_fingerprint("engine", rec.engine_fingerprint, doc.engine.fingerprint())?;
+        let mut src = FileSource::from_reader(std::io::Cursor::new(bytes.as_slice()))
+            .map_err(|e| format!("embedded trace container is invalid: {e}"))?;
+        let stats = execute(&doc.engine, &mut src, rec.sample.as_ref())?;
+        if let Some(e) = src.error() {
+            return Err(format!("embedded trace ended abnormally: {e}"));
+        }
+        stats
+    } else {
+        check_fingerprint("engine", rec.engine_fingerprint, doc.engine.fingerprint())?;
+        check_fingerprint(
+            "tracegen",
+            rec.tracegen_fingerprint,
+            doc.tracegen.fingerprint(),
+        )?;
+        if doc.workload.name != rec.workload
+            || doc.workload.seed != rec.seed
+            || doc.workload.budget as u64 != rec.budget
+        {
+            return Err(format!(
+                "embedded scenario's [workload] is \"{}\" seed {} budget {}, but the record says \
+                 \"{}\" seed {} budget {}",
+                doc.workload.name,
+                doc.workload.seed,
+                doc.workload.budget,
+                rec.workload,
+                rec.seed,
+                rec.budget,
+            ));
+        }
+        let trace = doc.generate();
+        execute(&doc.engine, trace.source(), rec.sample.as_ref())?
+    };
+
+    let mut s = String::new();
+    let cell_note = match rec.cell_index {
+        Some(i) => format!(", sweep cell {i}"),
+        None => String::new(),
+    };
+    let _ = writeln!(
+        s,
+        "replaying {session_path}: workload \"{}\" (seed {}, budget {}){cell_note}",
+        rec.workload, rec.seed, rec.budget,
+    );
+    if let Some(plan) = &rec.sample {
+        let _ = writeln!(s, "  sampled plan {}", plan.name());
+    }
+    let diffs = rec.diff_stats(&stats);
+    if diffs.is_empty() {
+        let _ = writeln!(
+            s,
+            "SimStats bit-identical: {}/{} fields match (digest {:#018x})",
+            SIM_STATS_FIELDS.len(),
+            SIM_STATS_FIELDS.len(),
+            stats.digest(),
+        );
+        emit(out, &s)
+    } else {
+        for d in &diffs {
+            let _ = writeln!(s, "  {d}");
+        }
+        emit(out, &s)?;
+        Err(format!(
+            "replay DIVERGED from session {session_path:?}: {}/{} fields differ",
+            diffs.len(),
+            SIM_STATS_FIELDS.len(),
+        ))
+    }
 }
 
 /// `resim describe`: dump the resolved configuration without running.

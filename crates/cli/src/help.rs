@@ -22,6 +22,8 @@ COMMANDS:
     sample     SMARTS sampled simulation with confidence-bounded IPC
     sweep      scenario-grid execution with CSV/Markdown reports
     describe   dump the resolved engine/memory/predictor configuration
+    record     run and capture a replayable RSSN session file
+    replay     re-execute a recorded session and diff the statistics
     help       print this help, or a subcommand's with `resim help <cmd>`
 
 OPTIONS:
@@ -47,6 +49,9 @@ OPTIONS:
                              then <workload>.trace)
         --budget <N>         override the [workload] budget key
         --seed <N>           override the [workload] seed key
+        --layout <V>         body layout version: 1 (default, the
+                             paper's Table 3 codec) or 2 (delta-encoded
+                             PCs and run-length-encoded branch bits)
     -h, --help               print help
 ";
 
@@ -126,4 +131,47 @@ USAGE:
 OPTIONS:
     -s, --scenario <FILE>    TOML scenario file (required)
     -h, --help               print help
+";
+
+/// `resim record --help`.
+pub const RECORD_HELP: &str = "\
+resim record — run and capture a replayable RSSN session file
+
+Executes the scenario's run — full-detail, sampled (when a [sample]
+section is present), or one sweep-grid cell with --cell — and writes a
+versioned session record (magic \"RSSN\") capturing every
+nondeterministic input: engine and tracegen fingerprints, workload,
+seed, budget, sample plan, the scenario text itself, the resulting
+statistics with a digest, and (for --trace runs) the whole trace
+container, so `resim replay` re-executes bit-identically anywhere.
+
+USAGE:
+    resim record --scenario <FILE> [OPTIONS]
+
+OPTIONS:
+    -s, --scenario <FILE>    TOML scenario file (required)
+    -t, --trace <FILE>       run this trace container and embed it in
+                             the session (self-contained replay)
+    -o, --out <FILE>         session path (default: <workload>.rssn,
+                             or <workload>-cell<N>.rssn with --cell)
+        --cell <N>           record cell N of the [sweep] grid
+    -h, --help               print help
+";
+
+/// `resim replay --help`.
+pub const REPLAY_HELP: &str = "\
+resim replay — re-execute a recorded session and diff the statistics
+
+Loads an RSSN session file, re-parses its embedded scenario,
+cross-checks the engine and tracegen fingerprints, re-executes the run
+(from the embedded trace container when present, else by regenerating
+from the recorded workload/seed/budget), and compares every statistics
+field against what was recorded. Exits non-zero on any divergence.
+
+USAGE:
+    resim replay --session <FILE>
+
+OPTIONS:
+    -s, --session <FILE>    RSSN session file (required)
+    -h, --help              print help
 ";

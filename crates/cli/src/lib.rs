@@ -9,7 +9,7 @@
 //! every config mistake is a `file:line:` diagnostic rather than a
 //! Rust compile error.
 //!
-//! Five subcommands cover the paper's workflows:
+//! Seven subcommands cover the paper's workflows:
 //!
 //! * `resim trace` — generate a workload trace once, on disk;
 //! * `resim run` — full-detail simulation of a trace file or inline
@@ -18,7 +18,12 @@
 //! * `resim sweep` — bulk design-space grids with CSV/Markdown
 //!   reports, replaying trace files instead of regenerating;
 //! * `resim describe` — dump the resolved configuration (Figure 1
-//!   block diagram included) without running.
+//!   block diagram included) without running;
+//! * `resim record` — execute a run and capture every
+//!   nondeterministic input plus the resulting statistics in one RSSN
+//!   session file (`resim-session`);
+//! * `resim replay` — re-execute a recorded session and diff the
+//!   statistics field for field.
 //!
 //! See `docs/guide.md` for the quickstart and the complete
 //! scenario-file reference.
@@ -68,6 +73,8 @@ pub fn run_cli(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32
                 Some("sample") => help::SAMPLE_HELP,
                 Some("sweep") => help::SWEEP_HELP,
                 Some("describe") => help::DESCRIBE_HELP,
+                Some("record") => help::RECORD_HELP,
+                Some("replay") => help::REPLAY_HELP,
                 Some(other) => {
                     let _ = writeln!(err, "resim: no help for unknown command {other:?}");
                     return 2;
@@ -85,7 +92,8 @@ pub fn run_cli(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32
             out: out_path,
             budget,
             seed,
-        } => commands::trace(scenario, out_path.as_deref(), *budget, *seed, out),
+            layout,
+        } => commands::trace(scenario, out_path.as_deref(), *budget, *seed, *layout, out),
         Command::Run { scenario, trace } => commands::run(scenario, trace.as_deref(), out),
         Command::Sample { scenario, trace } => commands::sample(scenario, trace.as_deref(), out),
         Command::Sweep {
@@ -105,6 +113,13 @@ pub fn run_cli(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32
             out,
         ),
         Command::Describe { scenario } => commands::describe(scenario, out),
+        Command::Record {
+            scenario,
+            trace,
+            out: out_path,
+            cell,
+        } => commands::record(scenario, trace.as_deref(), out_path.as_deref(), *cell, out),
+        Command::Replay { session } => commands::replay(session, out),
     };
     match result {
         Ok(()) => 0,

@@ -88,4 +88,4 @@ pub use rob::{InstState, PendingSet, ReorderBuffer, RobEntry};
 pub use scheduler::MinorCycleScheduler;
 pub use stages::{Stage, StageActivity, TraceFeed};
 pub use state::CoreState;
-pub use stats::SimStats;
+pub use stats::{SimStats, SIM_STATS_FIELDS};

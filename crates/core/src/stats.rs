@@ -78,7 +78,189 @@ pub struct SimStats {
     pub memory: MemorySystemStats,
 }
 
+/// Names of every [`SimStats`] counter, in [`SimStats::to_words`] order.
+///
+/// Nested predictor and memory-system counters are flattened with a
+/// dotted prefix, so a field-for-field diff (the `resim replay` report)
+/// can name exactly which counter drifted.
+pub const SIM_STATS_FIELDS: [&str; 42] = [
+    "cycles",
+    "minor_cycles",
+    "committed",
+    "fetched",
+    "wrong_path_fetched",
+    "wrong_path_discarded",
+    "committed_loads",
+    "committed_stores",
+    "committed_branches",
+    "mispredict_recoveries",
+    "misfetches",
+    "squashed",
+    "dispatch_stall_rb",
+    "dispatch_stall_lsq",
+    "fetch_stall_cycles",
+    "load_forwards",
+    "issued",
+    "ifq_occupancy_sum",
+    "rb_occupancy_sum",
+    "lsq_occupancy_sum",
+    "ifq_occupancy_max",
+    "rb_occupancy_max",
+    "lsq_occupancy_max",
+    "predictor.branches",
+    "predictor.cond_branches",
+    "predictor.correct",
+    "predictor.misfetches",
+    "predictor.dir_mispredicts",
+    "predictor.ras_predictions",
+    "predictor.ras_correct",
+    "memory.l1i.reads",
+    "memory.l1i.writes",
+    "memory.l1i.read_hits",
+    "memory.l1i.write_hits",
+    "memory.l1i.evictions",
+    "memory.l1d.reads",
+    "memory.l1d.writes",
+    "memory.l1d.read_hits",
+    "memory.l1d.write_hits",
+    "memory.l1d.evictions",
+    "memory.perfect_inst_accesses",
+    "memory.perfect_data_accesses",
+];
+
 impl SimStats {
+    /// Flattens every counter — nested predictor and memory-system blocks
+    /// included — into a fixed-order word vector.
+    ///
+    /// The order is [`SIM_STATS_FIELDS`]; [`SimStats::from_words`] inverts
+    /// it and [`SimStats::digest`] hashes it. This is the serialization
+    /// the session record/replay machinery stores and diffs: two runs are
+    /// bit-identical exactly when their word vectors are equal.
+    pub fn to_words(&self) -> Vec<u64> {
+        let p = &self.predictor;
+        let m = &self.memory;
+        vec![
+            self.cycles,
+            self.minor_cycles,
+            self.committed,
+            self.fetched,
+            self.wrong_path_fetched,
+            self.wrong_path_discarded,
+            self.committed_loads,
+            self.committed_stores,
+            self.committed_branches,
+            self.mispredict_recoveries,
+            self.misfetches,
+            self.squashed,
+            self.dispatch_stall_rb,
+            self.dispatch_stall_lsq,
+            self.fetch_stall_cycles,
+            self.load_forwards,
+            self.issued,
+            self.ifq_occupancy_sum,
+            self.rb_occupancy_sum,
+            self.lsq_occupancy_sum,
+            self.ifq_occupancy_max,
+            self.rb_occupancy_max,
+            self.lsq_occupancy_max,
+            p.branches,
+            p.cond_branches,
+            p.correct,
+            p.misfetches,
+            p.dir_mispredicts,
+            p.ras_predictions,
+            p.ras_correct,
+            m.l1i.reads,
+            m.l1i.writes,
+            m.l1i.read_hits,
+            m.l1i.write_hits,
+            m.l1i.evictions,
+            m.l1d.reads,
+            m.l1d.writes,
+            m.l1d.read_hits,
+            m.l1d.write_hits,
+            m.l1d.evictions,
+            m.perfect_inst_accesses,
+            m.perfect_data_accesses,
+        ]
+    }
+
+    /// Rebuilds statistics from a [`SimStats::to_words`] vector; `None`
+    /// if `words` is not exactly [`SIM_STATS_FIELDS`] long.
+    pub fn from_words(words: &[u64]) -> Option<SimStats> {
+        if words.len() != SIM_STATS_FIELDS.len() {
+            return None;
+        }
+        let mut it = words.iter().copied();
+        let mut next = move || it.next().expect("length checked above");
+        let mut s = SimStats {
+            cycles: next(),
+            minor_cycles: next(),
+            committed: next(),
+            fetched: next(),
+            wrong_path_fetched: next(),
+            wrong_path_discarded: next(),
+            committed_loads: next(),
+            committed_stores: next(),
+            committed_branches: next(),
+            mispredict_recoveries: next(),
+            misfetches: next(),
+            squashed: next(),
+            dispatch_stall_rb: next(),
+            dispatch_stall_lsq: next(),
+            fetch_stall_cycles: next(),
+            load_forwards: next(),
+            issued: next(),
+            ifq_occupancy_sum: next(),
+            rb_occupancy_sum: next(),
+            lsq_occupancy_sum: next(),
+            ifq_occupancy_max: next(),
+            rb_occupancy_max: next(),
+            lsq_occupancy_max: next(),
+            ..SimStats::default()
+        };
+        s.predictor.branches = next();
+        s.predictor.cond_branches = next();
+        s.predictor.correct = next();
+        s.predictor.misfetches = next();
+        s.predictor.dir_mispredicts = next();
+        s.predictor.ras_predictions = next();
+        s.predictor.ras_correct = next();
+        s.memory.l1i.reads = next();
+        s.memory.l1i.writes = next();
+        s.memory.l1i.read_hits = next();
+        s.memory.l1i.write_hits = next();
+        s.memory.l1i.evictions = next();
+        s.memory.l1d.reads = next();
+        s.memory.l1d.writes = next();
+        s.memory.l1d.read_hits = next();
+        s.memory.l1d.write_hits = next();
+        s.memory.l1d.evictions = next();
+        s.memory.perfect_inst_accesses = next();
+        s.memory.perfect_data_accesses = next();
+        Some(s)
+    }
+
+    /// A platform-stable FNV-1a digest over the [`SimStats::to_words`]
+    /// vector (little-endian bytes, field order fixed).
+    ///
+    /// Two runs share a digest exactly when every counter matches, so a
+    /// recorded session can assert replay fidelity with one word — and
+    /// fall back to the word vector for the field-by-field diff when the
+    /// digest disagrees.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for w in self.to_words() {
+            for b in w.to_le_bytes() {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        }
+        hash
+    }
+
     /// Composes the statistics of two runs (or of two windows of one run)
     /// into the statistics of the concatenated run: every count — cycles
     /// included — adds, occupancy *sums* add, occupancy *maxima* take the
@@ -281,6 +463,41 @@ mod tests {
         // Identity and symmetry.
         assert_eq!(a.merge(&SimStats::default()), a);
         assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    #[test]
+    fn words_roundtrip_every_field() {
+        // A stats block where every field holds a distinct value: the
+        // roundtrip catches any swapped or dropped field.
+        let words: Vec<u64> = (1..=SIM_STATS_FIELDS.len() as u64).collect();
+        let s = SimStats::from_words(&words).unwrap();
+        assert_eq!(s.to_words(), words);
+        assert_eq!(s.cycles, 1);
+        assert_eq!(s.lsq_occupancy_max, 23);
+        assert_eq!(s.predictor.branches, 24);
+        assert_eq!(s.memory.l1i.reads, 31);
+        assert_eq!(s.memory.perfect_data_accesses, 42);
+        assert_eq!(SimStats::from_words(&words[1..]), None);
+        assert_eq!(SimStats::default().to_words(), vec![0; SIM_STATS_FIELDS.len()]);
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_every_field() {
+        let base = SimStats::default();
+        let base_digest = base.digest();
+        for i in 0..SIM_STATS_FIELDS.len() {
+            let mut words = base.to_words();
+            words[i] += 1;
+            let bumped = SimStats::from_words(&words).unwrap();
+            assert_ne!(
+                bumped.digest(),
+                base_digest,
+                "digest must react to {}",
+                SIM_STATS_FIELDS[i]
+            );
+        }
+        // Deterministic across calls.
+        assert_eq!(base.digest(), SimStats::default().digest());
     }
 
     #[test]

@@ -36,9 +36,9 @@ use crate::Trace;
 use std::error::Error;
 use std::fmt;
 
-const FMT_OTHER: u32 = 0;
-const FMT_MEM: u32 = 1;
-const FMT_BRANCH: u32 = 2;
+pub(crate) const FMT_OTHER: u32 = 0;
+pub(crate) const FMT_MEM: u32 = 1;
+pub(crate) const FMT_BRANCH: u32 = 2;
 
 /// Version of the record bit layout this codec produces.
 ///
@@ -145,11 +145,12 @@ impl TraceEncoder {
             len_bits,
             records: self.records,
             stats: self.stats,
+            layout: TRACE_LAYOUT_VERSION,
         }
     }
 }
 
-fn put_reg(w: &mut BitWriter, reg: Option<Reg>) {
+pub(crate) fn put_reg(w: &mut BitWriter, reg: Option<Reg>) {
     match reg {
         Some(r) => {
             w.put_bool(true);
@@ -159,7 +160,7 @@ fn put_reg(w: &mut BitWriter, reg: Option<Reg>) {
     }
 }
 
-fn get_reg<B: BitRead>(r: &mut B) -> Result<Option<Reg>, DecodeError> {
+pub(crate) fn get_reg<B: BitRead>(r: &mut B) -> Result<Option<Reg>, DecodeError> {
     let present = r.get_bool().ok_or(DecodeError::Truncated)?;
     if !present {
         return Ok(None);
@@ -175,12 +176,50 @@ pub struct EncodedTrace {
     len_bits: u64,
     records: u64,
     stats: TraceStats,
+    layout: u16,
 }
 
 impl EncodedTrace {
+    pub(crate) fn from_raw_parts(
+        bytes: Vec<u8>,
+        len_bits: u64,
+        records: u64,
+        stats: TraceStats,
+        layout: u16,
+    ) -> Self {
+        Self {
+            bytes,
+            len_bits,
+            records,
+            stats,
+            layout,
+        }
+    }
+
+    /// Test-only: reinterprets raw bytes as a v2 body of `len_bits`
+    /// bits (no stats, no record count). Lets the fuzz suites clip a
+    /// stream at an arbitrary bit without going through a container.
+    #[doc(hidden)]
+    pub fn from_bytes_v2_for_test(bytes: Vec<u8>, len_bits: u64) -> Self {
+        Self::from_raw_parts(
+            bytes,
+            len_bits,
+            0,
+            TraceStats::default(),
+            crate::codec_v2::TRACE_LAYOUT_VERSION_V2,
+        )
+    }
+
     /// The packed bytes (the final byte may be partially used).
     pub fn bytes(&self) -> &[u8] {
         &self.bytes
+    }
+
+    /// The record bit-layout version of this stream
+    /// ([`TRACE_LAYOUT_VERSION`] or
+    /// [`TRACE_LAYOUT_VERSION_V2`](crate::TRACE_LAYOUT_VERSION_V2)).
+    pub fn layout_version(&self) -> u16 {
+        self.layout
     }
 
     /// Exact number of payload bits.
@@ -203,17 +242,24 @@ impl EncodedTrace {
         &self.stats
     }
 
-    /// Decodes the whole trace back into record form.
+    /// Decodes the whole trace back into record form, dispatching on the
+    /// stream's layout version.
     ///
     /// # Errors
     ///
     /// Returns a [`DecodeError`] if the bit stream is truncated or contains
     /// an invalid format/enum field.
     pub fn decode(&self) -> Result<Trace, DecodeError> {
-        let mut dec = TraceDecoder::new(&self.bytes, self.len_bits);
+        let mut src = self.source();
         let mut out = Vec::with_capacity(self.records as usize);
-        while let Some(r) = dec.next_record()? {
-            out.push(r);
+        {
+            use crate::TraceSource as _;
+            while let Some(r) = src.next_record() {
+                out.push(r);
+            }
+        }
+        if let Some(e) = src.error() {
+            return Err(e);
         }
         Ok(Trace::from_records(out))
     }
@@ -221,13 +267,22 @@ impl EncodedTrace {
     /// A streaming [`TraceSource`](crate::TraceSource) decoding records on
     /// the fly.
     ///
-    /// [`TraceSource::skip`](crate::TraceSource::skip) on the returned
-    /// source uses the codec-level
-    /// fast path ([`TraceDecoder::skip_record`]) — records are paged over
-    /// without being materialised.
+    /// [`TraceSource::skip`](crate::TraceSource::skip) on a v1 source uses
+    /// the codec-level fast path ([`TraceDecoder::skip_record`]) — records
+    /// are paged over without being materialised. A v2 stream chains
+    /// decoder state through every record, so its skip decodes and
+    /// discards.
     pub fn source(&self) -> EncodedSource<'_> {
+        let inner = if self.layout == crate::codec_v2::TRACE_LAYOUT_VERSION_V2 {
+            SourceInner::V2 {
+                reader: BitReader::new(&self.bytes, self.len_bits),
+                state: crate::codec_v2::V2State::default(),
+            }
+        } else {
+            SourceInner::V1(TraceDecoder::new(&self.bytes, self.len_bits))
+        };
         EncodedSource {
-            decoder: TraceDecoder::new(&self.bytes, self.len_bits),
+            inner,
             remaining: self.records,
             error: None,
         }
@@ -243,9 +298,41 @@ impl EncodedTrace {
 /// produced by [`TraceEncoder`] never error.
 #[derive(Debug, Clone)]
 pub struct EncodedSource<'a> {
-    decoder: TraceDecoder<'a>,
+    inner: SourceInner<'a>,
     remaining: u64,
     error: Option<DecodeError>,
+}
+
+/// The layout-specific decoder behind an [`EncodedSource`].
+#[derive(Debug, Clone)]
+enum SourceInner<'a> {
+    V1(TraceDecoder<'a>),
+    V2 {
+        reader: BitReader<'a>,
+        state: crate::codec_v2::V2State,
+    },
+}
+
+impl SourceInner<'_> {
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, DecodeError> {
+        match self {
+            SourceInner::V1(dec) => dec.next_record(),
+            SourceInner::V2 { reader, state } => {
+                crate::codec_v2::decode_record_bits_v2(reader, state)
+            }
+        }
+    }
+
+    /// Advances past one record; v1 uses the decode-and-discard fast
+    /// path, v2 must fully decode to keep its delta chains threaded.
+    fn skip_record(&mut self) -> Result<bool, DecodeError> {
+        match self {
+            SourceInner::V1(dec) => dec.skip_record(),
+            SourceInner::V2 { reader, state } => {
+                crate::codec_v2::decode_record_bits_v2(reader, state).map(|r| r.is_some())
+            }
+        }
+    }
 }
 
 impl EncodedSource<'_> {
@@ -260,7 +347,7 @@ impl crate::TraceSource for EncodedSource<'_> {
         if self.error.is_some() {
             return None;
         }
-        match self.decoder.next_record() {
+        match self.inner.next_record() {
             Ok(Some(r)) => {
                 self.remaining = self.remaining.saturating_sub(1);
                 Some(r)
@@ -279,7 +366,7 @@ impl crate::TraceSource for EncodedSource<'_> {
         // PC) stays hot instead of being reloaded per pulled record.
         let mut n = 0;
         while n < buf.len() && self.error.is_none() {
-            match self.decoder.next_record() {
+            match self.inner.next_record() {
                 Ok(Some(r)) => {
                     buf[n] = r;
                     n += 1;
@@ -302,7 +389,7 @@ impl crate::TraceSource for EncodedSource<'_> {
     fn skip(&mut self, n: u64) -> u64 {
         let mut skipped = 0;
         while skipped < n && self.error.is_none() {
-            match self.decoder.skip_record() {
+            match self.inner.skip_record() {
                 Ok(true) => skipped += 1,
                 Ok(false) => break,
                 Err(e) => {
@@ -539,6 +626,8 @@ pub enum DecodeError {
     BadEnum(&'static str),
     /// First record used implicit-PC encoding (nothing to inherit from).
     MissingPc,
+    /// A v2 varint claimed more groups than a 64-bit value can need.
+    BadVarint,
 }
 
 impl fmt::Display for DecodeError {
@@ -550,6 +639,7 @@ impl fmt::Display for DecodeError {
             DecodeError::MissingPc => {
                 write!(f, "implicit pc encoding with no preceding record")
             }
+            DecodeError::BadVarint => write!(f, "overlong varint in v2 stream"),
         }
     }
 }
@@ -756,7 +846,7 @@ mod tests {
         let trace = Trace::from_records(sample_records());
         let enc = trace.encode();
         let mut bad = EncodedSource {
-            decoder: TraceDecoder::new(enc.bytes(), enc.len_bits() - 8),
+            inner: SourceInner::V1(TraceDecoder::new(enc.bytes(), enc.len_bits() - 8)),
             remaining: enc.len(),
             error: None,
         };

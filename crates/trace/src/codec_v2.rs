@@ -1,0 +1,594 @@
+//! The RSTR v2 record bit layout: delta/run-length compression on top of
+//! the v1 field inventory.
+//!
+//! Layout version 2 carries exactly the same information as the Table-3
+//! layout in [`codec`](crate::codec) — the three record formats, the Tag
+//! bit, full 32-bit addresses and targets — but spends its bits where the
+//! streams are predictable instead of padding every record to a byte
+//! boundary:
+//!
+//! * **Grouped PC runs.** Records are framed in *groups*: one PC field
+//!   (a zigzag varint delta against the PC the previous record implied,
+//!   or an explicit 32-bit escape) followed by a varint run length `n`,
+//!   then `1 + n` record payloads that all ride the implied-PC chain.
+//!   Sequential code costs its PC once per basic block instead of once
+//!   per discontinuity *plus* a flag bit per record.
+//! * **Run-length-encoded branch outcomes.** Branch directions are a
+//!   highly biased bit stream; v2 stores them as alternating run lengths.
+//!   The first run carries one direction bit; every later run flips the
+//!   direction implicitly, so `k` consecutive same-direction branches
+//!   cost one small varint instead of `k` bits.
+//! * **Delta-coded addresses.** A memory record's effective address is a
+//!   zigzag varint delta against the previous memory record's address; a
+//!   branch target is a delta against its own PC. Both fall back to an
+//!   explicit 32-bit escape when the delta would not pay for itself.
+//! * **No per-record alignment.** Records pack back to back; only the
+//!   container's byte stream pads the final byte.
+//!
+//! Wire layout (LSB-first bit order):
+//!
+//! ```text
+//! body     = group*                      until the record count is reached
+//! group    = pcfield varint(n) record{1+n}
+//! pcfield  = 1 varint(zigzag(pc - expected_pc))   delta form
+//!          | 0 pc(32)                             escape form
+//! record   = fmt(2) tag(1) payload
+//! O        : class(2) dest?(1[+6]) src1?(1[+6]) src2?(1[+6])
+//! M        : kind(1) size(2) addrfield base?(1[+6]) data?(1[+6])
+//! B        : kind(3) [run start: [first run only: dir(1)] rle(len-1)]
+//!            targetfield src1?(1[+6]) src2?(1[+6])
+//! varint   = (cont(1) group(7))+        LSB group first, ≤ 10 groups
+//! rle      = (cont(1) group(2))+        LSB group first, ≤ 32 groups
+//! ```
+//!
+//! `expected_pc` starts at 0; a memory record's address reference starts
+//! at 0. Decoding is strictly streaming: the decoder state is a handful
+//! of words ([`V2State`]) regardless of trace length, so the same record
+//! parser serves in-memory buffers and the on-disk
+//! [`FileSource`](crate::FileSource).
+
+use crate::bits::{BitRead, BitWriter};
+use crate::codec::{
+    get_reg, put_reg, DecodeError, EncodedTrace, FMT_BRANCH, FMT_MEM, FMT_OTHER,
+};
+use crate::record::{
+    BranchKind, BranchRecord, MemKind, MemRecord, MemSize, OpClass, OtherRecord, TraceRecord,
+};
+use crate::stats::TraceStats;
+
+/// The layout version tag written by [`encode_v2`](crate::Trace::encode_v2).
+///
+/// Containers carrying this tag in their header are decoded by the
+/// routines in this module; version-1 bodies keep decoding through the
+/// original Table-3 codec, bit for bit.
+pub const TRACE_LAYOUT_VERSION_V2: u16 = 2;
+
+/// Largest zigzag value the delta form of a PC/address/target field may
+/// carry: three 7-bit varint groups (25 bits with the mode flag) still
+/// undercut the 33-bit explicit escape; a fourth group would not.
+const DELTA_MAX: u32 = (1 << 21) - 1;
+
+fn zigzag(delta: u32) -> u32 {
+    let d = delta as i32;
+    ((d << 1) ^ (d >> 31)) as u32
+}
+
+fn unzigzag(z: u32) -> u32 {
+    (z >> 1) ^ 0u32.wrapping_sub(z & 1)
+}
+
+/// Appends `v` as a bit-level LEB128 varint: 8-bit groups of one
+/// continuation flag plus seven value bits, least-significant group first.
+pub(crate) fn put_varint(w: &mut BitWriter, mut v: u64) {
+    loop {
+        let group = (v & 0x7F) as u32;
+        v >>= 7;
+        w.put_bool(v != 0);
+        w.put(group, 7);
+        if v == 0 {
+            break;
+        }
+    }
+}
+
+/// Reads a varint written by [`put_varint`].
+///
+/// A stream claiming more than the ten groups a `u64` can need is
+/// malformed ([`DecodeError::BadVarint`]), not an infinite loop.
+pub(crate) fn get_varint<B: BitRead>(r: &mut B) -> Result<u64, DecodeError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let cont = r.get_bool().ok_or(DecodeError::Truncated)?;
+        let group = u64::from(r.get(7).ok_or(DecodeError::Truncated)?);
+        if shift == 63 && group > 1 {
+            return Err(DecodeError::BadVarint);
+        }
+        v |= group << shift;
+        if !cont {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(DecodeError::BadVarint);
+        }
+    }
+}
+
+/// Appends `v` as a run-length varint: 3-bit groups of one continuation
+/// flag plus two value bits. Outcome runs are usually short, so the
+/// smallest group size that still grows geometrically wins.
+fn put_rle(w: &mut BitWriter, mut v: u64) {
+    loop {
+        let group = (v & 0x3) as u32;
+        v >>= 2;
+        w.put_bool(v != 0);
+        w.put(group, 2);
+        if v == 0 {
+            break;
+        }
+    }
+}
+
+fn get_rle<B: BitRead>(r: &mut B) -> Result<u64, DecodeError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let cont = r.get_bool().ok_or(DecodeError::Truncated)?;
+        let group = u64::from(r.get(2).ok_or(DecodeError::Truncated)?);
+        v |= group << shift;
+        if !cont {
+            return Ok(v);
+        }
+        shift += 2;
+        if shift > 62 {
+            return Err(DecodeError::BadVarint);
+        }
+    }
+}
+
+/// Writes a 32-bit field as either a zigzag varint delta against
+/// `reference` or an explicit escape, whichever is shorter.
+fn put_delta_field(w: &mut BitWriter, actual: u32, reference: u32) {
+    let zz = zigzag(actual.wrapping_sub(reference));
+    if zz <= DELTA_MAX {
+        w.put_bool(true);
+        put_varint(w, u64::from(zz));
+    } else {
+        w.put_bool(false);
+        w.put(actual, 32);
+    }
+}
+
+fn get_delta_field<B: BitRead>(r: &mut B, reference: u32) -> Result<u32, DecodeError> {
+    if r.get_bool().ok_or(DecodeError::Truncated)? {
+        let zz = get_varint(r)?;
+        let zz = u32::try_from(zz).map_err(|_| DecodeError::BadVarint)?;
+        Ok(reference.wrapping_add(unzigzag(zz)))
+    } else {
+        r.get(32).ok_or(DecodeError::Truncated)
+    }
+}
+
+/// Encodes a whole record sequence into the v2 bit layout.
+///
+/// Unlike the v1 [`TraceEncoder`](crate::TraceEncoder), v2 encoding is a
+/// whole-trace pass: forming PC groups and outcome runs needs lookahead,
+/// which an on-the-fly link encoder does not have. The returned
+/// [`EncodedTrace`] reports [`TRACE_LAYOUT_VERSION_V2`] and decodes
+/// through the same `decode`/`source` entry points as a v1 trace.
+pub(crate) fn encode_v2(records: &[TraceRecord]) -> EncodedTrace {
+    let mut w = BitWriter::new();
+    let mut stats = TraceStats::new();
+    let mut expected_pc: u32 = 0;
+    let mut prev_addr: u32 = 0;
+    let mut outcome: Option<bool> = None;
+    let mut outcome_left: u64 = 0;
+    let mut i = 0usize;
+    while i < records.len() {
+        let group_start = w.len_bits();
+        put_delta_field(&mut w, records[i].pc(), expected_pc);
+        // Maximal run of records riding the implied-PC chain.
+        let mut run = 0u64;
+        let mut chain = records[i].implied_next_pc();
+        while let Some(r) = records.get(i + 1 + run as usize) {
+            if r.pc() != chain {
+                break;
+            }
+            chain = r.implied_next_pc();
+            run += 1;
+        }
+        put_varint(&mut w, run);
+        let header_bits = w.len_bits() - group_start;
+        for k in 0..=(run as usize) {
+            let r = &records[i + k];
+            let before = w.len_bits();
+            encode_record_v2(
+                &mut w,
+                r,
+                &mut prev_addr,
+                &mut outcome,
+                &mut outcome_left,
+                records,
+                i + k,
+            );
+            let mut bits = w.len_bits() - before;
+            if k == 0 {
+                // The group header is billed to the record that opened it.
+                bits += header_bits;
+            }
+            stats.account(r, bits);
+        }
+        i += run as usize + 1;
+        expected_pc = records[i - 1].implied_next_pc();
+    }
+    let (bytes, len_bits) = w.finish();
+    EncodedTrace::from_raw_parts(
+        bytes,
+        len_bits,
+        records.len() as u64,
+        stats,
+        TRACE_LAYOUT_VERSION_V2,
+    )
+}
+
+fn encode_record_v2(
+    w: &mut BitWriter,
+    record: &TraceRecord,
+    prev_addr: &mut u32,
+    outcome: &mut Option<bool>,
+    outcome_left: &mut u64,
+    records: &[TraceRecord],
+    idx: usize,
+) {
+    let fmt = match record {
+        TraceRecord::Other(_) => FMT_OTHER,
+        TraceRecord::Mem(_) => FMT_MEM,
+        TraceRecord::Branch(_) => FMT_BRANCH,
+    };
+    w.put(fmt, 2);
+    w.put_bool(record.wrong_path());
+    match record {
+        TraceRecord::Other(o) => {
+            w.put(o.class.encode(), 2);
+            put_reg(w, o.dest);
+            put_reg(w, o.src1);
+            put_reg(w, o.src2);
+        }
+        TraceRecord::Mem(m) => {
+            w.put(m.kind.encode(), 1);
+            w.put(m.size.encode(), 2);
+            put_delta_field(w, m.addr, *prev_addr);
+            *prev_addr = m.addr;
+            put_reg(w, m.base);
+            put_reg(w, m.data);
+        }
+        TraceRecord::Branch(b) => {
+            w.put(b.kind.encode(), 3);
+            if *outcome_left == 0 {
+                // Start a new outcome run: maximal span of branches (the
+                // records between them do not matter) sharing `taken`.
+                let mut len = 1u64;
+                for r in &records[idx + 1..] {
+                    if let TraceRecord::Branch(nb) = r {
+                        if nb.taken == b.taken {
+                            len += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                if outcome.is_none() {
+                    // Only the very first run spells out its direction;
+                    // maximality makes every later run a flip.
+                    w.put_bool(b.taken);
+                }
+                put_rle(w, len - 1);
+                *outcome = Some(b.taken);
+                *outcome_left = len;
+            }
+            debug_assert_eq!(*outcome, Some(b.taken), "outcome runs must alternate");
+            *outcome_left -= 1;
+            put_delta_field(w, b.target, b.pc);
+            put_reg(w, b.src1);
+            put_reg(w, b.src2);
+        }
+    }
+}
+
+/// Streaming v2 decoder state: everything the record parser carries
+/// between records, O(1) in the trace length.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct V2State {
+    expected_pc: u32,
+    group_left: u64,
+    prev_addr: u32,
+    outcome: Option<bool>,
+    outcome_left: u64,
+}
+
+/// Decodes one v2 record from any [`BitRead`] source; `Ok(None)` at a
+/// clean end of stream (which can only fall on a group boundary).
+pub(crate) fn decode_record_bits_v2<B: BitRead>(
+    reader: &mut B,
+    st: &mut V2State,
+) -> Result<Option<TraceRecord>, DecodeError> {
+    let pc = if st.group_left == 0 {
+        if reader.remaining_bits() == 0 {
+            return Ok(None);
+        }
+        let pc = get_delta_field(reader, st.expected_pc)?;
+        let run = get_varint(reader)?;
+        st.group_left = run.checked_add(1).ok_or(DecodeError::BadVarint)?;
+        pc
+    } else {
+        st.expected_pc
+    };
+    st.group_left -= 1;
+    let fmt = reader.get(2).ok_or(DecodeError::Truncated)?;
+    if fmt > FMT_BRANCH {
+        return Err(DecodeError::BadFormat(fmt as u8));
+    }
+    let wrong_path = reader.get_bool().ok_or(DecodeError::Truncated)?;
+    let record = match fmt {
+        FMT_OTHER => {
+            let class = reader.get(2).ok_or(DecodeError::Truncated)?;
+            let class = OpClass::decode(class).ok_or(DecodeError::BadEnum("op class"))?;
+            let dest = get_reg(reader)?;
+            let src1 = get_reg(reader)?;
+            let src2 = get_reg(reader)?;
+            TraceRecord::Other(OtherRecord {
+                pc,
+                class,
+                dest,
+                src1,
+                src2,
+                wrong_path,
+            })
+        }
+        FMT_MEM => {
+            let kind = reader.get(1).ok_or(DecodeError::Truncated)?;
+            let kind = if kind == 0 { MemKind::Load } else { MemKind::Store };
+            let size = reader.get(2).ok_or(DecodeError::Truncated)?;
+            let size = MemSize::decode(size).ok_or(DecodeError::BadEnum("mem size"))?;
+            let addr = get_delta_field(reader, st.prev_addr)?;
+            st.prev_addr = addr;
+            let base = get_reg(reader)?;
+            let data = get_reg(reader)?;
+            TraceRecord::Mem(MemRecord {
+                pc,
+                addr,
+                size,
+                kind,
+                base,
+                data,
+                wrong_path,
+            })
+        }
+        _ => {
+            let kind = reader.get(3).ok_or(DecodeError::Truncated)?;
+            let kind = BranchKind::decode(kind).ok_or(DecodeError::BadEnum("branch kind"))?;
+            if st.outcome_left == 0 {
+                let dir = match st.outcome {
+                    None => reader.get_bool().ok_or(DecodeError::Truncated)?,
+                    Some(prev) => !prev,
+                };
+                let len = get_rle(reader)?.checked_add(1).ok_or(DecodeError::BadVarint)?;
+                st.outcome = Some(dir);
+                st.outcome_left = len;
+            }
+            let taken = st.outcome.unwrap_or(false);
+            st.outcome_left -= 1;
+            let target = get_delta_field(reader, pc)?;
+            let src1 = get_reg(reader)?;
+            let src2 = get_reg(reader)?;
+            TraceRecord::Branch(BranchRecord {
+                pc,
+                target,
+                taken,
+                kind,
+                src1,
+                src2,
+                wrong_path,
+            })
+        }
+    };
+    st.expected_pc = record.implied_next_pc();
+    Ok(Some(record))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitReader;
+    use crate::record::Reg;
+    use crate::Trace;
+
+    #[test]
+    fn varint_roundtrip() {
+        let values = [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            let mut w = BitWriter::new();
+            put_varint(&mut w, v);
+            let (bytes, bits) = w.finish();
+            let mut r = BitReader::new(&bytes, bits);
+            assert_eq!(get_varint(&mut r), Ok(v), "varint {v}");
+            assert_eq!(r.remaining_bits(), 0);
+        }
+    }
+
+    #[test]
+    fn rle_roundtrip() {
+        for v in (0u64..70).chain([1000, u64::MAX]) {
+            let mut w = BitWriter::new();
+            put_rle(&mut w, v);
+            let (bytes, bits) = w.finish();
+            let mut r = BitReader::new(&bytes, bits);
+            assert_eq!(get_rle(&mut r), Ok(v), "rle {v}");
+            assert_eq!(r.remaining_bits(), 0);
+        }
+    }
+
+    #[test]
+    fn overlong_varint_is_an_error_not_a_hang() {
+        // Eleven continuation groups: more than any u64 needs.
+        let mut w = BitWriter::new();
+        for _ in 0..11 {
+            w.put_bool(true);
+            w.put(0x7F, 7);
+        }
+        w.put_bool(false);
+        w.put(0, 7);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::new(&bytes, bits);
+        assert_eq!(get_varint(&mut r), Err(DecodeError::BadVarint));
+    }
+
+    #[test]
+    fn zigzag_maps_small_magnitudes_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(u32::MAX), 1); // -1
+        assert_eq!(zigzag(4), 8);
+        for d in [0u32, 1, 4, 0xFFFF_FFFC, 0x8000_0000, u32::MAX] {
+            assert_eq!(unzigzag(zigzag(d)), d);
+        }
+    }
+
+    #[test]
+    fn delta_field_escapes_large_jumps() {
+        // A delta too wide for three varint groups must fall back to the
+        // 33-bit escape instead of a 40-bit varint.
+        let mut w = BitWriter::new();
+        put_delta_field(&mut w, 0x8000_0000, 0);
+        assert_eq!(w.len_bits(), 33);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::new(&bytes, bits);
+        assert_eq!(get_delta_field(&mut r, 0), Ok(0x8000_0000));
+    }
+
+    fn alu(pc: u32) -> TraceRecord {
+        TraceRecord::Other(OtherRecord {
+            pc,
+            class: OpClass::IntAlu,
+            dest: Some(Reg::new(1)),
+            src1: Some(Reg::new(2)),
+            src2: None,
+            wrong_path: false,
+        })
+    }
+
+    fn branch(pc: u32, target: u32, taken: bool) -> TraceRecord {
+        TraceRecord::Branch(BranchRecord {
+            pc,
+            target,
+            taken,
+            kind: BranchKind::Cond,
+            src1: Some(Reg::new(4)),
+            src2: None,
+            wrong_path: false,
+        })
+    }
+
+    #[test]
+    fn sequential_block_costs_one_pc() {
+        let records: Vec<TraceRecord> = (0..64).map(|i| alu(0x1000 + i * 4)).collect();
+        let enc = encode_v2(&records);
+        let dec = enc.decode().unwrap();
+        assert_eq!(dec.records(), &records[..]);
+        // One group: a single PC field + run length frame all 64 records,
+        // and no per-record byte alignment. The v1 stream pads every
+        // record to 24 bits here.
+        let v1 = Trace::from_records(records).encode().len_bits();
+        assert!(
+            enc.len_bits() * 10 < v1 * 9,
+            "sequential code must beat v1 by >10% ({} vs {v1} bits)",
+            enc.len_bits()
+        );
+    }
+
+    #[test]
+    fn outcome_runs_alternate_and_roundtrip() {
+        // taken,taken,taken,not,not,taken — three runs; interleave ALUs to
+        // prove non-branch records do not split a run.
+        let mut records = Vec::new();
+        let outcomes = [true, true, true, false, false, true];
+        let mut pc = 0x2000;
+        for &t in &outcomes {
+            records.push(alu(pc));
+            pc += 4;
+            records.push(branch(pc, if t { pc + 0x40 } else { pc + 4 }, t));
+            pc = if t { pc + 0x40 } else { pc + 4 };
+        }
+        let enc = encode_v2(&records);
+        let dec = enc.decode().unwrap();
+        assert_eq!(dec.records(), &records[..]);
+    }
+
+    #[test]
+    fn mem_addr_deltas_roundtrip() {
+        let mk = |pc, addr| {
+            TraceRecord::Mem(MemRecord {
+                pc,
+                addr,
+                size: MemSize::Word,
+                kind: MemKind::Load,
+                base: Some(Reg::new(29)),
+                data: Some(Reg::new(4)),
+                wrong_path: false,
+            })
+        };
+        // Strided, backwards, and wild addresses.
+        let records = vec![
+            mk(0x100, 0x1000_0000),
+            mk(0x104, 0x1000_0004),
+            mk(0x108, 0x0FFF_FFF0),
+            mk(0x10C, 0xDEAD_BEEF),
+            mk(0x110, 0xDEAD_BEF3),
+        ];
+        let enc = encode_v2(&records);
+        assert_eq!(enc.decode().unwrap().records(), &records[..]);
+    }
+
+    #[test]
+    fn empty_trace_is_empty_stream() {
+        let enc = encode_v2(&[]);
+        assert_eq!(enc.len_bits(), 0);
+        assert!(enc.decode().unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncation_at_every_bit_errors_or_ends_cleanly() {
+        let mut records = Vec::new();
+        let mut pc = 0x400000;
+        for i in 0..10u32 {
+            records.push(alu(pc));
+            pc += 4;
+            if i % 3 == 2 {
+                records.push(branch(pc, pc + 0x20, i % 2 == 0));
+                pc += if i % 2 == 0 { 0x20 } else { 4 };
+            }
+        }
+        let enc = encode_v2(&records);
+        for cut in 0..enc.len_bits() {
+            let mut st = V2State::default();
+            let mut r = BitReader::new(enc.bytes(), cut);
+            // Must terminate with Ok(None) or an error — never panic.
+            while let Ok(Some(_)) = decode_record_bits_v2(&mut r, &mut st) {}
+        }
+    }
+
+    #[test]
+    fn stats_total_matches_stream_length() {
+        let records: Vec<TraceRecord> = (0..10)
+            .flat_map(|i| {
+                let base = 0x8000 + i * 0x100;
+                vec![alu(base), branch(base + 4, base + 0x100, true)]
+            })
+            .collect();
+        let enc = encode_v2(&records);
+        assert_eq!(enc.stats().total_bits(), enc.len_bits());
+        assert_eq!(enc.stats().total_records(), records.len() as u64);
+        assert_eq!(enc.layout_version(), TRACE_LAYOUT_VERSION_V2);
+    }
+}

@@ -12,9 +12,10 @@
 //! ## Layout
 //!
 //! All multi-byte fields are **little-endian**. The body is exactly the
-//! bit stream a [`TraceEncoder`](crate::TraceEncoder) produces (each
-//! record byte-aligned), so the container adds a fixed 50-byte header
-//! plus the workload id and nothing else:
+//! bit stream a [`TraceEncoder`](crate::TraceEncoder) (layout 1) or
+//! [`Trace::encode_v2`](crate::Trace::encode_v2) (layout 2) produces, so
+//! the container adds a fixed 50-byte header plus the workload id and
+//! nothing else:
 //!
 //! ```text
 //! offset  size  field
@@ -36,9 +37,11 @@
 //! * A reader rejects a file whose **container version** is newer than
 //!   its own ([`TRACE_CONTAINER_VERSION`]): the header layout itself may
 //!   have changed.
-//! * A reader rejects a file whose **bit-layout version** differs from
-//!   its codec's [`TRACE_LAYOUT_VERSION`](crate::TRACE_LAYOUT_VERSION):
-//!   same container, incompatible record stream.
+//! * A reader accepts a file whose **bit-layout version** is one of the
+//!   layouts its codec decodes ([`SUPPORTED_LAYOUT_VERSIONS`]) — the
+//!   original Table-3 layout 1 and the delta-compressed layout 2 — and
+//!   dispatches the body decoder on it. Anything else is rejected: same
+//!   container, incompatible record stream.
 //!
 //! ## Example
 //!
@@ -74,19 +77,23 @@ use crate::bits::BitRead;
 use crate::codec::{
     decode_record_bits, skip_record_bits, DecodeError, EncodedTrace, TRACE_LAYOUT_VERSION,
 };
+use crate::codec_v2::{decode_record_bits_v2, V2State, TRACE_LAYOUT_VERSION_V2};
 use crate::record::TraceRecord;
 use crate::source::TraceSource;
 use std::error::Error;
 use std::fmt;
 use std::fs;
 use std::io::{self, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// The four magic bytes opening every trace container.
 pub const TRACE_FILE_MAGIC: [u8; 4] = *b"RSTR";
 
 /// Version of the container layout (header framing) itself.
 pub const TRACE_CONTAINER_VERSION: u16 = 1;
+
+/// Record bit-layout versions this reader decodes.
+pub const SUPPORTED_LAYOUT_VERSIONS: [u16; 2] = [TRACE_LAYOUT_VERSION, TRACE_LAYOUT_VERSION_V2];
 
 /// The decoded header of an on-disk trace container.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,7 +121,9 @@ pub struct TraceFileHeader {
 impl TraceFileHeader {
     /// Builds a header describing `encoded`, with the correct-path count
     /// defaulting to the total record count (adjust with
-    /// [`TraceFileHeader::with_correct_records`] for tagged traces).
+    /// [`TraceFileHeader::with_correct_records`] for tagged traces). The
+    /// bit-layout version is taken from `encoded`, so v1 and v2 bodies
+    /// alike are framed correctly.
     pub fn for_trace(
         encoded: &EncodedTrace,
         workload: impl Into<String>,
@@ -123,7 +132,7 @@ impl TraceFileHeader {
     ) -> Self {
         Self {
             container_version: TRACE_CONTAINER_VERSION,
-            layout_version: TRACE_LAYOUT_VERSION,
+            layout_version: encoded.layout_version(),
             records: encoded.len(),
             correct_records: encoded.len(),
             len_bits: encoded.len_bits(),
@@ -184,9 +193,9 @@ impl TraceFileHeader {
     /// # Errors
     ///
     /// [`FileError::Io`] on short reads, [`FileError::BadMagic`] /
-    /// [`FileError::UnsupportedContainer`] / [`FileError::LayoutMismatch`]
-    /// on an alien or incompatible file, [`FileError::BadWorkloadId`] on
-    /// a non-UTF-8 workload id.
+    /// [`FileError::UnsupportedContainer`] /
+    /// [`FileError::UnsupportedLayout`] on an alien or incompatible file,
+    /// [`FileError::BadWorkloadId`] on a non-UTF-8 workload id.
     pub fn read_from<R: Read>(mut r: R) -> Result<Self, FileError> {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
@@ -195,11 +204,17 @@ impl TraceFileHeader {
         }
         let container_version = read_u16(&mut r)?;
         if container_version > TRACE_CONTAINER_VERSION {
-            return Err(FileError::UnsupportedContainer(container_version));
+            return Err(FileError::UnsupportedContainer {
+                found: container_version,
+                newest_supported: TRACE_CONTAINER_VERSION,
+            });
         }
         let layout_version = read_u16(&mut r)?;
-        if layout_version != TRACE_LAYOUT_VERSION {
-            return Err(FileError::LayoutMismatch(layout_version));
+        if !SUPPORTED_LAYOUT_VERSIONS.contains(&layout_version) {
+            return Err(FileError::UnsupportedLayout {
+                found: layout_version,
+                newest_supported: TRACE_LAYOUT_VERSION_V2,
+            });
         }
         let records = read_u64(&mut r)?;
         let correct_records = read_u64(&mut r)?;
@@ -244,14 +259,19 @@ fn read_u64<R: Read>(r: &mut R) -> Result<u64, FileError> {
 ///
 /// # Errors
 ///
-/// Propagates file-creation and write errors.
+/// File-creation and write failures come back as a [`TraceFileError`]
+/// naming the offending path.
 pub fn save_trace_file(
     path: impl AsRef<Path>,
     header: &TraceFileHeader,
     encoded: &EncodedTrace,
-) -> io::Result<()> {
-    let file = fs::File::create(path)?;
-    header.write_trace(io::BufWriter::new(file), encoded)
+) -> Result<(), TraceFileError> {
+    let path = path.as_ref();
+    let at = |e: io::Error| TraceFileError::new(path, FileError::Io(e.kind()));
+    let file = fs::File::create(path).map_err(at)?;
+    header
+        .write_trace(io::BufWriter::new(file), encoded)
+        .map_err(at)
 }
 
 /// A streaming [`TraceSource`] over an on-disk trace container.
@@ -270,9 +290,16 @@ pub fn save_trace_file(
 pub struct FileSource<R: Read> {
     header: TraceFileHeader,
     bits: StreamBits<R>,
-    expected_pc: Option<u32>,
+    body: BodyDecoder,
     remaining: u64,
     error: Option<FileError>,
+}
+
+/// Per-layout decoder state threaded through a [`FileSource`]'s body.
+#[derive(Debug)]
+enum BodyDecoder {
+    V1 { expected_pc: Option<u32> },
+    V2(V2State),
 }
 
 impl FileSource<io::BufReader<fs::File>> {
@@ -280,10 +307,14 @@ impl FileSource<io::BufReader<fs::File>> {
     ///
     /// # Errors
     ///
-    /// [`FileError::Io`] if the file cannot be opened, plus everything
+    /// A [`TraceFileError`] naming `path`: [`FileError::Io`] if the file
+    /// cannot be opened, plus everything
     /// [`TraceFileHeader::read_from`] rejects.
-    pub fn open(path: impl AsRef<Path>) -> Result<Self, FileError> {
-        Self::from_reader(io::BufReader::new(fs::File::open(path)?))
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceFileError> {
+        let path = path.as_ref();
+        let file =
+            fs::File::open(path).map_err(|e| TraceFileError::new(path, FileError::Io(e.kind())))?;
+        Self::from_reader(io::BufReader::new(file)).map_err(|e| TraceFileError::new(path, e))
     }
 }
 
@@ -299,11 +330,16 @@ impl<R: Read> FileSource<R> {
     pub fn from_reader(mut reader: R) -> Result<Self, FileError> {
         let header = TraceFileHeader::read_from(&mut reader)?;
         let bits = StreamBits::new(reader, header.len_bits);
+        let body = if header.layout_version == TRACE_LAYOUT_VERSION_V2 {
+            BodyDecoder::V2(V2State::default())
+        } else {
+            BodyDecoder::V1 { expected_pc: None }
+        };
         Ok(Self {
             remaining: header.records,
             header,
             bits,
-            expected_pc: None,
+            body,
             error: None,
         })
     }
@@ -326,6 +362,26 @@ impl<R: Read> FileSource<R> {
             None => FileError::Decode(decode),
         });
     }
+
+    /// Decodes the next record through the layout this file declared.
+    fn decode_next(&mut self) -> Result<Option<TraceRecord>, DecodeError> {
+        match &mut self.body {
+            BodyDecoder::V1 { expected_pc } => decode_record_bits(&mut self.bits, expected_pc),
+            BodyDecoder::V2(state) => decode_record_bits_v2(&mut self.bits, state),
+        }
+    }
+
+    /// Advances past one record. The v1 layout can skip without
+    /// materialising; v2 chains per-record state, so it decodes and
+    /// discards.
+    fn skip_next(&mut self) -> Result<bool, DecodeError> {
+        match &mut self.body {
+            BodyDecoder::V1 { expected_pc } => skip_record_bits(&mut self.bits, expected_pc),
+            BodyDecoder::V2(state) => {
+                decode_record_bits_v2(&mut self.bits, state).map(|r| r.is_some())
+            }
+        }
+    }
 }
 
 impl<R: Read> TraceSource for FileSource<R> {
@@ -333,7 +389,7 @@ impl<R: Read> TraceSource for FileSource<R> {
         if self.error.is_some() || self.remaining == 0 {
             return None;
         }
-        match decode_record_bits(&mut self.bits, &mut self.expected_pc) {
+        match self.decode_next() {
             Ok(Some(r)) => {
                 self.remaining -= 1;
                 Some(r)
@@ -356,7 +412,7 @@ impl<R: Read> TraceSource for FileSource<R> {
         // chain in registers across the whole batch.
         let mut n = 0;
         while n < buf.len() && self.error.is_none() && self.remaining > 0 {
-            match decode_record_bits(&mut self.bits, &mut self.expected_pc) {
+            match self.decode_next() {
                 Ok(Some(r)) => {
                     buf[n] = r;
                     n += 1;
@@ -382,7 +438,7 @@ impl<R: Read> TraceSource for FileSource<R> {
     fn skip(&mut self, n: u64) -> u64 {
         let mut skipped = 0;
         while skipped < n && self.error.is_none() && self.remaining > 0 {
-            match skip_record_bits(&mut self.bits, &mut self.expected_pc) {
+            match self.skip_next() {
                 Ok(true) => {
                     skipped += 1;
                     self.remaining -= 1;
@@ -535,10 +591,21 @@ pub enum FileError {
     /// The file does not start with [`TRACE_FILE_MAGIC`].
     BadMagic([u8; 4]),
     /// The container version is newer than this reader understands.
-    UnsupportedContainer(u16),
-    /// The record bit-layout version differs from this codec's
-    /// [`TRACE_LAYOUT_VERSION`](crate::TRACE_LAYOUT_VERSION).
-    LayoutMismatch(u16),
+    UnsupportedContainer {
+        /// Container version declared by the file.
+        found: u16,
+        /// Newest container version this reader parses
+        /// ([`TRACE_CONTAINER_VERSION`]).
+        newest_supported: u16,
+    },
+    /// The record bit-layout version is not one this codec decodes
+    /// ([`SUPPORTED_LAYOUT_VERSIONS`]).
+    UnsupportedLayout {
+        /// Layout version declared by the file.
+        found: u16,
+        /// Newest layout version this codec decodes.
+        newest_supported: u16,
+    },
     /// The workload id is not valid UTF-8.
     BadWorkloadId,
     /// The body bit stream is malformed or shorter than declared.
@@ -552,13 +619,21 @@ impl fmt::Display for FileError {
             FileError::BadMagic(m) => {
                 write!(f, "not a resim trace file (magic {m:02x?}, expected \"RSTR\")")
             }
-            FileError::UnsupportedContainer(v) => write!(
+            FileError::UnsupportedContainer {
+                found,
+                newest_supported,
+            } => write!(
                 f,
-                "trace container version {v} is newer than this reader ({TRACE_CONTAINER_VERSION})"
+                "trace container version {found} is newer than this reader \
+                 (newest supported: {newest_supported})"
             ),
-            FileError::LayoutMismatch(v) => write!(
+            FileError::UnsupportedLayout {
+                found,
+                newest_supported,
+            } => write!(
                 f,
-                "trace record layout version {v} does not match this codec ({TRACE_LAYOUT_VERSION})"
+                "trace record layout version {found} is not one this codec decodes \
+                 (supported: 1..={newest_supported})"
             ),
             FileError::BadWorkloadId => write!(f, "workload id is not valid UTF-8"),
             FileError::Decode(e) => write!(f, "trace body malformed: {e}"),
@@ -579,6 +654,49 @@ impl From<DecodeError> for FileError {
 }
 
 impl Error for FileError {}
+
+/// A [`FileError`] annotated with the path it occurred on.
+///
+/// Returned by the path-taking entry points ([`FileSource::open`],
+/// [`save_trace_file`]) so a diagnostic can always name the offending
+/// file; the path-free [`FileSource::from_reader`] keeps returning a
+/// bare [`FileError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFileError {
+    path: PathBuf,
+    error: FileError,
+}
+
+impl TraceFileError {
+    pub(crate) fn new(path: impl Into<PathBuf>, error: FileError) -> Self {
+        Self {
+            path: path.into(),
+            error,
+        }
+    }
+
+    /// The file the operation failed on.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The underlying container error.
+    pub fn error(&self) -> &FileError {
+        &self.error
+    }
+}
+
+impl fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.error)
+    }
+}
+
+impl Error for TraceFileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.error)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -722,13 +840,18 @@ mod tests {
         buf[4] = 0xFF; // container version 0xFF
         assert!(matches!(
             FileSource::from_reader(&buf[..]),
-            Err(FileError::UnsupportedContainer(_))
+            Err(FileError::UnsupportedContainer { found: 0xFF, .. })
         ));
         buf[4] = 1;
         buf[6] = 0xEE; // layout version
         assert!(matches!(
             FileSource::from_reader(&buf[..]),
-            Err(FileError::LayoutMismatch(0xEE))
+            Err(FileError::UnsupportedLayout { found: 0xEE, .. })
+        ));
+        buf[6] = 0; // layout version 0 never existed
+        assert!(matches!(
+            FileSource::from_reader(&buf[..]),
+            Err(FileError::UnsupportedLayout { found: 0, .. })
         ));
     }
 
@@ -765,8 +888,20 @@ mod tests {
     #[test]
     fn errors_display() {
         assert!(FileError::BadMagic(*b"ELF!").to_string().contains("RSTR"));
-        assert!(FileError::UnsupportedContainer(9).to_string().contains("newer"));
-        assert!(FileError::LayoutMismatch(9).to_string().contains("layout"));
+        let container = FileError::UnsupportedContainer {
+            found: 9,
+            newest_supported: TRACE_CONTAINER_VERSION,
+        }
+        .to_string();
+        assert!(container.contains("version 9"), "{container}");
+        assert!(container.contains("newest supported: 1"), "{container}");
+        let layout = FileError::UnsupportedLayout {
+            found: 9,
+            newest_supported: 2,
+        }
+        .to_string();
+        assert!(layout.contains("layout version 9"), "{layout}");
+        assert!(layout.contains("1..=2"), "{layout}");
         assert!(FileError::Decode(DecodeError::Truncated)
             .to_string()
             .contains("malformed"));
@@ -774,6 +909,92 @@ mod tests {
             .to_string()
             .contains("i/o"));
         assert!(FileError::BadWorkloadId.to_string().contains("UTF-8"));
+    }
+
+    #[test]
+    fn v2_container_roundtrips_and_skips() {
+        let trace = sample_trace();
+        let encoded = trace.encode_v2();
+        assert_eq!(encoded.layout_version(), 2);
+        let header = TraceFileHeader::for_trace(&encoded, "gzip", 2009, 0xDEAD_BEEF)
+            .with_correct_records(trace.correct_path_len() as u64);
+        assert_eq!(header.layout_version, 2);
+        let mut buf = Vec::new();
+        header.write_trace(&mut buf, &encoded).unwrap();
+        let mut src = FileSource::from_reader(&buf[..]).unwrap();
+        assert_eq!(src.header().layout_version, 2);
+        let round: Vec<TraceRecord> = std::iter::from_fn(|| src.next_record()).collect();
+        assert_eq!(round, trace.records());
+        assert!(src.error().is_none());
+        // Skip over the v2 delta chain, then decode the suffix.
+        for n in 0..=trace.len() as u64 {
+            let mut src = FileSource::from_reader(&buf[..]).unwrap();
+            assert_eq!(src.skip(n), n);
+            let rest: Vec<TraceRecord> = std::iter::from_fn(|| src.next_record()).collect();
+            assert_eq!(rest, trace.records()[n as usize..], "suffix after skipping {n}");
+        }
+    }
+
+    #[test]
+    fn truncated_v2_body_surfaces_as_error() {
+        let trace = sample_trace();
+        let encoded = trace.encode_v2();
+        let header = TraceFileHeader::for_trace(&encoded, "w", 0, 0);
+        let mut buf = Vec::new();
+        header.write_trace(&mut buf, &encoded).unwrap();
+        let short = &buf[..buf.len() - 1];
+        let mut src = FileSource::from_reader(short).unwrap();
+        while src.next_record().is_some() {}
+        assert!(src.error().is_some(), "truncation must not look like a clean end");
+    }
+
+    #[test]
+    fn open_names_the_missing_path() {
+        let path = std::env::temp_dir().join("resim-no-such-trace-file.trace");
+        let err = FileSource::open(&path).unwrap_err();
+        assert_eq!(err.path(), path.as_path());
+        assert!(matches!(err.error(), FileError::Io(io::ErrorKind::NotFound)));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("resim-no-such-trace-file.trace"),
+            "message must name the file: {msg}"
+        );
+    }
+
+    #[test]
+    fn open_names_the_path_on_version_mismatch() {
+        let trace = sample_trace();
+        let mut buf = container(&trace);
+        buf[6] = 0x7B; // layout version 123
+        let path = std::env::temp_dir().join(format!(
+            "resim-trace-badlayout-{}.trace",
+            std::process::id()
+        ));
+        std::fs::write(&path, &buf).unwrap();
+        let err = FileSource::open(&path).unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(err.path(), path.as_path());
+        assert!(matches!(
+            err.error(),
+            FileError::UnsupportedLayout { found: 123, .. }
+        ));
+        let msg = err.to_string();
+        assert!(msg.contains("badlayout"), "{msg}");
+        assert!(msg.contains("123"), "{msg}");
+    }
+
+    #[test]
+    fn save_names_the_path_on_failure() {
+        let trace = sample_trace();
+        let encoded = trace.encode();
+        let header = TraceFileHeader::for_trace(&encoded, "w", 0, 0);
+        let path = std::env::temp_dir()
+            .join("resim-no-such-dir")
+            .join("out.trace");
+        let err = save_trace_file(&path, &header, &encoded).unwrap_err();
+        assert_eq!(err.path(), path.as_path());
+        assert!(matches!(err.error(), FileError::Io(_)));
+        assert!(err.to_string().contains("out.trace"));
     }
 
     #[test]

@@ -67,6 +67,7 @@
 
 mod bits;
 mod codec;
+mod codec_v2;
 mod file;
 mod record;
 mod source;
@@ -76,9 +77,10 @@ pub use bits::{BitReader, BitWriter};
 pub use codec::{
     DecodeError, EncodedSource, EncodedTrace, TraceDecoder, TraceEncoder, TRACE_LAYOUT_VERSION,
 };
+pub use codec_v2::TRACE_LAYOUT_VERSION_V2;
 pub use file::{
-    save_trace_file, FileError, FileSource, TraceFileHeader, TRACE_CONTAINER_VERSION,
-    TRACE_FILE_MAGIC,
+    save_trace_file, FileError, FileSource, TraceFileError, TraceFileHeader,
+    SUPPORTED_LAYOUT_VERSIONS, TRACE_CONTAINER_VERSION, TRACE_FILE_MAGIC,
 };
 pub use record::{
     BranchKind, BranchRecord, MemKind, MemRecord, MemSize, OpClass, OtherRecord, Reg, RegClass,
@@ -139,13 +141,26 @@ impl Trace {
         self.records.iter().filter(|r| r.wrong_path()).count()
     }
 
-    /// Encodes into the bit-packed wire format.
+    /// Encodes into the bit-packed wire format (the v1 Table-3 layout).
     pub fn encode(&self) -> EncodedTrace {
         let mut enc = TraceEncoder::new();
         for r in &self.records {
             enc.push(r);
         }
         enc.finish()
+    }
+
+    /// Encodes into the delta/run-length-compressed v2 layout
+    /// ([`TRACE_LAYOUT_VERSION_V2`]).
+    ///
+    /// v2 encoding is a whole-trace pass (PC grouping and branch-outcome
+    /// runs need lookahead), so unlike [`Trace::encode`] there is no
+    /// streaming encoder behind it. The result decodes through the same
+    /// [`EncodedTrace::decode`]/[`EncodedTrace::source`] entry points and
+    /// ships in the same on-disk container, negotiated via the header's
+    /// layout-version field.
+    pub fn encode_v2(&self) -> EncodedTrace {
+        codec_v2::encode_v2(&self.records)
     }
 
     /// Computes the per-format statistics without keeping the encoded bytes.

@@ -160,6 +160,25 @@ fn decode_then_encode_roundtrips_bit_exactly() {
     assert_eq!(enc.bytes(), &bytes[..], "decode->encode must be bit-exact");
 }
 
+/// The layout-v2 codec must agree with the golden vector's *meaning*
+/// while beating its v1 size: same nine records back out, strictly
+/// fewer bits in. (The v2 byte stream itself is pinned by its own unit
+/// tests; here we anchor it to the v1 golden fixture.)
+#[test]
+fn v2_encoding_of_the_golden_fixture_cross_checks() {
+    let trace = Trace::from_records(fixture_records());
+    let v2 = trace.encode_v2();
+    assert_eq!(
+        v2.decode().expect("v2 decodes its own stream").records(),
+        fixture_records()
+    );
+    assert!(
+        v2.len_bits() < GOLDEN_BITS,
+        "v2 ({} bits) should beat the byte-aligned v1 golden vector ({GOLDEN_BITS} bits)",
+        v2.len_bits()
+    );
+}
+
 #[test]
 fn per_record_bit_costs_are_pinned() {
     let mut enc = TraceEncoder::new();

@@ -16,6 +16,7 @@
 //! | [`tracegen`] | `resim-tracegen` | `sim-bpred`-style trace generation with wrong-path blocks |
 //! | [`core`] | `resim-core` | the out-of-order timing engine and minor-cycle pipeline models |
 //! | [`sample`] | `resim-sample` | SMARTS-style sampled simulation: functional warmup, checkpoints, confidence-bounded IPC |
+//! | [`session`] | `resim-session` | RSSN record/replay artifacts: every nondeterministic input of a run plus its stats digest |
 //! | [`sweep`] | `resim-sweep` | deterministic multi-threaded scenario-grid sweeps with trace sharing |
 //! | [`fpga`] | `resim-fpga` | device/frequency/area/bandwidth models and Table 2 comparison data |
 //! | [`toml`] | `resim-toml` | dependency-free TOML reader with line-numbered diagnostics (scenario files) |
@@ -56,6 +57,7 @@ pub use resim_fpga as fpga;
 pub use resim_isa as isa;
 pub use resim_mem as mem;
 pub use resim_sample as sample;
+pub use resim_session as session;
 pub use resim_sweep as sweep;
 pub use resim_toml as toml;
 pub use resim_trace as trace;
@@ -76,6 +78,7 @@ pub mod prelude {
     pub use resim_isa::{programs, Assembler, FunctionalSimulator};
     pub use resim_mem::{CacheConfig, MemorySystem, MemorySystemConfig};
     pub use resim_sample::{run_sampled, FunctionalWarmer, SampledStats, SamplePlan, WarmupMode};
+    pub use resim_session::SessionRecord;
     pub use resim_sweep::{CellMode, Scenario, SweepReport, SweepRunner, WorkloadPoint};
     pub use resim_trace::{
         save_trace_file, FileSource, Trace, TraceFileHeader, TraceRecord, TraceSource,
