@@ -15,6 +15,12 @@
 //! bench_guard --write    # measure and rewrite the baseline in place
 //! ```
 //!
+//! Besides the human-readable table, the compare mode always ends with
+//! one `resim.bench/1` JSON line — pass or fail — carrying every
+//! frontend's measured/baseline/floor numbers, so CI can archive the
+//! measurement with a `grep '"schema":"resim.bench/1"'` instead of
+//! parsing the table.
+//!
 //! The measurement is best-of-N wall-clock (N = 5), which is stable to
 //! a few percent on an idle machine; the 20% default tolerance leaves
 //! room for CI-runner noise while still catching step-function
@@ -135,6 +141,7 @@ fn main() {
     };
     let allowed_drop = json_number(&text, "allowed_drop").unwrap_or(0.20);
     let mut failed = false;
+    let mut results = Vec::new();
     for (name, rate) in &rates {
         let Some(baseline) = json_number(&text, name) else {
             eprintln!("bench_guard: baseline has no entry for {name:?}");
@@ -142,11 +149,13 @@ fn main() {
             continue;
         };
         let floor = baseline * (1.0 - allowed_drop);
-        let verdict = if *rate >= floor { "ok" } else { "REGRESSION" };
+        let ok = *rate >= floor;
+        let verdict = if ok { "ok" } else { "REGRESSION" };
         println!(
             "  {name:8} baseline {baseline:10.0}  floor {floor:10.0}  measured {rate:10.0}  {verdict}"
         );
-        if *rate < floor {
+        results.push((*name, *rate, baseline, floor, ok));
+        if !ok {
             failed = true;
         }
     }
@@ -157,6 +166,24 @@ fn main() {
             "frontend {name} missing from measurement"
         );
     }
+    // One machine-readable line, pass or fail, so CI can archive the
+    // measurement without parsing the human table above.
+    let body = results
+        .iter()
+        .map(|(name, measured, baseline, floor, ok)| {
+            format!(
+                "{{\"frontend\":\"{name}\",\"measured\":{measured:.0},\
+                 \"baseline\":{baseline:.0},\"floor\":{floor:.0},\"ok\":{ok}}}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    println!(
+        "{{\"schema\":\"resim.bench/1\",\"bench\":\"engine_throughput\",\
+         \"budget\":{BUDGET},\"runs\":{RUNS},\"allowed_drop\":{allowed_drop},\
+         \"results\":[{body}],\"ok\":{}}}",
+        !failed
+    );
     if failed {
         eprintln!(
             "bench_guard: throughput regressed more than {:.0}% below BENCH_BASELINE.json",

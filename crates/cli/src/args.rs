@@ -23,6 +23,22 @@ pub enum Command {
         scenario: String,
         /// `--trace` input container.
         trace: Option<String>,
+        /// `--profile` switch: attach a metrics recorder and print the
+        /// profiling breakdown.
+        profile: bool,
+    },
+    /// `resim profile`.
+    Profile {
+        /// Scenario file path.
+        scenario: String,
+        /// `--trace` input container.
+        trace: Option<String>,
+        /// `--metrics-out` metrics JSON path.
+        metrics_out: Option<String>,
+        /// `--events-out` events JSONL path.
+        events_out: Option<String>,
+        /// `--journal` event-journal capacity override.
+        journal: Option<usize>,
     },
     /// `resim sample`.
     Sample {
@@ -45,6 +61,8 @@ pub enum Command {
         md: Option<String>,
         /// `--trace-file` containers to preload (repeatable).
         trace_files: Vec<String>,
+        /// `--progress` switch: print per-phase progress lines.
+        progress: bool,
     },
     /// `resim describe`.
     Describe {
@@ -87,12 +105,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     match cmd {
         "-h" | "--help" | "help" => Ok(Command::Help(it.next().map(str::to_string))),
         "-V" | "--version" => Ok(Command::Version),
-        "trace" | "run" | "sample" | "sweep" | "describe" | "record" | "replay" => {
+        "trace" | "run" | "profile" | "sample" | "sweep" | "describe" | "record" | "replay" => {
             parse_subcommand(cmd, &args[1..])
         }
         other => Err(format!(
-            "unknown command {other:?} (expected trace, run, sample, sweep, describe, \
-             record, replay or help)"
+            "unknown command {other:?} (expected trace, run, profile, sample, sweep, \
+             describe, record, replay or help)"
         )),
     }
 }
@@ -110,6 +128,11 @@ fn parse_subcommand(cmd: &str, rest: &[String]) -> Result<Command, String> {
     let mut stable_csv: Option<String> = None;
     let mut md: Option<String> = None;
     let mut trace_files: Vec<String> = Vec::new();
+    let mut metrics_out: Option<String> = None;
+    let mut events_out: Option<String> = None;
+    let mut journal: Option<usize> = None;
+    let mut profile = false;
+    let mut progress = false;
 
     let mut it = rest.iter().map(String::as_str).peekable();
     while let Some(flag) = it.next() {
@@ -129,9 +152,16 @@ fn parse_subcommand(cmd: &str, rest: &[String]) -> Result<Command, String> {
             "-o" | "--out" if cmd == "trace" || cmd == "record" => {
                 out = Some(value!().to_string());
             }
-            "-t" | "--trace" if cmd == "run" || cmd == "sample" || cmd == "record" => {
+            "-t" | "--trace"
+                if cmd == "run" || cmd == "profile" || cmd == "sample" || cmd == "record" =>
+            {
                 trace = Some(value!().to_string());
             }
+            "--profile" if cmd == "run" => profile = true,
+            "--metrics-out" if cmd == "profile" => metrics_out = Some(value!().to_string()),
+            "--events-out" if cmd == "profile" => events_out = Some(value!().to_string()),
+            "--journal" if cmd == "profile" => journal = Some(parse_num(flag, value!())?),
+            "--progress" if cmd == "sweep" => progress = true,
             "--budget" if cmd == "trace" => budget = Some(parse_num(flag, value!())?),
             "--seed" if cmd == "trace" => seed = Some(parse_num(flag, value!())?),
             "--layout" if cmd == "trace" => layout = Some(parse_num(flag, value!())?),
@@ -156,7 +186,18 @@ fn parse_subcommand(cmd: &str, rest: &[String]) -> Result<Command, String> {
             seed,
             layout,
         },
-        "run" => Command::Run { scenario, trace },
+        "run" => Command::Run {
+            scenario,
+            trace,
+            profile,
+        },
+        "profile" => Command::Profile {
+            scenario,
+            trace,
+            metrics_out,
+            events_out,
+            journal,
+        },
         "sample" => Command::Sample { scenario, trace },
         "sweep" => Command::Sweep {
             scenario,
@@ -165,6 +206,7 @@ fn parse_subcommand(cmd: &str, rest: &[String]) -> Result<Command, String> {
             stable_csv,
             md,
             trace_files,
+            progress,
         },
         "describe" => Command::Describe { scenario },
         "record" => Command::Record {
@@ -220,6 +262,15 @@ mod tests {
             Ok(Command::Run {
                 scenario: "a.toml".into(),
                 trace: Some("t.trace".into()),
+                profile: false,
+            })
+        );
+        assert_eq!(
+            p(&["run", "-s", "a.toml", "--profile"]),
+            Ok(Command::Run {
+                scenario: "a.toml".into(),
+                trace: None,
+                profile: true,
             })
         );
         assert_eq!(
@@ -232,12 +283,60 @@ mod tests {
                 stable_csv: Some("r.csv".into()),
                 md: None,
                 trace_files: vec!["x.trace".into(), "y.trace".into()],
+                progress: false,
+            })
+        );
+        assert_eq!(
+            p(&["sweep", "-s", "a.toml", "--progress"]),
+            Ok(Command::Sweep {
+                scenario: "a.toml".into(),
+                threads: None,
+                csv: None,
+                stable_csv: None,
+                md: None,
+                trace_files: vec![],
+                progress: true,
             })
         );
         assert_eq!(
             p(&["describe", "-s", "a.toml"]),
             Ok(Command::Describe { scenario: "a.toml".into() })
         );
+    }
+
+    #[test]
+    fn profile_parses() {
+        assert_eq!(
+            p(&["profile", "-s", "a.toml", "-t", "t.trace", "--metrics-out", "m.json",
+                "--events-out", "e.jsonl", "--journal", "1024"]),
+            Ok(Command::Profile {
+                scenario: "a.toml".into(),
+                trace: Some("t.trace".into()),
+                metrics_out: Some("m.json".into()),
+                events_out: Some("e.jsonl".into()),
+                journal: Some(1024),
+            })
+        );
+        assert_eq!(
+            p(&["profile", "--scenario", "a.toml"]),
+            Ok(Command::Profile {
+                scenario: "a.toml".into(),
+                trace: None,
+                metrics_out: None,
+                events_out: None,
+                journal: None,
+            })
+        );
+        assert!(p(&["profile"]).unwrap_err().contains("--scenario"));
+        assert!(p(&["profile", "-s", "a", "--journal", "big"])
+            .unwrap_err()
+            .contains("invalid number"));
+        assert!(p(&["run", "-s", "a", "--metrics-out", "m.json"])
+            .unwrap_err()
+            .contains("unknown option"));
+        assert!(p(&["profile", "-s", "a", "--profile"])
+            .unwrap_err()
+            .contains("unknown option"));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The five subcommand implementations.
+//! The subcommand implementations.
 //!
 //! Every command writes to a caller-supplied sink so the golden and
 //! round-trip tests drive the exact binary code paths; failures are
@@ -6,9 +6,10 @@
 
 use crate::scenario::ScenarioDoc;
 use resim_core::{block_diagram, Engine, EngineConfig, SimStats, SIM_STATS_FIELDS};
+use resim_obs::{write_events_jsonl, MetricsDoc, MetricsRecorder, TraceDoc};
 use resim_sample::{run_sampled, SamplePlan};
 use resim_session::SessionRecord;
-use resim_sweep::{CellMode, SweepRunner};
+use resim_sweep::{CellMode, SweepProgress, SweepRunner};
 use resim_trace::{
     save_trace_file, FileSource, Trace, TraceFileHeader, TraceSource, TRACE_CONTAINER_VERSION,
     TRACE_LAYOUT_VERSION,
@@ -176,8 +177,18 @@ fn describe_source(doc: &ScenarioDoc, source: &Source) -> String {
     }
 }
 
-/// `resim run`: full-detail simulation.
-pub(crate) fn run(scenario_path: &str, trace_flag: Option<&str>, out: &mut dyn Write) -> CmdResult {
+/// `resim run`: full-detail simulation. With `--profile` the run is
+/// executed through the `resim profile` path instead (same simulated
+/// statistics — the recorder only observes).
+pub(crate) fn run(
+    scenario_path: &str,
+    trace_flag: Option<&str>,
+    profile_flag: bool,
+    out: &mut dyn Write,
+) -> CmdResult {
+    if profile_flag {
+        return profile(scenario_path, trace_flag, None, None, None, out);
+    }
     let doc = load_scenario(scenario_path)?;
     let mut engine = Engine::new(doc.engine.clone())
         .map_err(|e| format!("invalid engine configuration: {e}"))?;
@@ -206,6 +217,112 @@ pub(crate) fn run(scenario_path: &str, trace_flag: Option<&str>, out: &mut dyn W
         .join(", ");
     let _ = writeln!(s, "stage activity (ops): {activity}");
     let _ = writeln!(s, "\nIPC {:.4} over {} cycles", stats.ipc(), stats.cycles);
+    emit(out, &s)
+}
+
+/// `resim profile`: the `run` simulation with a collecting
+/// [`MetricsRecorder`] attached — per-stage wall time, occupancy
+/// heatmap, derived rates and the versioned metrics/events exports.
+pub(crate) fn profile(
+    scenario_path: &str,
+    trace_flag: Option<&str>,
+    metrics_out: Option<&str>,
+    events_out: Option<&str>,
+    journal: Option<usize>,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let doc = load_scenario(scenario_path)?;
+    let recorder = match journal {
+        Some(cap) => MetricsRecorder::with_journal_capacity(cap),
+        None => MetricsRecorder::new(),
+    };
+    let mut engine = Engine::with_recorder(doc.engine.clone(), recorder)
+        .map_err(|e| format!("invalid engine configuration: {e}"))?;
+    let source = resolve_source(&doc, trace_flag)?;
+    let banner = describe_source(&doc, &source);
+
+    let t0 = std::time::Instant::now();
+    let (stats, trace_doc) = match source {
+        Source::File(mut src, path) => {
+            let stats = engine.run(&mut *src);
+            if let Some(e) = src.error() {
+                return Err(format!("trace {path:?} ended abnormally: {e}"));
+            }
+            let trace_doc = TraceDoc {
+                source: format!("file {path}"),
+                records: stats.trace_records_consumed(),
+                cache_hits: 0,
+                cache_misses: 0,
+                decoded: src.records_decoded(),
+                fills: src.batch_fills(),
+            };
+            (stats, trace_doc)
+        }
+        Source::Generated(trace) => {
+            let stats = engine.run(trace.source());
+            let trace_doc = TraceDoc {
+                source: format!("generated {}", doc.workload.name),
+                records: stats.trace_records_consumed(),
+                cache_hits: 0,
+                cache_misses: 0,
+                decoded: 0,
+                fills: 0,
+            };
+            (stats, trace_doc)
+        }
+    };
+    let wall = t0.elapsed();
+    let rec = engine.recorder();
+
+    let mut s = banner;
+    s.push_str(&stats.report());
+    s.push_str(&stats.utilization_report(
+        doc.engine.ifq_size,
+        doc.engine.rb_size,
+        doc.engine.lsq_size,
+    ));
+    s.push('\n');
+    s.push_str(&rec.render_span_table());
+    s.push('\n');
+    s.push_str(&rec.occupancy().render([
+        doc.engine.ifq_size as u64,
+        doc.engine.rb_size as u64,
+        doc.engine.lsq_size as u64,
+    ]));
+    let j = rec.journal();
+    let _ = writeln!(
+        s,
+        "event journal: {} recorded, {} retained, {} dropped (capacity {})",
+        j.recorded(),
+        j.len(),
+        j.dropped(),
+        j.capacity(),
+    );
+    let _ = writeln!(s, "\nIPC {:.4} over {} cycles", stats.ipc(), stats.cycles);
+
+    if metrics_out.is_some() || events_out.is_some() {
+        let mut mdoc = MetricsDoc::new(scenario_path, doc.engine.pipeline.name());
+        mdoc.cycles = stats.cycles;
+        mdoc.wall_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+        mdoc.rate("ipc", stats.ipc())
+            .rate("processed_per_cycle", stats.processed_per_cycle())
+            .rate("wrong_path", stats.wrong_path_fraction())
+            .rate("branch_mispredict", stats.mispredict_rate())
+            .rate("il1_miss", stats.il1_miss_rate())
+            .rate("dl1_miss", stats.dl1_miss_rate());
+        mdoc.populate(rec);
+        mdoc.trace = trace_doc;
+        if let Some(path) = metrics_out {
+            fs::write(path, mdoc.to_json())
+                .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            let _ = writeln!(s, "wrote {path}");
+        }
+        if let Some(path) = events_out {
+            fs::write(path, write_events_jsonl(rec.journal()))
+                .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            let _ = writeln!(s, "wrote {path}");
+        }
+    }
     emit(out, &s)
 }
 
@@ -277,6 +394,7 @@ pub(crate) fn sweep(
     stable_csv: Option<&str>,
     md: Option<&str>,
     trace_file_flags: &[String],
+    progress: bool,
     out: &mut dyn Write,
 ) -> CmdResult {
     let doc = load_scenario(scenario_path)?;
@@ -311,9 +429,28 @@ pub(crate) fn sweep(
         }
     }
 
-    let report = SweepRunner::with_cache(threads, cache)
-        .run(&scenario)
-        .map_err(|e| format!("invalid scenario: {e}"))?;
+    let runner = SweepRunner::with_cache(threads, cache);
+    let report = if progress {
+        // Progress samples may come from worker threads; collect them
+        // under a lock and flush into the output in arrival order.
+        let lines: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+        let report = runner
+            .run_with_progress(&scenario, |p: &SweepProgress| {
+                lines
+                    .lock()
+                    .expect("progress lines poisoned")
+                    .push(format!("progress: {} {}/{}", p.phase.label(), p.done, p.total));
+            })
+            .map_err(|e| format!("invalid scenario: {e}"))?;
+        for line in lines.into_inner().expect("progress lines poisoned") {
+            let _ = writeln!(s, "{line}");
+        }
+        report
+    } else {
+        runner
+            .run(&scenario)
+            .map_err(|e| format!("invalid scenario: {e}"))?
+    };
 
     s.push_str(&report.to_markdown());
     if let Some(path) = csv {

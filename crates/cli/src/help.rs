@@ -19,6 +19,8 @@ USAGE:
 COMMANDS:
     trace      generate a workload trace and encode it to a file
     run        full-detail simulation of a trace file or inline workload
+    profile    instrumented simulation: stage timings, occupancy heatmap,
+               metrics/events export
     sample     SMARTS sampled simulation with confidence-bounded IPC
     sweep      scenario-grid execution with CSV/Markdown reports
     describe   dump the resolved engine/memory/predictor configuration
@@ -69,7 +71,33 @@ USAGE:
 OPTIONS:
     -s, --scenario <FILE>    TOML scenario file (required)
     -t, --trace <FILE>       replay this trace container
+        --profile            attach a metrics recorder and print the
+                             profiling breakdown (see `resim profile`)
     -h, --help               print help
+";
+
+/// `resim profile --help`.
+pub const PROFILE_HELP: &str = "\
+resim profile — instrumented simulation with metrics and events export
+
+Runs the scenario exactly like `resim run`, but with a collecting
+metrics recorder attached: per-stage engine wall time, an occupancy
+heatmap over IFQ/RB/LSQ, power-of-two throughput histograms, and a
+bounded journal of pipeline events (occupancy samples, mispredict
+recoveries, misfetches, cache misses). The recorder only observes —
+the simulated statistics are bit-identical to `resim run`.
+
+USAGE:
+    resim profile --scenario <FILE> [OPTIONS]
+
+OPTIONS:
+    -s, --scenario <FILE>     TOML scenario file (required)
+    -t, --trace <FILE>        replay this trace container
+        --metrics-out <FILE>  write the resim.metrics/1 JSON document
+        --events-out <FILE>   write the resim.events/1 JSONL stream
+        --journal <N>         event-journal capacity (default 65536;
+                              oldest events are dropped past the bound)
+    -h, --help                print help
 ";
 
 /// `resim sample --help`.
@@ -113,6 +141,8 @@ OPTIONS:
         --trace-file <FILE>    preload this trace container into the
                                trace cache (repeatable; also read from
                                the [sweep] trace_files key)
+        --progress             print per-phase progress lines (tracegen,
+                               then simulate) before the report
     -h, --help                 print help
 ";
 

@@ -9,11 +9,14 @@
 //! every config mistake is a `file:line:` diagnostic rather than a
 //! Rust compile error.
 //!
-//! Seven subcommands cover the paper's workflows:
+//! Eight subcommands cover the paper's workflows:
 //!
 //! * `resim trace` — generate a workload trace once, on disk;
 //! * `resim run` — full-detail simulation of a trace file or inline
 //!   workload;
+//! * `resim profile` — the same run with a collecting metrics recorder
+//!   attached (`resim-obs`): per-stage wall time, occupancy heatmap,
+//!   and versioned metrics-JSON / events-JSONL exports;
 //! * `resim sample` — SMARTS sampled simulation with a 95 % CI;
 //! * `resim sweep` — bulk design-space grids with CSV/Markdown
 //!   reports, replaying trace files instead of regenerating;
@@ -70,6 +73,7 @@ pub fn run_cli(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32
                 None => help::MAIN_HELP,
                 Some("trace") => help::TRACE_HELP,
                 Some("run") => help::RUN_HELP,
+                Some("profile") => help::PROFILE_HELP,
                 Some("sample") => help::SAMPLE_HELP,
                 Some("sweep") => help::SWEEP_HELP,
                 Some("describe") => help::DESCRIBE_HELP,
@@ -94,7 +98,25 @@ pub fn run_cli(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32
             seed,
             layout,
         } => commands::trace(scenario, out_path.as_deref(), *budget, *seed, *layout, out),
-        Command::Run { scenario, trace } => commands::run(scenario, trace.as_deref(), out),
+        Command::Run {
+            scenario,
+            trace,
+            profile,
+        } => commands::run(scenario, trace.as_deref(), *profile, out),
+        Command::Profile {
+            scenario,
+            trace,
+            metrics_out,
+            events_out,
+            journal,
+        } => commands::profile(
+            scenario,
+            trace.as_deref(),
+            metrics_out.as_deref(),
+            events_out.as_deref(),
+            *journal,
+            out,
+        ),
         Command::Sample { scenario, trace } => commands::sample(scenario, trace.as_deref(), out),
         Command::Sweep {
             scenario,
@@ -103,6 +125,7 @@ pub fn run_cli(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32
             stable_csv,
             md,
             trace_files,
+            progress,
         } => commands::sweep(
             scenario,
             *threads,
@@ -110,6 +133,7 @@ pub fn run_cli(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32
             stable_csv.as_deref(),
             md.as_deref(),
             trace_files,
+            *progress,
             out,
         ),
         Command::Describe { scenario } => commands::describe(scenario, out),

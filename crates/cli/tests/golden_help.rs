@@ -28,6 +28,8 @@ USAGE:
 COMMANDS:
     trace      generate a workload trace and encode it to a file
     run        full-detail simulation of a trace file or inline workload
+    profile    instrumented simulation: stage timings, occupancy heatmap,
+               metrics/events export
     sample     SMARTS sampled simulation with confidence-bounded IPC
     sweep      scenario-grid execution with CSV/Markdown reports
     describe   dump the resolved engine/memory/predictor configuration
@@ -92,11 +94,44 @@ USAGE:
 OPTIONS:
     -s, --scenario <FILE>    TOML scenario file (required)
     -t, --trace <FILE>       replay this trace container
+        --profile            attach a metrics recorder and print the
+                             profiling breakdown (see `resim profile`)
     -h, --help               print help
 ";
     let (code, out, _) = run_for_test(&["run", "--help"]);
     assert_eq!(code, 0);
     assert_eq!(out, expected);
+}
+
+#[test]
+fn profile_help_is_pinned() {
+    let expected = "\
+resim profile — instrumented simulation with metrics and events export
+
+Runs the scenario exactly like `resim run`, but with a collecting
+metrics recorder attached: per-stage engine wall time, an occupancy
+heatmap over IFQ/RB/LSQ, power-of-two throughput histograms, and a
+bounded journal of pipeline events (occupancy samples, mispredict
+recoveries, misfetches, cache misses). The recorder only observes —
+the simulated statistics are bit-identical to `resim run`.
+
+USAGE:
+    resim profile --scenario <FILE> [OPTIONS]
+
+OPTIONS:
+    -s, --scenario <FILE>     TOML scenario file (required)
+    -t, --trace <FILE>        replay this trace container
+        --metrics-out <FILE>  write the resim.metrics/1 JSON document
+        --events-out <FILE>   write the resim.events/1 JSONL stream
+        --journal <N>         event-journal capacity (default 65536;
+                              oldest events are dropped past the bound)
+    -h, --help                print help
+";
+    for args in [&["profile", "--help"][..], &["help", "profile"]] {
+        let (code, out, _) = run_for_test(args);
+        assert_eq!(code, 0);
+        assert_eq!(out, expected, "args {args:?}");
+    }
 }
 
 #[test]
@@ -146,6 +181,8 @@ OPTIONS:
         --trace-file <FILE>    preload this trace container into the
                                trace cache (repeatable; also read from
                                the [sweep] trace_files key)
+        --progress             print per-phase progress lines (tracegen,
+                               then simulate) before the report
     -h, --help                 print help
 ";
     let (code, out, _) = run_for_test(&["sweep", "--help"]);

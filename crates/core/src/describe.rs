@@ -13,7 +13,7 @@ use resim_mem::MemorySystemConfig;
 /// Invalid configurations render as a one-line diagnosis instead of a
 /// diagram — this function never panics.
 pub fn block_diagram(config: &EngineConfig) -> String {
-    let scheduler = match MinorCycleScheduler::new(config) {
+    let scheduler: MinorCycleScheduler = match MinorCycleScheduler::new(config) {
         Ok(s) => s,
         Err(e) => return format!("invalid configuration: {e}\n"),
     };

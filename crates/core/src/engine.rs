@@ -28,6 +28,7 @@ use crate::cursor::TraceCursor;
 use crate::scheduler::MinorCycleScheduler;
 use crate::state::CoreState;
 use crate::stats::SimStats;
+use resim_obs::{NullRecorder, Recorder};
 use resim_trace::TraceSource;
 
 /// Cycles without a commit (while work is in flight) after which the
@@ -57,10 +58,16 @@ const WATCHDOG_CYCLES: u64 = 200_000;
 /// # Ok(())
 /// # }
 /// ```
+///
+/// The engine is generic over an instrumentation [`Recorder`]
+/// (defaulting to the no-op [`NullRecorder`], which compiles every hook
+/// away). Attach a collecting recorder with [`Engine::with_recorder`];
+/// recorders only observe, so instrumented statistics stay bit-identical
+/// to the default engine's.
 #[derive(Debug)]
-pub struct Engine {
-    state: CoreState,
-    scheduler: MinorCycleScheduler,
+pub struct Engine<R: Recorder = NullRecorder> {
+    state: CoreState<R>,
+    scheduler: MinorCycleScheduler<R>,
 }
 
 // The sweep runner (`resim-sweep`) moves engines and their results across
@@ -73,16 +80,57 @@ const _: () = {
 };
 
 impl Engine {
-    /// Builds an engine for `config`.
+    /// Builds an engine for `config` with the no-op [`NullRecorder`].
     ///
     /// # Errors
     ///
     /// Returns the [`ConfigError`] from [`EngineConfig::validate`] on
     /// structural inconsistencies.
     pub fn new(config: EngineConfig) -> Result<Self, ConfigError> {
-        let state = CoreState::new(config)?;
+        Self::with_recorder(config, NullRecorder)
+    }
+
+    /// Builds a fresh engine whose predictor and memory system start from
+    /// `checkpoint`'s warm state instead of cold tables.
+    ///
+    /// Statistics, the cycle counter and the pipeline all start from
+    /// zero, so the stats of a resumed window compose with other windows
+    /// through [`SimStats::merge`].
+    ///
+    /// # Errors
+    ///
+    /// [`ResumeError`] if `config` is structurally invalid or the
+    /// checkpoint was taken under a different predictor/memory geometry.
+    pub fn resume_from(config: EngineConfig, checkpoint: &Checkpoint) -> Result<Self, ResumeError> {
+        let mut engine = Engine::new(config)?;
+        engine.state.restore(checkpoint)?;
+        Ok(engine)
+    }
+}
+
+impl<R: Recorder> Engine<R> {
+    /// Builds an engine for `config` emitting instrumentation into
+    /// `recorder`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from [`EngineConfig::validate`] on
+    /// structural inconsistencies.
+    pub fn with_recorder(config: EngineConfig, recorder: R) -> Result<Self, ConfigError> {
+        let state = CoreState::with_recorder(config, recorder)?;
         let scheduler = MinorCycleScheduler::new(&state.config)?;
         Ok(Self { state, scheduler })
+    }
+
+    /// The attached instrumentation recorder.
+    pub fn recorder(&self) -> &R {
+        self.state.recorder()
+    }
+
+    /// Consumes the engine, returning the recorder with everything it
+    /// collected.
+    pub fn into_recorder(self) -> R {
+        self.state.recorder
     }
 
     /// The configuration this engine runs.
@@ -92,13 +140,13 @@ impl Engine {
 
     /// The shared stage state (read-only; stages mutate it through the
     /// scheduler).
-    pub fn state(&self) -> &CoreState {
+    pub fn state(&self) -> &CoreState<R> {
         &self.state
     }
 
     /// The minor-cycle scheduler: stage roster, evaluation order and
     /// per-stage activity totals.
-    pub fn scheduler(&self) -> &MinorCycleScheduler {
+    pub fn scheduler(&self) -> &MinorCycleScheduler<R> {
         &self.scheduler
     }
 
@@ -207,22 +255,5 @@ impl Engine {
     /// [`Checkpoint`] — see [`CoreState::snapshot`].
     pub fn snapshot(&self) -> Checkpoint {
         self.state.snapshot()
-    }
-
-    /// Builds a fresh engine whose predictor and memory system start from
-    /// `checkpoint`'s warm state instead of cold tables.
-    ///
-    /// Statistics, the cycle counter and the pipeline all start from
-    /// zero, so the stats of a resumed window compose with other windows
-    /// through [`SimStats::merge`].
-    ///
-    /// # Errors
-    ///
-    /// [`ResumeError`] if `config` is structurally invalid or the
-    /// checkpoint was taken under a different predictor/memory geometry.
-    pub fn resume_from(config: EngineConfig, checkpoint: &Checkpoint) -> Result<Self, ResumeError> {
-        let mut engine = Engine::new(config)?;
-        engine.state.restore(checkpoint)?;
-        Ok(engine)
     }
 }

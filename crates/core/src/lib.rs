@@ -89,3 +89,7 @@ pub use scheduler::MinorCycleScheduler;
 pub use stages::{Stage, StageActivity, TraceFeed};
 pub use state::CoreState;
 pub use stats::{SimStats, SIM_STATS_FIELDS};
+
+// The instrumentation seam the engine is generic over, re-exported so
+// engine users can attach a recorder without naming `resim-obs`.
+pub use resim_obs::{MetricsRecorder, NullRecorder, Recorder};

@@ -25,27 +25,40 @@ use crate::stages::{
     WritebackStage,
 };
 use crate::state::CoreState;
+use resim_obs::{NullRecorder, Recorder, SpanId};
+
+/// Wall-time span ids aligned with the stage roster's evaluation order.
+const STAGE_SPANS: [SpanId; 6] = [
+    SpanId::Commit,
+    SpanId::Writeback,
+    SpanId::LsqRefresh,
+    SpanId::Issue,
+    SpanId::Dispatch,
+    SpanId::Fetch,
+];
 
 /// Executes one major cycle of the engine: evaluates the stage roster in
 /// architectural order and charges the description's minor-cycle cost.
 ///
 /// Built by [`Engine::new`](crate::Engine::new) from the configuration's
 /// [`PipelineDescription`]; exposed so `describe` and tests can inspect
-/// the roster and the activity-derived accounting.
+/// the roster and the activity-derived accounting. Generic over the
+/// engine's [`Recorder`] so each stage evaluation can be wrapped in a
+/// wall-time span (a no-op under the default [`NullRecorder`]).
 #[derive(Debug)]
-pub struct MinorCycleScheduler {
+pub struct MinorCycleScheduler<R: Recorder = NullRecorder> {
     description: PipelineDescription,
     width: usize,
     /// Minor cycles one major cycle costs, derived from the schedule
     /// grid at construction.
     minor_cycles_per_major: u64,
     /// The stage units, in architectural evaluation order.
-    stages: Vec<Box<dyn Stage>>,
+    stages: Vec<Box<dyn Stage<R>>>,
     /// Total operations performed per stage, aligned with `stages`.
     activity: Vec<u64>,
 }
 
-impl MinorCycleScheduler {
+impl<R: Recorder> MinorCycleScheduler<R> {
     /// Builds the scheduler (stage roster + minor-cycle grid) for a
     /// configuration.
     ///
@@ -76,7 +89,7 @@ impl MinorCycleScheduler {
             })
             .max()
             .unwrap_or(0);
-        let stages: Vec<Box<dyn Stage>> = vec![
+        let stages: Vec<Box<dyn Stage<R>>> = vec![
             Box::new(CommitStage),
             Box::new(WritebackStage::default()),
             Box::new(LsqRefreshStage),
@@ -129,9 +142,20 @@ impl MinorCycleScheduler {
 
     /// Evaluates every stage once (one major cycle) and returns the
     /// minor cycles charged for it.
-    pub(crate) fn step(&mut self, core: &mut CoreState, feed: &mut dyn TraceFeed) -> u64 {
-        for (stage, total) in self.stages.iter_mut().zip(self.activity.iter_mut()) {
+    pub(crate) fn step(&mut self, core: &mut CoreState<R>, feed: &mut dyn TraceFeed) -> u64 {
+        for (i, (stage, total)) in self
+            .stages
+            .iter_mut()
+            .zip(self.activity.iter_mut())
+            .enumerate()
+        {
+            if R::ENABLED {
+                core.recorder.span_enter(STAGE_SPANS[i]);
+            }
             *total += stage.evaluate(core, feed).ops;
+            if R::ENABLED {
+                core.recorder.span_exit(STAGE_SPANS[i]);
+            }
         }
         self.minor_cycles_per_major
     }
@@ -164,7 +188,7 @@ mod tests {
         // / N+3 must agree for every organization and width.
         for org in PipelineOrganization::ALL {
             for width in 1..=16usize {
-                let sched = MinorCycleScheduler::new(&config_for(org, width)).unwrap();
+                let sched: MinorCycleScheduler = MinorCycleScheduler::new(&config_for(org, width)).unwrap();
                 assert_eq!(
                     sched.minor_cycles_per_major(),
                     org.minor_cycles_per_major(width),
@@ -176,7 +200,7 @@ mod tests {
 
     #[test]
     fn roster_is_the_architectural_evaluation_order() {
-        let sched = MinorCycleScheduler::new(&EngineConfig::paper_4wide()).unwrap();
+        let sched: MinorCycleScheduler = MinorCycleScheduler::new(&EngineConfig::paper_4wide()).unwrap();
         assert_eq!(
             sched.roster(),
             ["Commit", "Writeback", "Lsq_refresh", "Issue", "Dispatch", "Fetch"]
@@ -192,7 +216,7 @@ mod tests {
             ..EngineConfig::paper_4wide()
         };
         assert_eq!(
-            MinorCycleScheduler::new(&bad).unwrap_err(),
+            MinorCycleScheduler::<resim_obs::NullRecorder>::new(&bad).unwrap_err(),
             ConfigError::ZeroWidth
         );
     }
@@ -204,14 +228,14 @@ mod tests {
             ..EngineConfig::paper_4wide()
         };
         assert!(matches!(
-            MinorCycleScheduler::new(&bad).unwrap_err(),
+            MinorCycleScheduler::<resim_obs::NullRecorder>::new(&bad).unwrap_err(),
             ConfigError::Pipeline(_)
         ));
     }
 
     #[test]
     fn activity_starts_at_zero_for_every_stage() {
-        let sched = MinorCycleScheduler::new(&EngineConfig::paper_4wide()).unwrap();
+        let sched: MinorCycleScheduler = MinorCycleScheduler::new(&EngineConfig::paper_4wide()).unwrap();
         let activity = sched.activity();
         assert_eq!(activity.len(), 6);
         assert!(activity.iter().all(|&(_, ops)| ops == 0));

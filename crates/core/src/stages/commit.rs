@@ -3,6 +3,7 @@
 use super::{Stage, StageActivity, TraceFeed};
 use crate::rob::InstState;
 use crate::state::CoreState;
+use resim_obs::{CacheKind, Counter, EventKind, Hist, Recorder};
 use resim_trace::TraceRecord;
 
 /// Commit: retire up to N completed instructions in order; stores need a
@@ -11,12 +12,12 @@ use resim_trace::TraceRecord;
 #[derive(Debug, Default)]
 pub struct CommitStage;
 
-impl Stage for CommitStage {
+impl<R: Recorder> Stage<R> for CommitStage {
     fn name(&self) -> &'static str {
         "Commit"
     }
 
-    fn evaluate(&mut self, core: &mut CoreState, _feed: &mut dyn TraceFeed) -> StageActivity {
+    fn evaluate(&mut self, core: &mut CoreState<R>, _feed: &mut dyn TraceFeed) -> StageActivity {
         let mut write_ports = core.config.mem_write_ports;
         let mut committed = 0u64;
         for _ in 0..core.config.width {
@@ -42,8 +43,18 @@ impl Stage for CommitStage {
             match &entry.record {
                 TraceRecord::Mem(m) => {
                     if m.is_store() {
-                        core.memory.data_access(m.addr, true);
+                        let acc = core.memory.data_access(m.addr, true);
                         core.stats.committed_stores += 1;
+                        if R::ENABLED && !acc.hit {
+                            core.recorder.counter(Counter::DcacheMisses, 1);
+                            core.recorder.event(
+                                core.cycle,
+                                EventKind::CacheMiss {
+                                    cache: CacheKind::L1d,
+                                    addr: m.addr,
+                                },
+                            );
+                        }
                     } else {
                         core.stats.committed_loads += 1;
                     }
@@ -60,6 +71,10 @@ impl Stage for CommitStage {
             core.stats.committed += 1;
             core.last_commit_cycle = core.cycle;
             committed += 1;
+        }
+        if R::ENABLED {
+            core.recorder.counter(Counter::Committed, committed);
+            core.recorder.histogram(Hist::CommittedPerCycle, committed);
         }
         StageActivity::ops(committed)
     }

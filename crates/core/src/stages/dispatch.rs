@@ -4,6 +4,7 @@ use super::{Stage, StageActivity, TraceFeed};
 use crate::lsq::{LoadReady, LsqEntry};
 use crate::rob::{InstState, PendingSet, ReorderBuffer, RobEntry};
 use crate::state::CoreState;
+use resim_obs::{Counter, Recorder};
 use resim_trace::TraceRecord;
 
 /// Dispatch: move up to N instructions from the IFQ into the RB (and
@@ -11,12 +12,12 @@ use resim_trace::TraceRecord;
 #[derive(Debug, Default)]
 pub struct DispatchStage;
 
-impl Stage for DispatchStage {
+impl<R: Recorder> Stage<R> for DispatchStage {
     fn name(&self) -> &'static str {
         "Dispatch"
     }
 
-    fn evaluate(&mut self, core: &mut CoreState, _feed: &mut dyn TraceFeed) -> StageActivity {
+    fn evaluate(&mut self, core: &mut CoreState<R>, _feed: &mut dyn TraceFeed) -> StageActivity {
         let mut dispatched = 0u64;
         for _ in 0..core.config.width {
             let Some(front) = core.ifq.front() else { break };
@@ -79,6 +80,9 @@ impl Stage for DispatchStage {
                 core.rename[d.index() as usize] = Some(seq);
             }
             dispatched += 1;
+        }
+        if R::ENABLED {
+            core.recorder.counter(Counter::Dispatched, dispatched);
         }
         StageActivity::ops(dispatched)
     }

@@ -4,6 +4,7 @@
 use super::{Stage, StageActivity, TraceFeed};
 use crate::state::{CoreState, FetchedInst};
 use resim_bpred::Resolution;
+use resim_obs::{CacheKind, Counter, EventKind, Hist, Recorder};
 use resim_trace::TraceRecord;
 
 /// Fetch: pull up to N records from the trace into the IFQ, stopping at
@@ -12,12 +13,12 @@ use resim_trace::TraceRecord;
 #[derive(Debug, Default)]
 pub struct FetchStage;
 
-impl Stage for FetchStage {
+impl<R: Recorder> Stage<R> for FetchStage {
     fn name(&self) -> &'static str {
         "Fetch"
     }
 
-    fn evaluate(&mut self, core: &mut CoreState, feed: &mut dyn TraceFeed) -> StageActivity {
+    fn evaluate(&mut self, core: &mut CoreState<R>, feed: &mut dyn TraceFeed) -> StageActivity {
         if core.cycle < core.fetch_stall_until {
             core.stats.fetch_stall_cycles += 1;
             return StageActivity::ops(0);
@@ -43,6 +44,19 @@ impl Stage for FetchStage {
             if record.wrong_path() {
                 core.stats.wrong_path_fetched += 1;
             }
+            if R::ENABLED {
+                core.recorder.counter(Counter::Fetched, 1);
+                if !acc.hit {
+                    core.recorder.counter(Counter::IcacheMisses, 1);
+                    core.recorder.event(
+                        core.cycle,
+                        EventKind::CacheMiss {
+                            cache: CacheKind::L1i,
+                            addr: record.pc(),
+                        },
+                    );
+                }
+            }
 
             let mut mispredicted = false;
             let mut stop_group = false;
@@ -58,6 +72,11 @@ impl Stage for FetchStage {
                     } else if pred.outcome() == Resolution::Misfetch {
                         // Right direction, wrong target: fetch bubble.
                         core.stats.misfetches += 1;
+                        if R::ENABLED {
+                            core.recorder.counter(Counter::Misfetches, 1);
+                            core.recorder
+                                .event(core.cycle, EventKind::Misfetch { pc: b.pc });
+                        }
                         core.fetch_stall_until =
                             core.cycle + 1 + u64::from(core.config.misfetch_penalty);
                         stop_group = true;
@@ -88,6 +107,9 @@ impl Stage for FetchStage {
             {
                 break;
             }
+        }
+        if R::ENABLED {
+            core.recorder.histogram(Hist::FetchedPerCycle, fetched);
         }
         StageActivity::ops(fetched)
     }

@@ -6,6 +6,7 @@ use crate::config::FuConfig;
 use crate::lsq::LoadReady;
 use crate::rob::InstState;
 use crate::state::CoreState;
+use resim_obs::{CacheKind, Counter, EventKind, Hist, Recorder};
 use resim_trace::{OpClass, TraceRecord};
 
 /// Issue: schedule up to N ready instructions onto functional units,
@@ -35,12 +36,12 @@ impl IssueStage {
     }
 }
 
-impl Stage for IssueStage {
+impl<R: Recorder> Stage<R> for IssueStage {
     fn name(&self) -> &'static str {
         "Issue"
     }
 
-    fn evaluate(&mut self, core: &mut CoreState, _feed: &mut dyn TraceFeed) -> StageActivity {
+    fn evaluate(&mut self, core: &mut CoreState<R>, _feed: &mut dyn TraceFeed) -> StageActivity {
         let width = core.config.width;
         let fus = core.config.fus;
         let mut slots = width;
@@ -142,6 +143,16 @@ impl Stage for IssueStage {
                                 loads_issued += 1;
                                 core.lsq.mark_issued(seq);
                                 let acc = core.memory.data_access(m.addr, false);
+                                if R::ENABLED && !acc.hit {
+                                    core.recorder.counter(Counter::DcacheMisses, 1);
+                                    core.recorder.event(
+                                        core.cycle,
+                                        EventKind::CacheMiss {
+                                            cache: CacheKind::L1d,
+                                            addr: m.addr,
+                                        },
+                                    );
+                                }
                                 core.cycle + u64::from(acc.latency)
                             }
                         }
@@ -164,6 +175,10 @@ impl Stage for IssueStage {
             core.stats.issued += 1;
             issued += 1;
             slots -= 1;
+        }
+        if R::ENABLED {
+            core.recorder.counter(Counter::Issued, issued);
+            core.recorder.histogram(Hist::IssuedPerCycle, issued);
         }
         StageActivity::ops(issued)
     }

@@ -3,6 +3,7 @@
 
 use super::{Stage, StageActivity, TraceFeed};
 use crate::state::CoreState;
+use resim_obs::{Counter, Recorder};
 
 /// `Lsq_refresh`: recomputes address/data availability and load
 /// readiness (including store-to-load forwarding) from producer state,
@@ -10,16 +11,20 @@ use crate::state::CoreState;
 #[derive(Debug, Default)]
 pub struct LsqRefreshStage;
 
-impl Stage for LsqRefreshStage {
+impl<R: Recorder> Stage<R> for LsqRefreshStage {
     fn name(&self) -> &'static str {
         "Lsq_refresh"
     }
 
-    fn evaluate(&mut self, core: &mut CoreState, _feed: &mut dyn TraceFeed) -> StageActivity {
+    fn evaluate(&mut self, core: &mut CoreState<R>, _feed: &mut dyn TraceFeed) -> StageActivity {
         // Split borrows: the LSQ refresh consults the RB for producer
         // liveness while mutating LSQ entries.
         let CoreState { lsq, rob, .. } = core;
         lsq.refresh(|seq| rob.is_outstanding(seq));
-        StageActivity::ops(lsq.len() as u64)
+        let refreshed = lsq.len() as u64;
+        if R::ENABLED {
+            core.recorder.counter(Counter::LsqRefreshed, refreshed);
+        }
+        StageActivity::ops(refreshed)
     }
 }

@@ -47,6 +47,7 @@ pub use lsq_refresh::LsqRefreshStage;
 pub use writeback::WritebackStage;
 
 use crate::state::CoreState;
+use resim_obs::Recorder;
 use resim_trace::TraceRecord;
 
 /// A pull-based, peekable supply of trace records, as the Fetch stage
@@ -98,11 +99,17 @@ impl StageActivity {
 /// hardware (e.g. the Issue stage's divider busy timers); everything
 /// shared between stages lives in [`CoreState`], and trace consumption
 /// goes through the [`TraceFeed`].
-pub trait Stage: Send + std::fmt::Debug {
+///
+/// The trait is generic over the engine's instrumentation
+/// [`Recorder`] so stage code can emit counters and events through
+/// `core.recorder` — with the default `NullRecorder` every hook
+/// monomorphizes to nothing, and the trait stays object-safe per
+/// recorder instantiation (`Box<dyn Stage<R>>`).
+pub trait Stage<R: Recorder>: Send + std::fmt::Debug {
     /// The stage's name as the paper spells it (used in rosters,
     /// schedules and `describe` output).
     fn name(&self) -> &'static str;
 
     /// Evaluates the stage for one major cycle.
-    fn evaluate(&mut self, core: &mut CoreState, feed: &mut dyn TraceFeed) -> StageActivity;
+    fn evaluate(&mut self, core: &mut CoreState<R>, feed: &mut dyn TraceFeed) -> StageActivity;
 }

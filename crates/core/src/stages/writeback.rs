@@ -4,6 +4,7 @@
 use super::{Stage, StageActivity, TraceFeed};
 use crate::rob::InstState;
 use crate::state::CoreState;
+use resim_obs::{Counter, Recorder};
 
 /// Writeback: select the oldest N finished executions, broadcast their
 /// results (wakeup), and run misprediction recovery (§III).
@@ -14,12 +15,12 @@ pub struct WritebackStage {
     done: Vec<(usize, u64)>,
 }
 
-impl Stage for WritebackStage {
+impl<R: Recorder> Stage<R> for WritebackStage {
     fn name(&self) -> &'static str {
         "Writeback"
     }
 
-    fn evaluate(&mut self, core: &mut CoreState, feed: &mut dyn TraceFeed) -> StageActivity {
+    fn evaluate(&mut self, core: &mut CoreState<R>, feed: &mut dyn TraceFeed) -> StageActivity {
         self.done.clear();
         self.done.extend(
             core.rob
@@ -48,6 +49,9 @@ impl Stage for WritebackStage {
             if recover {
                 core.recover(seq, feed);
             }
+        }
+        if R::ENABLED {
+            core.recorder.counter(Counter::WrittenBack, written_back);
         }
         StageActivity::ops(written_back)
     }

@@ -18,6 +18,7 @@ use crate::stages::TraceFeed;
 use crate::stats::SimStats;
 use resim_bpred::BranchPredictor;
 use resim_mem::MemorySystem;
+use resim_obs::{Counter, EventKind, Gauge, Hist, NullRecorder, Recorder};
 use resim_trace::TraceRecord;
 use std::collections::VecDeque;
 
@@ -38,8 +39,17 @@ pub(crate) struct FetchedInst {
 /// a thin shell around one `CoreState` and one scheduler; checkpointing
 /// ([`CoreState::snapshot`] / [`CoreState::restore`]) operates directly
 /// on this state.
+///
+/// The state is generic over the instrumentation [`Recorder`] it emits
+/// into, defaulting to the no-op [`NullRecorder`]: every hook
+/// monomorphizes away in the default engine, and a recorder only ever
+/// observes — it never feeds back into simulated state, which is what
+/// keeps instrumented and uninstrumented runs bit-identical.
 #[derive(Debug)]
-pub struct CoreState {
+pub struct CoreState<R: Recorder = NullRecorder> {
+    /// The instrumentation sink (no-op unless a collecting recorder is
+    /// attached via [`Engine::with_recorder`](crate::Engine::with_recorder)).
+    pub(crate) recorder: R,
     pub(crate) config: EngineConfig,
     pub(crate) predictor: BranchPredictor,
     pub(crate) memory: MemorySystem,
@@ -63,15 +73,28 @@ pub struct CoreState {
 }
 
 impl CoreState {
-    /// Builds cold state for `config`.
+    /// Builds cold state for `config` with the no-op recorder.
     ///
     /// # Errors
     ///
     /// Returns the [`ConfigError`] from [`EngineConfig::validate`] on
     /// structural inconsistencies.
     pub fn new(config: EngineConfig) -> Result<Self, ConfigError> {
+        Self::with_recorder(config, NullRecorder)
+    }
+}
+
+impl<R: Recorder> CoreState<R> {
+    /// Builds cold state for `config` emitting into `recorder`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from [`EngineConfig::validate`] on
+    /// structural inconsistencies.
+    pub fn with_recorder(config: EngineConfig, recorder: R) -> Result<Self, ConfigError> {
         config.validate()?;
         Ok(Self {
+            recorder,
             predictor: BranchPredictor::new(config.predictor),
             memory: MemorySystem::new(config.memory),
             rob: ReorderBuffer::new(config.rb_size),
@@ -92,6 +115,11 @@ impl CoreState {
     /// The configuration this state was built for.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The attached instrumentation recorder.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
     }
 
     /// Simulated (major) cycles elapsed.
@@ -125,6 +153,20 @@ impl CoreState {
         self.stats.ifq_occupancy_max = self.stats.ifq_occupancy_max.max(self.ifq.len() as u64);
         self.stats.rb_occupancy_max = self.stats.rb_occupancy_max.max(self.rob.len() as u64);
         self.stats.lsq_occupancy_max = self.stats.lsq_occupancy_max.max(self.lsq.len() as u64);
+        if R::ENABLED {
+            let (ifq, rb, lsq) = (self.ifq.len() as u64, self.rob.len() as u64, self.lsq.len() as u64);
+            self.recorder.gauge(Gauge::IfqOccupancy, ifq);
+            self.recorder.gauge(Gauge::RbOccupancy, rb);
+            self.recorder.gauge(Gauge::LsqOccupancy, lsq);
+            self.recorder.event(
+                self.cycle,
+                EventKind::Occupancy {
+                    ifq: ifq.min(u64::from(u16::MAX)) as u16,
+                    rb: rb.min(u64::from(u16::MAX)) as u16,
+                    lsq: lsq.min(u64::from(u16::MAX)) as u16,
+                },
+            );
+        }
         self.cycle += 1;
         self.minor_cycles += minor_cycles;
     }
@@ -147,6 +189,19 @@ impl CoreState {
         }
         self.lsq.squash_younger(branch_seq);
         self.stats.squashed += self.ifq.len() as u64;
+        if R::ENABLED {
+            let total = (squashed.len() + self.ifq.len()) as u64;
+            self.recorder.counter(Counter::MispredictRecoveries, 1);
+            self.recorder.counter(Counter::Squashed, total);
+            self.recorder.histogram(Hist::SquashDepth, total);
+            self.recorder.event(
+                self.cycle,
+                EventKind::MispredictRecovery {
+                    seq: branch_seq,
+                    squashed: total.min(u64::from(u32::MAX)) as u32,
+                },
+            );
+        }
         self.ifq.clear();
         // "Tagged instructions that have not been fetched by the branch
         // resolution point ... are discarded" (§V.A).

@@ -362,6 +362,63 @@ impl SimStats {
         }
     }
 
+    /// Conditional-branch direction mispredict rate (mispredicted /
+    /// conditional branches predicted).
+    pub fn mispredict_rate(&self) -> f64 {
+        ratio(
+            self.predictor.dir_mispredicts,
+            self.predictor.cond_branches,
+        )
+    }
+
+    /// L1 instruction-cache miss rate (0 under perfect memory).
+    pub fn il1_miss_rate(&self) -> f64 {
+        ratio(self.memory.l1i.misses(), self.memory.l1i.accesses())
+    }
+
+    /// L1 data-cache miss rate (0 under perfect memory).
+    pub fn dl1_miss_rate(&self) -> f64 {
+        ratio(self.memory.l1d.misses(), self.memory.l1d.accesses())
+    }
+
+    /// Renders the derived-rates section of the report: ratios computed
+    /// from the raw counters, in the same `{key:<28} {value}` layout.
+    pub fn derived_rates(&self) -> String {
+        let mut s = String::new();
+        let mut line = |k: &str, v: String| s.push_str(&format!("{k:<28} {v}\n"));
+        line("rate_ipc", format!("{:.4}", self.ipc()));
+        line(
+            "rate_processed_per_cycle",
+            format!("{:.4}", self.processed_per_cycle()),
+        );
+        line(
+            "rate_wrong_path",
+            format!("{:.4}", self.wrong_path_fraction()),
+        );
+        line(
+            "rate_branch_mispredict",
+            format!("{:.4}", self.mispredict_rate()),
+        );
+        line("rate_il1_miss", format!("{:.4}", self.il1_miss_rate()));
+        line("rate_dl1_miss", format!("{:.4}", self.dl1_miss_rate()));
+        s
+    }
+
+    /// Renders peak-utilization lines — occupancy maxima as a percentage
+    /// of the configured structure sizes — for the derived-rates section
+    /// (the sizes live in the engine configuration, not the statistics).
+    pub fn utilization_report(&self, ifq_size: usize, rb_size: usize, lsq_size: usize) -> String {
+        let mut s = String::new();
+        let mut line = |k: &str, max: u64, size: usize| {
+            let pct = 100.0 * ratio(max, size as u64);
+            s.push_str(&format!("{k:<28} {pct:.1}% ({max} of {size})\n"));
+        };
+        line("util_ifq_peak", self.ifq_occupancy_max, ifq_size);
+        line("util_rb_peak", self.rb_occupancy_max, rb_size);
+        line("util_lsq_peak", self.lsq_occupancy_max, lsq_size);
+        s
+    }
+
     /// Renders a `sim-outorder`-style statistics dump.
     pub fn report(&self) -> String {
         let mut s = String::new();
@@ -398,7 +455,18 @@ impl SimStats {
         line("il1_hit_rate", format!("{:.4}", self.memory.l1i.hit_rate()));
         line("dl1_accesses", self.memory.l1d.accesses().to_string());
         line("dl1_hit_rate", format!("{:.4}", self.memory.l1d.hit_rate()));
+        s.push_str("# derived rates\n");
+        s.push_str(&self.derived_rates());
         s
+    }
+}
+
+/// `num / den` with a zero denominator mapping to 0.
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
     }
 }
 
@@ -512,5 +580,34 @@ mod tests {
         assert!(r.contains("sim_IPC"));
         assert!(r.contains("2.0000"));
         assert!(r.contains("bpred_dir_rate"));
+        assert!(r.contains("# derived rates"));
+        assert!(r.contains("rate_branch_mispredict"));
+    }
+
+    #[test]
+    fn derived_rate_methods_guard_zero_denominators() {
+        let empty = SimStats::default();
+        assert_eq!(empty.mispredict_rate(), 0.0);
+        assert_eq!(empty.il1_miss_rate(), 0.0);
+        assert_eq!(empty.dl1_miss_rate(), 0.0);
+        let mut s = SimStats::default();
+        s.predictor.cond_branches = 8;
+        s.predictor.dir_mispredicts = 2;
+        assert!((s.mispredict_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_report_shows_peaks_against_sizes() {
+        let s = SimStats {
+            ifq_occupancy_max: 8,
+            rb_occupancy_max: 16,
+            lsq_occupancy_max: 2,
+            ..SimStats::default()
+        };
+        let u = s.utilization_report(16, 16, 8);
+        assert!(u.contains("util_ifq_peak"));
+        assert!(u.contains("50.0% (8 of 16)"));
+        assert!(u.contains("100.0% (16 of 16)"));
+        assert!(u.contains("25.0% (2 of 8)"));
     }
 }

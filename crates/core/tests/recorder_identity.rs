@@ -1,0 +1,88 @@
+//! The observability contract: a recorder only ever observes.
+//!
+//! Attaching a collecting `MetricsRecorder` must leave every `SimStats`
+//! field bit-identical to the default `NullRecorder` engine — on every
+//! SPEC workload profile — while the recorder itself fills with data
+//! consistent with those statistics.
+
+use resim_core::{Engine, EngineConfig, MetricsRecorder};
+use resim_obs::{Counter, Gauge, Hist, SpanId};
+use resim_tracegen::{generate_trace, TraceGenConfig};
+use resim_workloads::{SpecBenchmark, Workload};
+
+const BUDGET: usize = 20_000;
+
+fn run_both(config: &EngineConfig, bench: SpecBenchmark) -> (resim_core::SimStats, Engine<MetricsRecorder>) {
+    let trace = generate_trace(
+        Workload::spec(bench, 2009),
+        BUDGET,
+        &TraceGenConfig::paper(),
+    );
+    let null_stats = Engine::new(config.clone())
+        .expect("valid config")
+        .run(trace.source());
+    let mut instrumented = Engine::with_recorder(config.clone(), MetricsRecorder::new())
+        .expect("valid config");
+    let inst_stats = instrumented.run(trace.source());
+    assert_eq!(
+        null_stats.to_words(),
+        inst_stats.to_words(),
+        "{bench:?}: instrumented run diverged from the NullRecorder run"
+    );
+    assert_eq!(null_stats.digest(), inst_stats.digest());
+    (inst_stats, instrumented)
+}
+
+#[test]
+fn stats_bit_identical_with_metrics_recorder_all_workloads() {
+    let config = EngineConfig::paper_4wide();
+    for bench in SpecBenchmark::ALL {
+        run_both(&config, bench);
+    }
+}
+
+#[test]
+fn stats_bit_identical_under_caches_and_real_predictor() {
+    // The cached profile exercises the I/D-cache miss emission paths.
+    let config = EngineConfig::paper_2wide_cached();
+    run_both(&config, SpecBenchmark::Vortex);
+}
+
+#[test]
+fn recorder_collects_consistently_with_stats() {
+    let config = EngineConfig::paper_4wide();
+    let (stats, engine) = run_both(&config, SpecBenchmark::Gzip);
+    let rec = engine.recorder();
+
+    // Counters agree with the statistics they mirror.
+    assert_eq!(rec.counter_value(Counter::Fetched), stats.fetched);
+    assert_eq!(rec.counter_value(Counter::Committed), stats.committed);
+    assert_eq!(rec.counter_value(Counter::Issued), stats.issued);
+    assert_eq!(
+        rec.counter_value(Counter::MispredictRecoveries),
+        stats.mispredict_recoveries
+    );
+    assert_eq!(rec.counter_value(Counter::Squashed), stats.squashed);
+    assert_eq!(rec.counter_value(Counter::Misfetches), stats.misfetches);
+
+    // One occupancy sample per cycle, gauges match the occupancy sums.
+    let rb = rec.gauge_summary(Gauge::RbOccupancy);
+    assert_eq!(rb.samples, stats.cycles);
+    assert_eq!(rec.occupancy().cycles(), stats.cycles);
+    assert!((rb.avg - stats.avg_rb_occupancy()).abs() < 1e-9);
+
+    // Histogram mass equals the recoveries that fed it.
+    assert_eq!(
+        rec.histogram_of(Hist::SquashDepth).count(),
+        stats.mispredict_recoveries
+    );
+
+    // Every stage span was timed once per cycle.
+    for span in SpanId::ALL {
+        assert_eq!(rec.span_summary(span).calls, stats.cycles, "{span:?}");
+    }
+
+    // The journal holds at least the occupancy stream (or hit its bound).
+    let j = rec.journal();
+    assert!(j.recorded() >= stats.cycles);
+}

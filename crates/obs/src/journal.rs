@@ -1,0 +1,131 @@
+//! The bounded, ring-buffered event journal.
+
+use crate::recorder::EventKind;
+
+/// One journaled event: a structured payload at a simulated cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated (major) cycle the event occurred in.
+    pub cycle: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+/// Default journal capacity (events). At one occupancy sample per
+/// cycle this holds the trailing ~64 K cycles of a run.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 65_536;
+
+/// A bounded ring buffer of [`Event`]s: pushes never allocate after
+/// construction and never fail — once full, the oldest event is
+/// overwritten, and [`EventJournal::dropped`] counts the loss.
+#[derive(Debug, Clone)]
+pub struct EventJournal {
+    buf: Vec<Event>,
+    capacity: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    /// Total events ever pushed.
+    recorded: u64,
+}
+
+impl EventJournal {
+    /// An empty journal holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            buf: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            head: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Maximum events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been journaled yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever pushed (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events lost to the bound (oldest-first).
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.buf.len() as u64
+    }
+
+    /// Appends an event, overwriting the oldest once full.
+    pub fn push(&mut self, event: Event) {
+        self.recorded += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Iterates the retained events oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        let (wrapped, start) = self.buf.split_at(self.head);
+        start.iter().chain(wrapped.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> Event {
+        Event {
+            cycle,
+            kind: EventKind::Misfetch { pc: cycle as u32 },
+        }
+    }
+
+    #[test]
+    fn push_and_iterate_in_order() {
+        let mut j = EventJournal::new(8);
+        for c in 0..5 {
+            j.push(ev(c));
+        }
+        assert_eq!(j.len(), 5);
+        assert_eq!(j.recorded(), 5);
+        assert_eq!(j.dropped(), 0);
+        let cycles: Vec<u64> = j.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_first() {
+        let mut j = EventJournal::new(4);
+        for c in 0..10 {
+            j.push(ev(c));
+        }
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.recorded(), 10);
+        assert_eq!(j.dropped(), 6);
+        let cycles: Vec<u64> = j.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9], "ring keeps the newest events");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut j = EventJournal::new(0);
+        j.push(ev(1));
+        j.push(ev(2));
+        assert_eq!(j.capacity(), 1);
+        assert_eq!(j.iter().map(|e| e.cycle).collect::<Vec<_>>(), vec![2]);
+    }
+}

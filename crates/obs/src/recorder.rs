@@ -1,0 +1,318 @@
+//! The [`Recorder`] trait, its instrument identifiers, and the no-op
+//! [`NullRecorder`].
+//!
+//! Identifiers are plain enums (not strings) so a collecting recorder
+//! can back every instrument with a fixed-index array — no hashing, no
+//! allocation, nothing on the hot path but an indexed add.
+
+/// Monotonic counters the engine bumps as it works.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Instructions fetched into the IFQ (wrong path included).
+    Fetched,
+    /// Instructions dispatched into the RB/LSQ.
+    Dispatched,
+    /// Instructions issued to functional units.
+    Issued,
+    /// Instructions written back (result broadcast).
+    WrittenBack,
+    /// LSQ entries refreshed by the `Lsq_refresh` scan.
+    LsqRefreshed,
+    /// Instructions committed in order.
+    Committed,
+    /// Direction-misprediction recoveries.
+    MispredictRecoveries,
+    /// Instructions squashed by recoveries.
+    Squashed,
+    /// Fetch-time target misfetches.
+    Misfetches,
+    /// L1 instruction-cache misses observed at fetch.
+    IcacheMisses,
+    /// L1 data-cache misses observed at issue/commit.
+    DcacheMisses,
+}
+
+impl Counter {
+    /// Every counter, in stable export order.
+    pub const ALL: [Counter; 11] = [
+        Counter::Fetched,
+        Counter::Dispatched,
+        Counter::Issued,
+        Counter::WrittenBack,
+        Counter::LsqRefreshed,
+        Counter::Committed,
+        Counter::MispredictRecoveries,
+        Counter::Squashed,
+        Counter::Misfetches,
+        Counter::IcacheMisses,
+        Counter::DcacheMisses,
+    ];
+
+    /// Stable machine-readable name (JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Fetched => "fetched",
+            Counter::Dispatched => "dispatched",
+            Counter::Issued => "issued",
+            Counter::WrittenBack => "written_back",
+            Counter::LsqRefreshed => "lsq_refreshed",
+            Counter::Committed => "committed",
+            Counter::MispredictRecoveries => "mispredict_recoveries",
+            Counter::Squashed => "squashed",
+            Counter::Misfetches => "misfetches",
+            Counter::IcacheMisses => "icache_misses",
+            Counter::DcacheMisses => "dcache_misses",
+        }
+    }
+}
+
+/// Sampled values (one observation per simulated cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// IFQ fill at end of cycle.
+    IfqOccupancy,
+    /// Reorder-buffer fill at end of cycle.
+    RbOccupancy,
+    /// LSQ fill at end of cycle.
+    LsqOccupancy,
+}
+
+impl Gauge {
+    /// Every gauge, in stable export order.
+    pub const ALL: [Gauge; 3] = [Gauge::IfqOccupancy, Gauge::RbOccupancy, Gauge::LsqOccupancy];
+
+    /// Stable machine-readable name (JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::IfqOccupancy => "ifq_occupancy",
+            Gauge::RbOccupancy => "rb_occupancy",
+            Gauge::LsqOccupancy => "lsq_occupancy",
+        }
+    }
+}
+
+/// Power-of-two-bucket histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Hist {
+    /// Instructions fetched per cycle the Fetch stage ran.
+    FetchedPerCycle,
+    /// Instructions issued per cycle.
+    IssuedPerCycle,
+    /// Instructions committed per cycle.
+    CommittedPerCycle,
+    /// Instructions squashed per misprediction recovery.
+    SquashDepth,
+}
+
+impl Hist {
+    /// Every histogram, in stable export order.
+    pub const ALL: [Hist; 4] = [
+        Hist::FetchedPerCycle,
+        Hist::IssuedPerCycle,
+        Hist::CommittedPerCycle,
+        Hist::SquashDepth,
+    ];
+
+    /// Stable machine-readable name (JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::FetchedPerCycle => "fetched_per_cycle",
+            Hist::IssuedPerCycle => "issued_per_cycle",
+            Hist::CommittedPerCycle => "committed_per_cycle",
+            Hist::SquashDepth => "squash_depth",
+        }
+    }
+}
+
+/// Wall-time spans: the engine's six stage units, timed per evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum SpanId {
+    /// The Commit stage evaluation.
+    Commit,
+    /// The Writeback stage evaluation.
+    Writeback,
+    /// The `Lsq_refresh` stage evaluation.
+    LsqRefresh,
+    /// The Issue stage evaluation.
+    Issue,
+    /// The Dispatch stage evaluation.
+    Dispatch,
+    /// The Fetch stage evaluation.
+    Fetch,
+}
+
+impl SpanId {
+    /// Every span, in the scheduler's architectural evaluation order.
+    pub const ALL: [SpanId; 6] = [
+        SpanId::Commit,
+        SpanId::Writeback,
+        SpanId::LsqRefresh,
+        SpanId::Issue,
+        SpanId::Dispatch,
+        SpanId::Fetch,
+    ];
+
+    /// Stable machine-readable name (JSON key; matches the stage roster
+    /// spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanId::Commit => "Commit",
+            SpanId::Writeback => "Writeback",
+            SpanId::LsqRefresh => "Lsq_refresh",
+            SpanId::Issue => "Issue",
+            SpanId::Dispatch => "Dispatch",
+            SpanId::Fetch => "Fetch",
+        }
+    }
+}
+
+/// Which simulated cache a [`EventKind::CacheMiss`] event names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheKind {
+    /// L1 instruction cache.
+    L1i,
+    /// L1 data cache.
+    L1d,
+}
+
+impl CacheKind {
+    /// Stable machine-readable name (JSONL value).
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheKind::L1i => "l1i",
+            CacheKind::L1d => "l1d",
+        }
+    }
+}
+
+/// A structured event, journaled with the simulated cycle it occurred
+/// in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// End-of-cycle pipeline occupancy sample (IFQ/RB/LSQ fill).
+    Occupancy {
+        /// IFQ entries occupied.
+        ifq: u16,
+        /// Reorder-buffer entries occupied.
+        rb: u16,
+        /// LSQ entries occupied.
+        lsq: u16,
+    },
+    /// A branch direction misprediction recovered at writeback.
+    MispredictRecovery {
+        /// Sequence number of the recovering branch.
+        seq: u64,
+        /// Instructions squashed from the pipeline.
+        squashed: u32,
+    },
+    /// A fetch-time target misfetch (right direction, wrong target).
+    Misfetch {
+        /// PC of the misfetching branch.
+        pc: u32,
+    },
+    /// A cache miss.
+    CacheMiss {
+        /// Which cache missed.
+        cache: CacheKind,
+        /// The missing address (PC for L1i, effective address for L1d).
+        addr: u32,
+    },
+}
+
+/// The instrumentation sink the engine emits into.
+///
+/// All hooks have default no-op bodies; [`NullRecorder`] adds nothing
+/// on top, so an `Engine<NullRecorder>` monomorphizes every call site
+/// to an empty inline function and the hot loop is exactly the
+/// uninstrumented loop. Use [`Recorder::ENABLED`] to guard emission
+/// code whose *argument computation* is itself non-trivial.
+pub trait Recorder: Send + std::fmt::Debug {
+    /// Whether this recorder collects anything at all. `false` lets
+    /// call sites skip composing event payloads entirely (the branch is
+    /// resolved at compile time).
+    const ENABLED: bool;
+
+    /// Adds `delta` to a counter.
+    #[inline(always)]
+    fn counter(&mut self, c: Counter, delta: u64) {
+        let _ = (c, delta);
+    }
+
+    /// Records one observation of a sampled value.
+    #[inline(always)]
+    fn gauge(&mut self, g: Gauge, value: u64) {
+        let _ = (g, value);
+    }
+
+    /// Adds `value` to a power-of-two-bucket histogram.
+    #[inline(always)]
+    fn histogram(&mut self, h: Hist, value: u64) {
+        let _ = (h, value);
+    }
+
+    /// Opens a wall-time span. Spans do not nest per id: a second
+    /// `span_enter` before `span_exit` restarts the clock.
+    #[inline(always)]
+    fn span_enter(&mut self, s: SpanId) {
+        let _ = s;
+    }
+
+    /// Closes a wall-time span, accumulating the elapsed time.
+    #[inline(always)]
+    fn span_exit(&mut self, s: SpanId) {
+        let _ = s;
+    }
+
+    /// Journals a structured event at a simulated cycle.
+    #[inline(always)]
+    fn event(&mut self, cycle: u64, kind: EventKind) {
+        let _ = (cycle, kind);
+    }
+}
+
+/// The default recorder: collects nothing, costs nothing.
+///
+/// Every hook is the trait's empty default, `ENABLED` is `false`, and
+/// the type is a ZST — an `Engine<NullRecorder>` is byte-for-byte the
+/// uninstrumented engine.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    const ENABLED: bool = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_a_zst_and_disabled() {
+        assert_eq!(std::mem::size_of::<NullRecorder>(), 0);
+        const { assert!(!NullRecorder::ENABLED) };
+        // The default hooks accept calls without effect.
+        let mut r = NullRecorder;
+        r.counter(Counter::Fetched, 3);
+        r.gauge(Gauge::RbOccupancy, 9);
+        r.histogram(Hist::SquashDepth, 4);
+        r.span_enter(SpanId::Fetch);
+        r.span_exit(SpanId::Fetch);
+        r.event(7, EventKind::Misfetch { pc: 0x40 });
+    }
+
+    #[test]
+    fn id_names_are_stable_and_unique() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.extend(Gauge::ALL.iter().map(|g| g.name()));
+        names.extend(Hist::ALL.iter().map(|h| h.name()));
+        names.extend(SpanId::ALL.iter().map(|s| s.name()));
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "instrument names must be unique");
+    }
+}

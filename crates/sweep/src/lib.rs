@@ -65,5 +65,5 @@ mod scenario;
 
 pub use from_table::resolve_tracegen;
 pub use report::{CellResult, SweepReport};
-pub use runner::SweepRunner;
+pub use runner::{SweepPhase, SweepProgress, SweepRunner};
 pub use scenario::{Cell, CellMode, ConfigPoint, Scenario, ScenarioError, WorkloadPoint};

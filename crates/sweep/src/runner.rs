@@ -21,7 +21,52 @@ use resim_tracegen::{TraceCache, TraceKey};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Which phase of a sweep a [`SweepProgress`] sample describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepPhase {
+    /// Phase 1: generating (and encoding) the grid's unique traces.
+    Generate,
+    /// Phase 2: simulating the grid cells against the shared traces.
+    Simulate,
+}
+
+impl SweepPhase {
+    /// Short lower-case label (`"tracegen"` / `"simulate"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepPhase::Generate => "tracegen",
+            SweepPhase::Simulate => "simulate",
+        }
+    }
+}
+
+/// A live progress sample emitted by [`SweepRunner::run_with_progress`].
+///
+/// One sample arrives at the start of each phase (`done == 0`) and one
+/// after every completed unit of work — a generated trace in
+/// [`SweepPhase::Generate`], a simulated cell in
+/// [`SweepPhase::Simulate`]. Samples may be emitted from worker threads;
+/// the callback must be `Sync`.
+#[derive(Debug, Clone)]
+pub struct SweepProgress {
+    /// The phase this sample describes.
+    pub phase: SweepPhase,
+    /// Units of the phase completed so far.
+    pub done: usize,
+    /// Total units in the phase.
+    pub total: usize,
+    /// Trace-cache hits accumulated since the sweep started.
+    pub cache_hits: u64,
+    /// Trace-cache misses (i.e. traces generated) since the sweep started.
+    pub cache_misses: u64,
+    /// Wall time since [`SweepRunner::run_with_progress`] was called.
+    pub elapsed: Duration,
+    /// Naive remaining-time estimate for this phase (elapsed scaled by
+    /// the remaining unit count); `None` until the first unit completes.
+    pub eta: Option<Duration>,
+}
 
 /// Multi-threaded scenario-grid runner.
 ///
@@ -83,10 +128,47 @@ impl SweepRunner {
     /// Returns the [`ScenarioError`] from [`Scenario::validate`] without
     /// running anything.
     pub fn run(&self, scenario: &Scenario) -> Result<SweepReport, ScenarioError> {
+        self.run_with_progress(scenario, |_| {})
+    }
+
+    /// Runs every cell of `scenario`, invoking `progress` with a
+    /// [`SweepProgress`] sample at each phase start and after every
+    /// completed unit of work.
+    ///
+    /// The callback may fire concurrently from worker threads (hence the
+    /// `Sync` bound); each sample carries the completion count taken when
+    /// its unit finished, so under concurrency samples can arrive
+    /// slightly out of order. Progress reporting never influences
+    /// scheduling or seeding, so the report stays bit-identical to
+    /// [`SweepRunner::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ScenarioError`] from [`Scenario::validate`] without
+    /// running anything.
+    pub fn run_with_progress(
+        &self,
+        scenario: &Scenario,
+        progress: impl Fn(&SweepProgress) + Sync,
+    ) -> Result<SweepReport, ScenarioError> {
         scenario.validate()?;
         let t0 = Instant::now();
         let (hits0, misses0) = (self.cache.hits(), self.cache.misses());
         let cells = scenario.cells();
+        let emit = |phase: SweepPhase, done: usize, total: usize, phase_t0: Instant| {
+            let phase_elapsed = phase_t0.elapsed();
+            let eta = (done > 0 && done < total)
+                .then(|| phase_elapsed.mul_f64((total - done) as f64 / done as f64));
+            progress(&SweepProgress {
+                phase,
+                done,
+                total,
+                cache_hits: self.cache.hits() - hits0,
+                cache_misses: self.cache.misses() - misses0,
+                elapsed: t0.elapsed(),
+                eta,
+            });
+        };
 
         // Phase 1: generate each unique trace once, in parallel.
         let mut seen = HashSet::new();
@@ -98,14 +180,22 @@ impl SweepRunner {
                     .then_some((key, c.workload, c.seed))
             })
             .collect();
+        let phase_t0 = Instant::now();
+        let done = AtomicUsize::new(0);
+        emit(SweepPhase::Generate, 0, unique.len(), phase_t0);
         self.for_indices(unique.len(), |i| {
             let (key, workload, seed) = &unique[i];
             let point = &scenario.workloads()[*workload];
             self.cache
                 .get_or_generate(key.clone(), || point.instantiate(*seed));
+            let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+            emit(SweepPhase::Generate, d, unique.len(), phase_t0);
         });
 
         // Phase 2: run the cells, each against its shared trace.
+        let phase_t0 = Instant::now();
+        let done = AtomicUsize::new(0);
+        emit(SweepPhase::Simulate, 0, cells.len(), phase_t0);
         let slots: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; cells.len()]);
         self.for_indices(cells.len(), |i| {
             let cell = &cells[i];
@@ -140,6 +230,8 @@ impl SweepRunner {
                 wall: cell_t0.elapsed(),
             };
             slots.lock().expect("result slots poisoned")[i] = Some(result);
+            let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+            emit(SweepPhase::Simulate, d, cells.len(), phase_t0);
         });
 
         let cells = slots
@@ -248,5 +340,42 @@ mod tests {
     fn invalid_scenario_is_rejected() {
         let err = SweepRunner::new(1).run(&Scenario::new());
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn progress_samples_cover_both_phases() {
+        let samples: Mutex<Vec<SweepProgress>> = Mutex::new(Vec::new());
+        let report = SweepRunner::new(1)
+            .run_with_progress(&small_grid(), |p| {
+                samples.lock().unwrap().push(p.clone());
+            })
+            .unwrap();
+        let samples = samples.into_inner().unwrap();
+        // Phase starts (done == 0) plus one sample per completed unit:
+        // 1 unique trace + 2 cells.
+        let gen: Vec<_> = samples
+            .iter()
+            .filter(|p| p.phase == SweepPhase::Generate)
+            .collect();
+        let sim: Vec<_> = samples
+            .iter()
+            .filter(|p| p.phase == SweepPhase::Simulate)
+            .collect();
+        assert_eq!(gen.len(), 2, "start + 1 generated trace");
+        assert_eq!(sim.len(), 3, "start + 2 simulated cells");
+        assert_eq!(gen.last().unwrap().done, 1);
+        assert_eq!(gen.last().unwrap().total, 1);
+        assert_eq!(sim.last().unwrap().done, 2);
+        assert_eq!(sim.last().unwrap().total, 2);
+        assert_eq!(sim.last().unwrap().cache_misses, 1);
+        assert!(sim.last().unwrap().eta.is_none(), "no eta once the phase is done");
+        assert_eq!(sim[1].done, 1);
+        assert!(sim[1].eta.is_some(), "mid-phase samples estimate the remainder");
+        assert_eq!(SweepPhase::Generate.label(), "tracegen");
+        assert_eq!(SweepPhase::Simulate.label(), "simulate");
+        // Reporting must not change results.
+        assert_eq!(report.cells.len(), 2);
+        let plain = SweepRunner::new(1).run(&small_grid()).unwrap();
+        assert_eq!(report.cells[0].stats.digest(), plain.cells[0].stats.digest());
     }
 }

@@ -293,6 +293,8 @@ pub struct FileSource<R: Read> {
     body: BodyDecoder,
     remaining: u64,
     error: Option<FileError>,
+    decoded: u64,
+    fills: u64,
 }
 
 /// Per-layout decoder state threaded through a [`FileSource`]'s body.
@@ -341,6 +343,8 @@ impl<R: Read> FileSource<R> {
             bits,
             body,
             error: None,
+            decoded: 0,
+            fills: 0,
         })
     }
 
@@ -352,6 +356,18 @@ impl<R: Read> FileSource<R> {
     /// The first I/O or decode error hit, if the stream ended abnormally.
     pub fn error(&self) -> Option<&FileError> {
         self.error.as_ref()
+    }
+
+    /// Records materialised so far, across [`TraceSource::next_record`]
+    /// and [`TraceSource::fill`] alike (skipped records are not decoded
+    /// in layout 1 and are not counted for either layout).
+    pub fn records_decoded(&self) -> u64 {
+        self.decoded
+    }
+
+    /// Number of [`TraceSource::fill`] batch-decode calls served.
+    pub fn batch_fills(&self) -> u64 {
+        self.fills
     }
 
     /// Folds the bit reader's pending I/O error (if any) with a decode
@@ -392,6 +408,7 @@ impl<R: Read> TraceSource for FileSource<R> {
         match self.decode_next() {
             Ok(Some(r)) => {
                 self.remaining -= 1;
+                self.decoded += 1;
                 Some(r)
             }
             Ok(None) => {
@@ -410,6 +427,7 @@ impl<R: Read> TraceSource for FileSource<R> {
         // Block decode straight off the reader: one `fill` call amortises
         // the per-record dispatch and keeps the bit cursor and expected-PC
         // chain in registers across the whole batch.
+        self.fills += 1;
         let mut n = 0;
         while n < buf.len() && self.error.is_none() && self.remaining > 0 {
             match self.decode_next() {
@@ -417,6 +435,7 @@ impl<R: Read> TraceSource for FileSource<R> {
                     buf[n] = r;
                     n += 1;
                     self.remaining -= 1;
+                    self.decoded += 1;
                 }
                 Ok(None) => {
                     self.error = Some(FileError::Decode(DecodeError::Truncated));
@@ -864,6 +883,35 @@ mod tests {
         while src.next_record().is_some() {}
         assert!(src.error().is_some(), "truncation must not look like a clean end");
         assert_eq!(src.skip(1), 0, "errored source skips nothing");
+    }
+
+    #[test]
+    fn decode_counters_track_records_and_fills() {
+        let trace = sample_trace();
+        let buf = container(&trace);
+        let mut src = FileSource::from_reader(&buf[..]).unwrap();
+        assert_eq!(src.records_decoded(), 0);
+        assert_eq!(src.batch_fills(), 0);
+        src.next_record().unwrap();
+        src.next_record().unwrap();
+        assert_eq!(src.records_decoded(), 2);
+        let filler = TraceRecord::Other(OtherRecord {
+            pc: 0,
+            class: OpClass::Nop,
+            dest: None,
+            src1: None,
+            src2: None,
+            wrong_path: false,
+        });
+        let mut batch = vec![filler; 8];
+        let n = src.fill(&mut batch);
+        assert_eq!(n, 3, "the remaining records arrive in one batch");
+        assert_eq!(src.batch_fills(), 1);
+        assert_eq!(src.records_decoded(), 5);
+        // A fill at end-of-trace still counts as a (empty) batch call.
+        assert_eq!(src.fill(&mut batch), 0);
+        assert_eq!(src.batch_fills(), 2);
+        assert_eq!(src.records_decoded(), 5);
     }
 
     #[test]
