@@ -1,6 +1,10 @@
 //! Hand-rolled argument parsing for the `resim` binary (no external
 //! dependencies, like everything else in this workspace).
 
+/// Where `resim serve` listens and `resim submit` connects when
+/// `--addr` is not given (the port is a nod to the paper's year).
+pub const DEFAULT_ADDR: &str = "127.0.0.1:20009";
+
 /// A fully parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
@@ -85,6 +89,32 @@ pub enum Command {
         /// Session record path.
         session: String,
     },
+    /// `resim serve`.
+    Serve {
+        /// `--addr` listen address (default `DEFAULT_ADDR`).
+        addr: String,
+        /// `--cache-dir` on-disk result-cache directory (default:
+        /// in-memory only, results do not survive a restart).
+        cache_dir: Option<String>,
+        /// `--threads` per-job sweep worker-pool size.
+        threads: Option<usize>,
+    },
+    /// `resim submit`.
+    Submit {
+        /// Scenario file to submit (optional when an action flag is
+        /// given).
+        scenario: Option<String>,
+        /// `--addr` server address (default `DEFAULT_ADDR`).
+        addr: String,
+        /// `--progress` switch: print streamed progress lines.
+        progress: bool,
+        /// `--ping` action: probe the server first.
+        ping: bool,
+        /// `--metrics` action: print the counter snapshot after.
+        metrics: bool,
+        /// `--shutdown` action: stop the server last.
+        shutdown: bool,
+    },
     /// `resim help [topic]`, `resim --help`, or `resim <cmd> --help`.
     Help(Option<String>),
     /// `resim --version`.
@@ -105,12 +135,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     match cmd {
         "-h" | "--help" | "help" => Ok(Command::Help(it.next().map(str::to_string))),
         "-V" | "--version" => Ok(Command::Version),
-        "trace" | "run" | "profile" | "sample" | "sweep" | "describe" | "record" | "replay" => {
-            parse_subcommand(cmd, &args[1..])
-        }
+        "trace" | "run" | "profile" | "sample" | "sweep" | "serve" | "submit" | "describe"
+        | "record" | "replay" => parse_subcommand(cmd, &args[1..]),
         other => Err(format!(
             "unknown command {other:?} (expected trace, run, profile, sample, sweep, \
-             describe, record, replay or help)"
+             serve, submit, describe, record, replay or help)"
         )),
     }
 }
@@ -133,6 +162,11 @@ fn parse_subcommand(cmd: &str, rest: &[String]) -> Result<Command, String> {
     let mut journal: Option<usize> = None;
     let mut profile = false;
     let mut progress = false;
+    let mut addr: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut ping = false;
+    let mut metrics = false;
+    let mut shutdown = false;
 
     let mut it = rest.iter().map(String::as_str).peekable();
     while let Some(flag) = it.next() {
@@ -146,9 +180,12 @@ fn parse_subcommand(cmd: &str, rest: &[String]) -> Result<Command, String> {
         match flag {
             "-h" | "--help" => return Ok(Command::Help(Some(cmd.to_string()))),
             // `replay` takes a session file, not a scenario; `-s` is
-            // its short form there too.
+            // its short form there too. `serve` takes neither — its
+            // scenarios arrive over the wire.
             "-s" | "--session" if cmd == "replay" => scenario = Some(value!().to_string()),
-            "-s" | "--scenario" if cmd != "replay" => scenario = Some(value!().to_string()),
+            "-s" | "--scenario" if cmd != "replay" && cmd != "serve" => {
+                scenario = Some(value!().to_string());
+            }
             "-o" | "--out" if cmd == "trace" || cmd == "record" => {
                 out = Some(value!().to_string());
             }
@@ -161,18 +198,52 @@ fn parse_subcommand(cmd: &str, rest: &[String]) -> Result<Command, String> {
             "--metrics-out" if cmd == "profile" => metrics_out = Some(value!().to_string()),
             "--events-out" if cmd == "profile" => events_out = Some(value!().to_string()),
             "--journal" if cmd == "profile" => journal = Some(parse_num(flag, value!())?),
-            "--progress" if cmd == "sweep" => progress = true,
+            "--progress" if cmd == "sweep" || cmd == "submit" => progress = true,
+            "--addr" if cmd == "serve" || cmd == "submit" => addr = Some(value!().to_string()),
+            "--cache-dir" if cmd == "serve" => cache_dir = Some(value!().to_string()),
+            "--ping" if cmd == "submit" => ping = true,
+            "--metrics" if cmd == "submit" => metrics = true,
+            "--shutdown" if cmd == "submit" => shutdown = true,
             "--budget" if cmd == "trace" => budget = Some(parse_num(flag, value!())?),
             "--seed" if cmd == "trace" => seed = Some(parse_num(flag, value!())?),
             "--layout" if cmd == "trace" => layout = Some(parse_num(flag, value!())?),
             "--cell" if cmd == "record" => cell = Some(parse_num(flag, value!())?),
-            "-j" | "--threads" if cmd == "sweep" => threads = Some(parse_num(flag, value!())?),
+            "-j" | "--threads" if cmd == "sweep" || cmd == "serve" => {
+                threads = Some(parse_num(flag, value!())?);
+            }
             "--csv" if cmd == "sweep" => csv = Some(value!().to_string()),
             "--stable-csv" if cmd == "sweep" => stable_csv = Some(value!().to_string()),
             "--md" if cmd == "sweep" => md = Some(value!().to_string()),
             "--trace-file" if cmd == "sweep" => trace_files.push(value!().to_string()),
             other => return Err(format!("unknown option {other:?} for `resim {cmd}`")),
         }
+    }
+    // The service commands do not require a scenario file: `serve`
+    // never takes one, and `submit` can be a pure action invocation
+    // (--ping / --metrics / --shutdown).
+    if cmd == "serve" {
+        return Ok(Command::Serve {
+            addr: addr.unwrap_or_else(|| DEFAULT_ADDR.to_string()),
+            cache_dir,
+            threads,
+        });
+    }
+    if cmd == "submit" {
+        if scenario.is_none() && !ping && !metrics && !shutdown {
+            return Err(
+                "`resim submit` requires --scenario <FILE>, or at least one of \
+                 --ping, --metrics, --shutdown"
+                    .to_string(),
+            );
+        }
+        return Ok(Command::Submit {
+            scenario,
+            addr: addr.unwrap_or_else(|| DEFAULT_ADDR.to_string()),
+            progress,
+            ping,
+            metrics,
+            shutdown,
+        });
     }
     let scenario = scenario.ok_or_else(|| {
         let key = if cmd == "replay" { "session" } else { "scenario" };
@@ -371,6 +442,71 @@ mod tests {
         assert!(p(&["replay", "--scenario", "a"]).unwrap_err().contains("unknown option"));
         assert!(p(&["record", "-s", "a", "--cell", "x"]).unwrap_err().contains("invalid number"));
         assert!(p(&["replay", "-s", "a", "--cell", "1"]).unwrap_err().contains("unknown option"));
+    }
+
+    #[test]
+    fn serve_parses() {
+        assert_eq!(
+            p(&["serve"]),
+            Ok(Command::Serve {
+                addr: DEFAULT_ADDR.into(),
+                cache_dir: None,
+                threads: None,
+            })
+        );
+        assert_eq!(
+            p(&["serve", "--addr", "127.0.0.1:0", "--cache-dir", "cache", "-j", "2"]),
+            Ok(Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                cache_dir: Some("cache".into()),
+                threads: Some(2),
+            })
+        );
+        // Serve has no scenario: its work arrives over the wire.
+        assert!(p(&["serve", "-s", "a.toml"]).unwrap_err().contains("unknown option"));
+        assert!(p(&["serve", "--ping"]).unwrap_err().contains("unknown option"));
+    }
+
+    #[test]
+    fn submit_parses() {
+        assert_eq!(
+            p(&["submit", "-s", "a.toml"]),
+            Ok(Command::Submit {
+                scenario: Some("a.toml".into()),
+                addr: DEFAULT_ADDR.into(),
+                progress: false,
+                ping: false,
+                metrics: false,
+                shutdown: false,
+            })
+        );
+        assert_eq!(
+            p(&["submit", "-s", "a.toml", "--addr", "127.0.0.1:7", "--progress",
+                "--ping", "--metrics", "--shutdown"]),
+            Ok(Command::Submit {
+                scenario: Some("a.toml".into()),
+                addr: "127.0.0.1:7".into(),
+                progress: true,
+                ping: true,
+                metrics: true,
+                shutdown: true,
+            })
+        );
+        // Pure action invocations need no scenario…
+        assert_eq!(
+            p(&["submit", "--shutdown"]),
+            Ok(Command::Submit {
+                scenario: None,
+                addr: DEFAULT_ADDR.into(),
+                progress: false,
+                ping: false,
+                metrics: false,
+                shutdown: true,
+            })
+        );
+        // …but a submit with nothing to do is a usage error.
+        assert!(p(&["submit"]).unwrap_err().contains("--scenario"));
+        assert!(p(&["submit", "--cache-dir", "x"]).unwrap_err().contains("unknown option"));
     }
 
     #[test]

@@ -4,12 +4,14 @@
 //! round-trip tests drive the exact binary code paths; failures are
 //! plain strings already carrying file/line context.
 
-use crate::scenario::ScenarioDoc;
+use resim_sweep::ScenarioDoc;
 use resim_core::{block_diagram, Engine, EngineConfig, SimStats, SIM_STATS_FIELDS};
-use resim_obs::{write_events_jsonl, MetricsDoc, MetricsRecorder, TraceDoc};
+use resim_obs::{write_events_jsonl, Counter, MetricsDoc, MetricsRecorder, TraceDoc};
 use resim_sample::{run_sampled, SamplePlan};
+use resim_serve::{Client, ResultCache, Server};
 use resim_session::SessionRecord;
 use resim_sweep::{CellMode, SweepProgress, SweepRunner};
+use resim_toml::json::JsonValue;
 use resim_trace::{
     save_trace_file, FileSource, Trace, TraceFileHeader, TraceSource, TRACE_CONTAINER_VERSION,
     TRACE_LAYOUT_VERSION,
@@ -545,6 +547,140 @@ fn execute(
             .map(|sampled| sampled.sim)
             .map_err(|e| format!("sampled run failed: {e}")),
     }
+}
+
+/// `resim serve`: run the persistent simulation service until a
+/// `shutdown` verb arrives, then print what it served.
+pub(crate) fn serve(
+    addr: &str,
+    cache_dir: Option<&str>,
+    threads: Option<usize>,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let cache = match cache_dir {
+        Some(dir) => ResultCache::with_dir(dir)
+            .map_err(|e| format!("cannot open cache directory {dir:?}: {e}"))?,
+        None => ResultCache::in_memory(),
+    };
+    let preloaded = cache.len();
+    let server = Server::bind(addr, cache, threads.unwrap_or(0))
+        .map_err(|e| format!("cannot bind {addr:?}: {e}"))?;
+
+    let mut s = String::new();
+    let _ = writeln!(s, "resim-serve listening on {}", server.local_addr());
+    let _ = match cache_dir {
+        Some(dir) => writeln!(s, "  cache    {dir} ({preloaded} entries in memory at start)"),
+        None => writeln!(s, "  cache    in-memory only (results do not survive a restart)"),
+    };
+    emit(out, &s)?;
+    // The banner must reach a supervising process (CI polls for it)
+    // before run() blocks.
+    out.flush().map_err(|e| format!("cannot write output: {e}"))?;
+
+    server.run().map_err(|e| format!("serve loop failed: {e}"))?;
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "shut down cleanly: {} requests ({} errors), {} jobs submitted, {} completed",
+        server.counter(Counter::ServeRequests),
+        server.counter(Counter::ServeErrors),
+        server.counter(Counter::ServeJobsSubmitted),
+        server.counter(Counter::ServeJobsCompleted),
+    );
+    let _ = writeln!(
+        s,
+        "  cells    {} simulated, {} served from memory, {} from disk, {} rejected",
+        server.counter(Counter::ServeCellsSimulated),
+        server.counter(Counter::ServeCellsMemHits),
+        server.counter(Counter::ServeCellsDiskHits),
+        server.counter(Counter::ServeCacheRejected),
+    );
+    let _ = writeln!(s, "  cache    {} entries resident", server.cache().len());
+    emit(out, &s)
+}
+
+/// Pulls a named integer out of a server response, defaulting to 0 so
+/// a rendering change degrades the summary, not the command.
+fn response_u64(v: &JsonValue, key: &str) -> u64 {
+    v.get(key).and_then(JsonValue::as_u64).unwrap_or(0)
+}
+
+/// `resim submit`: drive a running server over one connection — ping,
+/// scenario submission, metrics snapshot and shutdown, in that order,
+/// each enabled by its flag.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn submit(
+    scenario_path: Option<&str>,
+    addr: &str,
+    progress: bool,
+    ping: bool,
+    metrics: bool,
+    shutdown: bool,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut s = String::new();
+
+    if ping {
+        let r = client.ping().map_err(|e| format!("ping failed: {e}"))?;
+        let _ = writeln!(s, "{}", r.render());
+    }
+
+    if let Some(path) = scenario_path {
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read scenario {path:?}: {e}"))?;
+        let mut lines: Vec<String> = Vec::new();
+        let status = client
+            .submit_and_wait(&text, |event| {
+                if progress {
+                    lines.push(format!(
+                        "progress: {} {}/{}",
+                        event.get("phase").and_then(JsonValue::as_str).unwrap_or("?"),
+                        response_u64(event, "done"),
+                        response_u64(event, "total"),
+                    ));
+                }
+            })
+            .map_err(|e| format!("submission failed: {e}"))?;
+        for line in lines {
+            let _ = writeln!(s, "{line}");
+        }
+        if let Some(job_error) = status.get("job_error").and_then(JsonValue::as_str) {
+            emit(out, &s)?;
+            return Err(format!("job failed on the server: {job_error}"));
+        }
+        if let Some(csv) = status.get("csv").and_then(JsonValue::as_str) {
+            s.push_str(csv);
+        }
+        let _ = writeln!(
+            s,
+            "job {}: {} cells, {} simulated, {} served from memory, {} from disk \
+             (fingerprint {})",
+            response_u64(&status, "job"),
+            response_u64(&status, "cells"),
+            response_u64(&status, "simulated"),
+            response_u64(&status, "served_mem"),
+            response_u64(&status, "served_disk"),
+            status
+                .get("fingerprint")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?"),
+        );
+    }
+
+    if metrics {
+        let r = client.metrics().map_err(|e| format!("metrics failed: {e}"))?;
+        let _ = writeln!(s, "{}", r.render());
+    }
+
+    if shutdown {
+        client.shutdown().map_err(|e| format!("shutdown failed: {e}"))?;
+        let _ = writeln!(s, "server at {addr} is shutting down");
+    }
+
+    emit(out, &s)
 }
 
 /// `resim record`: execute the scenario's run (full, sampled, or one

@@ -23,6 +23,9 @@ COMMANDS:
                metrics/events export
     sample     SMARTS sampled simulation with confidence-bounded IPC
     sweep      scenario-grid execution with CSV/Markdown reports
+    serve      persistent simulation service with a content-addressed
+               result cache
+    submit     send a scenario to a running `resim serve` instance
     describe   dump the resolved engine/memory/predictor configuration
     record     run and capture a replayable RSSN session file
     replay     re-execute a recorded session and diff the statistics
@@ -144,6 +147,62 @@ OPTIONS:
         --progress             print per-phase progress lines (tracegen,
                                then simulate) before the report
     -h, --help                 print help
+";
+
+/// `resim serve --help`.
+pub const SERVE_HELP: &str = "\
+resim serve — persistent simulation service with a result cache
+
+Listens for line-delimited JSON requests over TCP (schema
+resim.serve/1; verbs ping, submit, status, wait, metrics, shutdown)
+and executes submitted scenarios through the sweep runner. Every
+simulated grid cell is stored in a content-addressed result cache
+keyed by a platform-stable fingerprint of everything that determines
+its statistics; with --cache-dir the cache also spills to checksummed
+on-disk entries, so identical cells are answered without simulation
+across requests and across server restarts. Jobs execute serially
+(exactly-once under concurrent identical submissions); parallelism
+lives inside a job. Runs until a shutdown verb arrives, then drains
+cleanly. See docs/guide.md for the wire-level reference.
+
+USAGE:
+    resim serve [OPTIONS]
+
+OPTIONS:
+        --addr <HOST:PORT>    listen address (default 127.0.0.1:20009;
+                              port 0 picks a free port)
+        --cache-dir <DIR>     persist cache entries here (created if
+                              missing; default: in-memory only)
+    -j, --threads <N>         per-job sweep worker threads (default:
+                              all cores)
+    -h, --help                print help
+";
+
+/// `resim submit --help`.
+pub const SUBMIT_HELP: &str = "\
+resim submit — send a scenario to a running `resim serve` instance
+
+Submits the scenario file's text to the server, waits for the job to
+finish, and prints the deterministic per-cell CSV report — bit-identical
+to `resim sweep --stable-csv` of the same scenario — plus a summary of
+how many cells were simulated versus served from the result cache.
+Action flags compose on one connection, executed in order: --ping,
+then the submission (if -s is given), then --metrics, then --shutdown;
+with an action flag the scenario itself is optional.
+
+USAGE:
+    resim submit --scenario <FILE> [OPTIONS]
+    resim submit [--ping] [--metrics] [--shutdown]
+
+OPTIONS:
+    -s, --scenario <FILE>     TOML scenario file to submit
+        --addr <HOST:PORT>    server address (default 127.0.0.1:20009)
+        --progress            print streamed progress lines (tracegen,
+                              then simulate) before the report
+        --ping                probe the server and print its response
+        --metrics             print the server's counter snapshot
+        --shutdown            ask the server to stop cleanly
+    -h, --help                print help
 ";
 
 /// `resim describe --help`.

@@ -9,7 +9,7 @@
 //! every config mistake is a `file:line:` diagnostic rather than a
 //! Rust compile error.
 //!
-//! Eight subcommands cover the paper's workflows:
+//! Ten subcommands cover the paper's workflows:
 //!
 //! * `resim trace` — generate a workload trace once, on disk;
 //! * `resim run` — full-detail simulation of a trace file or inline
@@ -20,6 +20,11 @@
 //! * `resim sample` — SMARTS sampled simulation with a 95 % CI;
 //! * `resim sweep` — bulk design-space grids with CSV/Markdown
 //!   reports, replaying trace files instead of regenerating;
+//! * `resim serve` — a persistent TCP simulation service
+//!   (`resim-serve`) with a content-addressed, restart-surviving
+//!   result cache;
+//! * `resim submit` — the matching client: send a scenario, stream
+//!   progress, print the deterministic CSV report;
 //! * `resim describe` — dump the resolved configuration (Figure 1
 //!   block diagram included) without running;
 //! * `resim record` — execute a run and capture every
@@ -48,10 +53,9 @@
 mod args;
 mod commands;
 pub mod help;
-mod scenario;
 
 pub use args::Command;
-pub use scenario::{ScenarioDoc, WorkloadSpec};
+pub use resim_sweep::{ScenarioDoc, WorkloadSpec};
 
 use std::io::Write;
 
@@ -76,6 +80,8 @@ pub fn run_cli(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32
                 Some("profile") => help::PROFILE_HELP,
                 Some("sample") => help::SAMPLE_HELP,
                 Some("sweep") => help::SWEEP_HELP,
+                Some("serve") => help::SERVE_HELP,
+                Some("submit") => help::SUBMIT_HELP,
                 Some("describe") => help::DESCRIBE_HELP,
                 Some("record") => help::RECORD_HELP,
                 Some("replay") => help::REPLAY_HELP,
@@ -134,6 +140,27 @@ pub fn run_cli(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32
             md.as_deref(),
             trace_files,
             *progress,
+            out,
+        ),
+        Command::Serve {
+            addr,
+            cache_dir,
+            threads,
+        } => commands::serve(addr, cache_dir.as_deref(), *threads, out),
+        Command::Submit {
+            scenario,
+            addr,
+            progress,
+            ping,
+            metrics,
+            shutdown,
+        } => commands::submit(
+            scenario.as_deref(),
+            addr,
+            *progress,
+            *ping,
+            *metrics,
+            *shutdown,
             out,
         ),
         Command::Describe { scenario } => commands::describe(scenario, out),

@@ -213,15 +213,8 @@ impl EngineConfig {
         use resim_bpred::DirectionConfig;
         use resim_mem::MemorySystemConfig as Mem;
 
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut hash = FNV_OFFSET;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                hash ^= u64::from(b);
-                hash = hash.wrapping_mul(FNV_PRIME);
-            }
-        };
+        let mut hash = crate::Fnv64::new();
+        let mut eat = |bytes: &[u8]| hash.write(bytes);
         for v in [
             self.width,
             self.ifq_size,
@@ -279,7 +272,7 @@ impl EngineConfig {
             }
         }
         self.pipeline.feed_fingerprint(&mut eat);
-        hash
+        hash.finish()
     }
 }
 

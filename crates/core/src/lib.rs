@@ -58,6 +58,7 @@ mod cursor;
 mod describe;
 mod description;
 mod engine;
+mod fingerprint;
 mod from_table;
 mod grid;
 mod lsq;
@@ -80,6 +81,7 @@ pub use description::{
     StageRow, MAX_SLOT, STAGE_AREA_KEYS,
 };
 pub use engine::Engine;
+pub use fingerprint::Fnv64;
 pub use grid::ConfigGrid;
 pub use lsq::{LoadReady, LoadStoreQueue, LsqEntry};
 pub use multicore::{MultiCore, MultiCoreError};

@@ -249,16 +249,11 @@ impl SimStats {
     /// fall back to the word vector for the field-by-field diff when the
     /// digest disagrees.
     pub fn digest(&self) -> u64 {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut hash = FNV_OFFSET;
+        let mut hash = crate::Fnv64::new();
         for w in self.to_words() {
-            for b in w.to_le_bytes() {
-                hash ^= u64::from(b);
-                hash = hash.wrapping_mul(FNV_PRIME);
-            }
+            hash.write_u64(w);
         }
-        hash
+        hash.finish()
     }
 
     /// Composes the statistics of two runs (or of two windows of one run)

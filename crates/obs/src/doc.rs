@@ -381,7 +381,15 @@ mod tests {
             "    \"squashed\": 0,\n",
             "    \"misfetches\": 0,\n",
             "    \"icache_misses\": 0,\n",
-            "    \"dcache_misses\": 0\n",
+            "    \"dcache_misses\": 0,\n",
+            "    \"serve_requests\": 0,\n",
+            "    \"serve_errors\": 0,\n",
+            "    \"serve_jobs_submitted\": 0,\n",
+            "    \"serve_jobs_completed\": 0,\n",
+            "    \"serve_cells_simulated\": 0,\n",
+            "    \"serve_cells_served_mem\": 0,\n",
+            "    \"serve_cells_served_disk\": 0,\n",
+            "    \"serve_cache_rejected\": 0\n",
             "  },\n",
             "  \"gauges\": {\n",
             "    \"ifq_occupancy\": {\n",

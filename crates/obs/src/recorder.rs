@@ -31,11 +31,28 @@ pub enum Counter {
     IcacheMisses,
     /// L1 data-cache misses observed at issue/commit.
     DcacheMisses,
+    /// Protocol requests a `resim-serve` server answered.
+    ServeRequests,
+    /// Malformed/unknown requests answered with a typed error response.
+    ServeErrors,
+    /// Scenario submissions accepted into the serve job queue.
+    ServeJobsSubmitted,
+    /// Serve jobs run to completion (success or failure).
+    ServeJobsCompleted,
+    /// Grid cells the server actually simulated (result-cache misses).
+    ServeCellsSimulated,
+    /// Grid cells answered from the in-memory result cache.
+    ServeCellsMemHits,
+    /// Grid cells answered from the on-disk result cache.
+    ServeCellsDiskHits,
+    /// On-disk result-cache entries rejected as corrupt (and honestly
+    /// re-simulated).
+    ServeCacheRejected,
 }
 
 impl Counter {
     /// Every counter, in stable export order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 19] = [
         Counter::Fetched,
         Counter::Dispatched,
         Counter::Issued,
@@ -47,6 +64,14 @@ impl Counter {
         Counter::Misfetches,
         Counter::IcacheMisses,
         Counter::DcacheMisses,
+        Counter::ServeRequests,
+        Counter::ServeErrors,
+        Counter::ServeJobsSubmitted,
+        Counter::ServeJobsCompleted,
+        Counter::ServeCellsSimulated,
+        Counter::ServeCellsMemHits,
+        Counter::ServeCellsDiskHits,
+        Counter::ServeCacheRejected,
     ];
 
     /// Stable machine-readable name (JSON key).
@@ -63,6 +88,14 @@ impl Counter {
             Counter::Misfetches => "misfetches",
             Counter::IcacheMisses => "icache_misses",
             Counter::DcacheMisses => "dcache_misses",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeErrors => "serve_errors",
+            Counter::ServeJobsSubmitted => "serve_jobs_submitted",
+            Counter::ServeJobsCompleted => "serve_jobs_completed",
+            Counter::ServeCellsSimulated => "serve_cells_simulated",
+            Counter::ServeCellsMemHits => "serve_cells_served_mem",
+            Counter::ServeCellsDiskHits => "serve_cells_served_disk",
+            Counter::ServeCacheRejected => "serve_cache_rejected",
         }
     }
 }

@@ -1,0 +1,341 @@
+//! The job table: submitted scenarios, their queue, states and
+//! progress, shared between connection handlers and the executor.
+//!
+//! The table is a single mutex-guarded map plus one condition variable.
+//! A monotonically increasing `version` per job lets a `wait` handler
+//! stream every progress change without polling: it sleeps on the
+//! condvar and wakes exactly when *something* changed, re-snapshotting
+//! its job.
+//!
+//! Execution itself is **serial**: one executor thread pops jobs in
+//! submission order ([`JobTable::take_next`]). That is the exactly-once
+//! guarantee under concurrent identical submissions — by the time the
+//! second copy of a scenario reaches the executor, the first has
+//! already populated the result cache, so the second simulates nothing.
+//! Parallelism lives *inside* a job (the sweep runner's worker pool),
+//! where it is deterministic.
+
+use resim_sweep::ScenarioDoc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+/// What a finished job produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// The submission's [`ScenarioDoc::fingerprint`].
+    pub fingerprint: u64,
+    /// Grid cells in the submission.
+    pub cells: u64,
+    /// Cells actually simulated (result-cache misses).
+    pub simulated: u64,
+    /// Cells answered from the in-memory cache.
+    pub served_mem: u64,
+    /// Cells answered from validated on-disk entries.
+    pub served_disk: u64,
+    /// On-disk entries rejected as corrupt (each was re-simulated).
+    pub rejected: u64,
+    /// The deterministic CSV report, bit-identical to
+    /// [`SweepReport::to_csv_stable`](resim_sweep::SweepReport::to_csv_stable)
+    /// of a local run of the same scenario.
+    pub csv: String,
+}
+
+#[derive(Debug)]
+enum State {
+    Queued,
+    Running,
+    Done(JobOutcome),
+    Failed(String),
+}
+
+impl State {
+    fn name(&self) -> &'static str {
+        match self {
+            State::Queued => "queued",
+            State::Running => "running",
+            State::Done(_) => "done",
+            State::Failed(_) => "failed",
+        }
+    }
+
+    fn terminal(&self) -> bool {
+        matches!(self, State::Done(_) | State::Failed(_))
+    }
+}
+
+#[derive(Debug)]
+struct JobEntry {
+    doc: ScenarioDoc,
+    state: State,
+    phase: Option<&'static str>,
+    done: u64,
+    total: u64,
+    version: u64,
+}
+
+/// A point-in-time snapshot of one job, safe to render after the lock
+/// is dropped.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Job id.
+    pub id: u64,
+    /// `"queued"`, `"running"`, `"done"` or `"failed"`.
+    pub state: &'static str,
+    /// Current phase label (`"tracegen"` / `"simulate"`) while running.
+    pub phase: Option<&'static str>,
+    /// Units of the current phase completed.
+    pub done: u64,
+    /// Units in the current phase.
+    pub total: u64,
+    /// Change counter; grows on every state or progress update.
+    pub version: u64,
+    /// The outcome, once done.
+    pub outcome: Option<JobOutcome>,
+    /// The failure message, once failed.
+    pub error: Option<String>,
+}
+
+impl JobStatus {
+    /// Whether the job has reached a terminal state.
+    pub fn terminal(&self) -> bool {
+        self.outcome.is_some() || self.error.is_some()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    next_id: u64,
+    queue: VecDeque<u64>,
+    jobs: HashMap<u64, JobEntry>,
+    closed: bool,
+}
+
+/// The shared job table (see the module docs for the concurrency
+/// story).
+#[derive(Debug, Default)]
+pub struct JobTable {
+    inner: Mutex<Inner>,
+    changed: Condvar,
+}
+
+impl JobTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a parsed submission; returns its job id (ids start at 1
+    /// so 0 is never a valid handle).
+    pub fn submit(&self, doc: ScenarioDoc) -> u64 {
+        let mut inner = self.lock();
+        inner.next_id += 1;
+        let id = inner.next_id;
+        inner.jobs.insert(
+            id,
+            JobEntry {
+                doc,
+                state: State::Queued,
+                phase: None,
+                done: 0,
+                total: 0,
+                version: 0,
+            },
+        );
+        inner.queue.push_back(id);
+        self.changed.notify_all();
+        id
+    }
+
+    /// Blocks until a job is queued (returning it marked running) or
+    /// the table is closed (returning `None`). The executor's loop
+    /// condition.
+    pub fn take_next(&self) -> Option<(u64, ScenarioDoc)> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(id) = inner.queue.pop_front() {
+                let entry = inner.jobs.get_mut(&id).expect("queued ids exist");
+                entry.state = State::Running;
+                entry.version += 1;
+                let doc = entry.doc.clone();
+                self.changed.notify_all();
+                return Some((id, doc));
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .changed
+                .wait(inner)
+                .expect("job table poisoned");
+        }
+    }
+
+    /// Records a progress sample for a running job.
+    pub fn set_progress(&self, id: u64, phase: &'static str, done: u64, total: u64) {
+        let mut inner = self.lock();
+        if let Some(entry) = inner.jobs.get_mut(&id) {
+            entry.phase = Some(phase);
+            entry.done = done;
+            entry.total = total;
+            entry.version += 1;
+        }
+        self.changed.notify_all();
+    }
+
+    /// Moves a job to its terminal state.
+    pub fn finish(&self, id: u64, result: Result<JobOutcome, String>) {
+        let mut inner = self.lock();
+        if let Some(entry) = inner.jobs.get_mut(&id) {
+            entry.state = match result {
+                Ok(outcome) => State::Done(outcome),
+                Err(message) => State::Failed(message),
+            };
+            entry.version += 1;
+        }
+        self.changed.notify_all();
+    }
+
+    /// Snapshots a job; `None` for an id the table never issued.
+    pub fn status(&self, id: u64) -> Option<JobStatus> {
+        let inner = self.lock();
+        inner.jobs.get(&id).map(|e| snapshot(id, e))
+    }
+
+    /// Blocks until job `id` changes past `seen_version` (or is already
+    /// terminal), returning the fresh snapshot; `None` for an unknown
+    /// id. The building block of streamed `wait` responses: call with
+    /// the last snapshot's version, emit, repeat until terminal.
+    pub fn wait_change(&self, id: u64, seen_version: u64) -> Option<JobStatus> {
+        let mut inner = self.lock();
+        loop {
+            let entry = inner.jobs.get(&id)?;
+            if entry.version > seen_version || entry.state.terminal() {
+                return Some(snapshot(id, entry));
+            }
+            inner = self
+                .changed
+                .wait(inner)
+                .expect("job table poisoned");
+        }
+    }
+
+    /// Closes the queue: [`JobTable::take_next`] returns `None` once
+    /// drained, letting the executor exit. Already-queued jobs are
+    /// abandoned (the server is going down).
+    pub fn close(&self) {
+        let mut inner = self.lock();
+        inner.closed = true;
+        inner.queue.clear();
+        self.changed.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("job table poisoned")
+    }
+}
+
+fn snapshot(id: u64, e: &JobEntry) -> JobStatus {
+    let (outcome, error) = match &e.state {
+        State::Done(o) => (Some(o.clone()), None),
+        State::Failed(m) => (None, Some(m.clone())),
+        _ => (None, None),
+    };
+    JobStatus {
+        id,
+        state: e.state.name(),
+        phase: e.phase,
+        done: e.done,
+        total: e.total,
+        version: e.version,
+        outcome,
+        error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> JobOutcome {
+        JobOutcome {
+            fingerprint: 1,
+            cells: 2,
+            simulated: 2,
+            served_mem: 0,
+            served_disk: 0,
+            rejected: 0,
+            csv: "hdr\n".to_string(),
+        }
+    }
+
+    #[test]
+    fn jobs_move_through_their_states_in_submission_order() {
+        let table = JobTable::new();
+        let a = table.submit(ScenarioDoc::default());
+        let b = table.submit(ScenarioDoc::default());
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(table.status(a).unwrap().state, "queued");
+        assert!(table.status(99).is_none());
+
+        let (first, _) = table.take_next().unwrap();
+        assert_eq!(first, a, "FIFO");
+        assert_eq!(table.status(a).unwrap().state, "running");
+        table.set_progress(a, "simulate", 1, 2);
+        let s = table.status(a).unwrap();
+        assert_eq!((s.phase, s.done, s.total), (Some("simulate"), 1, 2));
+        table.finish(a, Ok(outcome()));
+        let s = table.status(a).unwrap();
+        assert_eq!(s.state, "done");
+        assert!(s.terminal());
+        assert_eq!(s.outcome.unwrap().cells, 2);
+
+        let (second, _) = table.take_next().unwrap();
+        table.finish(second, Err("boom".to_string()));
+        let s = table.status(b).unwrap();
+        assert_eq!(s.state, "failed");
+        assert_eq!(s.error.as_deref(), Some("boom"));
+
+        table.close();
+        assert!(table.take_next().is_none());
+    }
+
+    #[test]
+    fn wait_change_sees_every_update_in_order() {
+        // Single-threaded: each mutation bumps the version, so
+        // wait_change returns immediately with the fresh snapshot —
+        // exactly the loop a `wait` handler runs.
+        let table = JobTable::new();
+        let id = table.submit(ScenarioDoc::default());
+        let (got, _) = table.take_next().unwrap();
+        assert_eq!(got, id);
+        let s = table.wait_change(id, 0).unwrap();
+        assert_eq!(s.state, "running");
+        table.set_progress(id, "simulate", 1, 2);
+        let s = table.wait_change(id, s.version).unwrap();
+        assert_eq!((s.phase, s.done, s.total), (Some("simulate"), 1, 2));
+        table.finish(id, Ok(outcome()));
+        let s = table.wait_change(id, s.version).unwrap();
+        assert_eq!(s.state, "done");
+        // Waiting on an already-terminal job returns immediately even
+        // with nothing newer than `seen`.
+        assert!(table.wait_change(id, u64::MAX).unwrap().terminal());
+        assert!(table.wait_change(404, 0).is_none());
+    }
+
+    #[test]
+    fn wait_change_blocks_until_woken() {
+        let table = std::sync::Arc::new(JobTable::new());
+        let id = table.submit(ScenarioDoc::default());
+        let (got, _) = table.take_next().unwrap();
+        assert_eq!(got, id);
+        let seen = table.status(id).unwrap().version;
+        let waiter = {
+            let table = table.clone();
+            std::thread::spawn(move || table.wait_change(id, seen).unwrap())
+        };
+        // The waiter sleeps on the condvar until this terminal update.
+        table.finish(id, Ok(outcome()));
+        let s = waiter.join().unwrap();
+        assert!(s.terminal());
+    }
+}

@@ -1,0 +1,58 @@
+//! # resim-serve
+//!
+//! A persistent simulation service for the ReSim reproduction: the
+//! paper's host/simulator split (§V.B) taken one step further, from
+//! "a host tool drives one run" to "a long-running server answers
+//! scenario submissions, caching every result it ever computed".
+//!
+//! ## Protocol
+//!
+//! Line-delimited JSON over TCP (see [`protocol`]): each request is
+//! one object with a `verb` — `ping`, `submit`, `status`, `wait`,
+//! `metrics`, `shutdown` — and each response is one object carrying
+//! `ok`. Failures are *typed*: a stable machine-readable `code`
+//! (`bad-json`, `bad-scenario`, `unknown-job`, …) plus a message, and
+//! malformed input of any shape — truncated frames, flipped bytes,
+//! oversized lines — is answered with such an error, never a panic or
+//! a hang (the corruption battery pins this).
+//!
+//! ## The result cache
+//!
+//! Results are **content-addressed** (see [`cache`]): the unit is one
+//! simulated grid cell, keyed by a platform-stable FNV-1a fingerprint
+//! over everything that determines its statistics — engine and
+//! trace-generator fingerprints, workload name, seed, budget,
+//! execution mode — and nothing that doesn't (config display names,
+//! trace file paths). Entries live in memory and spill to one
+//! checksummed `RSCE` file each, so an identical cell submitted again
+//! is answered without simulation across requests *and* across server
+//! restarts; a tampered entry fails its checksum and is re-simulated
+//! honestly.
+//!
+//! ## Exactly-once execution
+//!
+//! Jobs execute serially on one executor thread ([`jobs`]), so N
+//! concurrent submissions of the same grid simulate each cell exactly
+//! once — the first job populates the cache, the rest hit it. The
+//! parallelism lives inside a job: cells fan out across the sweep
+//! runner's deterministic worker pool, so served results are
+//! bit-identical to a local `resim sweep` of the same scenario.
+//!
+//! The CLI wires this up as `resim serve` (the daemon) and
+//! `resim submit` (the client); `docs/guide.md` has the wire-level
+//! reference.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod jobs;
+pub mod protocol;
+mod server;
+
+pub use cache::{CacheEntryError, CachedCell, Lookup, ResultCache, CACHE_MAGIC, CACHE_VERSION};
+pub use client::{Client, ClientError};
+pub use jobs::{JobOutcome, JobStatus, JobTable};
+pub use protocol::{ErrorCode, Request, WireError, MAX_FRAME, SERVE_SCHEMA};
+pub use server::{Server, SERVER_VERSION};

@@ -1,4 +1,5 @@
-//! The resolved scenario document driving every subcommand.
+//! The resolved scenario document driving every subcommand — and, since
+//! the serving layer exists, every submission to `resim-serve`.
 //!
 //! A scenario file is one TOML document with up to seven sections —
 //! `[engine]`, `[tracegen]`, `[workload]`, `[trace]`, `[sample]`,
@@ -7,10 +8,17 @@
 //! `from_table` constructors of the respective crates, so every
 //! mistake is a line-numbered diagnostic. `docs/guide.md` documents
 //! every key with examples.
+//!
+//! [`ScenarioDoc`] lives in `resim-sweep` (not the CLI) because it is
+//! the unit of *identity*: [`ScenarioDoc::fingerprint`] is the
+//! content-addressed cache key of the result cache, and
+//! [`ScenarioDoc::to_scenario`] turns any document — single run,
+//! sampled run, or sweep grid — into the one executable shape
+//! ([`Scenario`]) the runner and the server share.
 
-use resim_core::{EngineConfig, PipelineDescription};
+use crate::scenario::{CellMode, Scenario, WorkloadPoint};
+use resim_core::{EngineConfig, Fnv64, PipelineDescription};
 use resim_sample::SamplePlan;
-use resim_sweep::{Scenario, WorkloadPoint};
 use resim_toml::{Error, Table};
 use resim_trace::Trace;
 use resim_tracegen::{generate_trace, TraceGenConfig};
@@ -18,7 +26,7 @@ use resim_tracegen::{generate_trace, TraceGenConfig};
 /// The `[workload]` section: which stream feeds trace generation.
 ///
 /// ```
-/// use resim_cli::ScenarioDoc;
+/// use resim_sweep::ScenarioDoc;
 ///
 /// let doc = ScenarioDoc::parse_str(r#"
 /// [workload]
@@ -59,7 +67,7 @@ impl Default for WorkloadSpec {
 /// 100k-instruction gzip workload seeded 2009.
 ///
 /// ```
-/// use resim_cli::ScenarioDoc;
+/// use resim_sweep::ScenarioDoc;
 ///
 /// let doc = ScenarioDoc::parse_str(r#"
 /// [engine]
@@ -134,7 +142,7 @@ impl ScenarioDoc {
         };
         // The single inheritance rule shared with the sweep grid: the
         // generator predictor follows the engine's unless given.
-        let tracegen = resim_sweep::resolve_tracegen(&engine, doc.opt_table("tracegen")?)?;
+        let tracegen = crate::resolve_tracegen(&engine, doc.opt_table("tracegen")?)?;
 
         let mut workload = WorkloadSpec::default();
         let workload_table = doc.opt_table("workload")?;
@@ -225,6 +233,81 @@ impl ScenarioDoc {
             .as_ref()
             .ok_or_else(|| Error::new(0, "this command needs a [sweep] section"))?;
         Scenario::from_table_with(t, self.pipeline.as_ref())
+    }
+
+    /// Resolves the whole document into the one executable shape: the
+    /// `[sweep]` grid when present, otherwise a single-cell grid of the
+    /// document's engine, workload, budget and seed — sampled under the
+    /// `[sample]` plan when one is given, full-detail otherwise.
+    ///
+    /// This is what makes single runs, sampled runs and sweeps one case
+    /// for the runner and the result cache: every submission is a
+    /// [`Scenario`], every unit of work is a [`Cell`](crate::Cell).
+    ///
+    /// ```
+    /// use resim_sweep::ScenarioDoc;
+    ///
+    /// let single = ScenarioDoc::parse_str("[workload]\nbudget = 500").unwrap();
+    /// assert_eq!(single.to_scenario().unwrap().len(), 1);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] when a `[sweep]` section fails to resolve, or the
+    /// single-cell grid fails validation (e.g. a degenerate `[sample]`
+    /// plan).
+    pub fn to_scenario(&self) -> Result<Scenario, Error> {
+        if self.has_sweep() {
+            return self.sweep_scenario();
+        }
+        let mut s = Scenario::new()
+            .config("single", self.engine.clone(), self.tracegen)
+            .workload(
+                WorkloadPoint::named(&self.workload.name).expect("name validated at parse time"),
+            )
+            .budgets([self.workload.budget])
+            .seeds([self.workload.seed]);
+        if let Some(plan) = &self.sample {
+            s = s.modes([CellMode::Sampled(*plan)]);
+        }
+        s.validate()
+            .map_err(|e| Error::new(0, format!("invalid scenario: {e}")))?;
+        Ok(s)
+    }
+
+    /// The content-addressed identity of the whole document: FNV-1a
+    /// ([`Fnv64`]) over the cell count and the
+    /// [`Scenario::cell_fingerprint`] of every cell of
+    /// [`ScenarioDoc::to_scenario`], in dispatch order.
+    ///
+    /// Platform-stable, and deliberately *content*-addressed: two
+    /// documents that simulate the same machines on the same inputs
+    /// share a fingerprint even when their config display names or
+    /// `[trace]` file paths differ. This is the cache key of
+    /// `resim-serve`'s result cache — the golden test over
+    /// `tests/corpus/` pins these values because an accidental change
+    /// silently invalidates every deployed cache.
+    ///
+    /// ```
+    /// use resim_sweep::ScenarioDoc;
+    ///
+    /// let a = ScenarioDoc::parse_str("[workload]\nseed = 1").unwrap();
+    /// let b = ScenarioDoc::parse_str("[workload]\nseed = 2").unwrap();
+    /// assert_ne!(a.fingerprint().unwrap(), b.fingerprint().unwrap());
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`ScenarioDoc::to_scenario`] rejects.
+    pub fn fingerprint(&self) -> Result<u64, Error> {
+        let scenario = self.to_scenario()?;
+        let mut h = Fnv64::new();
+        let cells = scenario.cells();
+        h.write_u64(cells.len() as u64);
+        for cell in &cells {
+            h.write_u64(scenario.cell_fingerprint(cell));
+        }
+        Ok(h.finish())
     }
 
     /// The `[sweep]` table's `threads` key (0 = all cores) — the
@@ -411,5 +494,79 @@ pipeline = "improved"
         let b = doc.generate();
         assert_eq!(a, b, "generation is deterministic");
         assert_eq!(a.correct_path_len(), 500);
+    }
+
+    #[test]
+    fn single_run_documents_resolve_to_one_cell() {
+        let doc = ScenarioDoc::parse_str("[workload]\nname = \"vpr\"\nbudget = 700").unwrap();
+        let s = doc.to_scenario().unwrap();
+        assert_eq!(s.len(), 1);
+        let cell = s.cells()[0];
+        assert_eq!(cell.budget, 700);
+        assert_eq!(s.workloads()[0].name, "vpr");
+        assert_eq!(s.cell_mode(&cell), CellMode::Full);
+        // A [sample] section makes the single cell sampled.
+        let doc = ScenarioDoc::parse_str(
+            "[workload]\nbudget = 10000\n[sample]\ninterval = 1000\ndetailed = 200",
+        )
+        .unwrap();
+        let s = doc.to_scenario().unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(matches!(s.cell_mode(&s.cells()[0]), CellMode::Sampled(_)));
+        // And a sweep document resolves to its grid.
+        let doc = ScenarioDoc::parse_str(
+            "[sweep]\nworkloads = [\"gzip\"]\nbudgets = [100, 200]\nseeds = [1]\n\
+             [[sweep.config]]\nname = \"a\"",
+        )
+        .unwrap();
+        assert_eq!(doc.to_scenario().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn fingerprints_are_content_addressed() {
+        let base = ScenarioDoc::parse_str("").unwrap().fingerprint().unwrap();
+        // Stable across parses.
+        assert_eq!(ScenarioDoc::parse_str("").unwrap().fingerprint().unwrap(), base);
+        // Every identity input moves the fingerprint…
+        for (label, text) in [
+            ("engine", "[engine]\nrb_size = 32"),
+            ("tracegen", "[tracegen]\nwrong_path_len = 9"),
+            ("workload", "[workload]\nname = \"vpr\""),
+            ("seed", "[workload]\nseed = 1"),
+            ("budget", "[workload]\nbudget = 1"),
+            ("sample", "[sample]\ninterval = 10000\ndetailed = 2000"),
+        ] {
+            let fp = ScenarioDoc::parse_str(text).unwrap().fingerprint().unwrap();
+            assert_ne!(fp, base, "{label} must be part of the identity");
+        }
+        // …but presentation does not: a [trace] file path is a
+        // transport detail, not content.
+        let with_path = ScenarioDoc::parse_str("[trace]\nfile = \"x.trace\"").unwrap();
+        assert_eq!(with_path.fingerprint().unwrap(), base);
+    }
+
+    #[test]
+    fn sweep_fingerprint_ignores_display_names() {
+        let a = ScenarioDoc::parse_str(
+            "[sweep]\nworkloads = [\"gzip\"]\nbudgets = [100]\nseeds = [1]\n\
+             [[sweep.config]]\nname = \"alpha\"",
+        )
+        .unwrap();
+        let b = ScenarioDoc::parse_str(
+            "[sweep]\nworkloads = [\"gzip\"]\nbudgets = [100]\nseeds = [1]\n\
+             [[sweep.config]]\nname = \"beta\"",
+        )
+        .unwrap();
+        assert_eq!(
+            a.fingerprint().unwrap(),
+            b.fingerprint().unwrap(),
+            "config display names are presentation, not content"
+        );
+        let c = ScenarioDoc::parse_str(
+            "[sweep]\nworkloads = [\"gzip\"]\nbudgets = [100]\nseeds = [1]\n\
+             [[sweep.config]]\nname = \"beta\"\n[sweep.config.engine]\nrb_size = 32",
+        )
+        .unwrap();
+        assert_ne!(a.fingerprint().unwrap(), c.fingerprint().unwrap());
     }
 }

@@ -58,12 +58,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod doc;
 mod from_table;
 mod report;
 mod runner;
 mod scenario;
 
+pub use doc::{ScenarioDoc, WorkloadSpec};
 pub use from_table::resolve_tracegen;
-pub use report::{CellResult, SweepReport};
+pub use report::{stable_csv_header, stable_csv_row, CellResult, SweepReport};
 pub use runner::{SweepPhase, SweepProgress, SweepRunner};
 pub use scenario::{Cell, CellMode, ConfigPoint, Scenario, ScenarioError, WorkloadPoint};

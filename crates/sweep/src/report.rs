@@ -49,6 +49,63 @@ impl CellResult {
             None => self.stats.ipc(),
         }
     }
+
+    /// The `(mean, ci_lo, ci_hi)` triple of an estimating cell, `None`
+    /// when the cell's IPC is exact — the numeric essence a result
+    /// cache must persist to re-render this cell's CSV row
+    /// byte-identically.
+    pub fn ipc_estimate(&self) -> Option<(f64, f64, f64)> {
+        self.sampled_estimate().map(|s| {
+            let (lo, hi) = s.ci95();
+            (s.mean_ipc(), lo, hi)
+        })
+    }
+}
+
+/// The header line of the deterministic CSV rendering
+/// ([`SweepReport::to_csv_stable`]), newline included.
+pub fn stable_csv_header() -> &'static str {
+    "config,workload,mode,budget,seed,cycles,committed,ipc,ipc_ci_lo,ipc_ci_hi,\
+     wrong_path_frac,bits_per_instr\n"
+}
+
+/// Renders one deterministic CSV row (newline included) from the
+/// numeric essence of a cell — exactly the row
+/// [`SweepReport::to_csv_stable`] produces, shared so `resim-serve` can
+/// re-render cached cells byte-identically to a live sweep.
+///
+/// `ipc_estimate` is `(mean, ci_lo, ci_hi)` for cells whose IPC is a
+/// sampled estimate; `None` renders the exact IPC with empty CI fields.
+#[allow(clippy::too_many_arguments)]
+pub fn stable_csv_row(
+    config: &str,
+    workload: &str,
+    mode: &str,
+    budget: u64,
+    seed: u64,
+    stats: &SimStats,
+    ipc_estimate: Option<(f64, f64, f64)>,
+    bits_per_instr: f64,
+) -> String {
+    let (ipc, lo, hi) = match ipc_estimate {
+        Some((mean, lo, hi)) => (mean, format!("{lo:.4}"), format!("{hi:.4}")),
+        None => (stats.ipc(), String::new(), String::new()),
+    };
+    format!(
+        "{},{},{},{},{},{},{},{:.4},{},{},{:.4},{:.2}\n",
+        config,
+        workload,
+        mode,
+        budget,
+        seed,
+        stats.cycles,
+        stats.committed,
+        ipc,
+        lo,
+        hi,
+        stats.wrong_path_fraction(),
+        bits_per_instr,
+    )
 }
 
 /// Everything a sweep produced, cells in scenario order.
@@ -146,39 +203,25 @@ impl SweepReport {
     }
 
     fn render_csv(&self, wall: bool) -> String {
-        let mut s = String::from(
-            "config,workload,mode,budget,seed,cycles,committed,ipc,ipc_ci_lo,ipc_ci_hi,\
-             wrong_path_frac,bits_per_instr",
-        );
+        let mut s = String::from(stable_csv_header().trim_end_matches('\n'));
         s.push_str(if wall { ",wall_us\n" } else { "\n" });
         for c in &self.cells {
-            let (lo, hi) = match c.sampled_estimate() {
-                Some(sam) => {
-                    let (lo, hi) = sam.ci95();
-                    (format!("{lo:.4}"), format!("{hi:.4}"))
-                }
-                None => (String::new(), String::new()),
-            };
-            let _ = write!(
-                s,
-                "{},{},{},{},{},{},{},{:.4},{},{},{:.4},{:.2}",
-                c.config,
-                c.workload,
-                c.mode,
-                c.budget,
+            let row = stable_csv_row(
+                &c.config,
+                &c.workload,
+                &c.mode,
+                c.budget as u64,
                 c.seed,
-                c.stats.cycles,
-                c.stats.committed,
-                c.ipc(),
-                lo,
-                hi,
-                c.stats.wrong_path_fraction(),
+                &c.stats,
+                c.ipc_estimate(),
                 c.trace_stats.bits_per_instruction(),
             );
             if wall {
-                let _ = write!(s, ",{}", c.wall.as_micros());
+                s.push_str(row.trim_end_matches('\n'));
+                let _ = writeln!(s, ",{}", c.wall.as_micros());
+            } else {
+                s.push_str(&row);
             }
-            s.push('\n');
         }
         s
     }

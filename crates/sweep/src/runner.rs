@@ -152,9 +152,55 @@ impl SweepRunner {
         progress: impl Fn(&SweepProgress) + Sync,
     ) -> Result<SweepReport, ScenarioError> {
         scenario.validate()?;
+        self.run_cells(scenario, scenario.cells(), progress)
+    }
+
+    /// Runs only the cells at `indices` (positions in
+    /// [`Scenario::cells`] order), collecting a report whose cells
+    /// appear in the order the indices were given.
+    ///
+    /// The execution machinery — worker pool, shared trace cache,
+    /// definition-derived seeding — is exactly
+    /// [`SweepRunner::run_with_progress`]'s, so a subset cell's
+    /// [`SimStats`](resim_core::SimStats) is bit-identical to the same
+    /// cell of a full run (the determinism tests state this contract).
+    /// This is what `resim-serve` runs when a cached submission only
+    /// misses on some cells.
+    ///
+    /// # Errors
+    ///
+    /// [`Scenario::validate`]'s error, or
+    /// [`ScenarioError::CellIndex`] for an index outside the grid.
+    pub fn run_subset(
+        &self,
+        scenario: &Scenario,
+        indices: &[usize],
+        progress: impl Fn(&SweepProgress) + Sync,
+    ) -> Result<SweepReport, ScenarioError> {
+        scenario.validate()?;
+        let all = scenario.cells();
+        let mut cells = Vec::with_capacity(indices.len());
+        for &index in indices {
+            let cell = *all.get(index).ok_or(ScenarioError::CellIndex {
+                index,
+                cells: all.len(),
+            })?;
+            cells.push(cell);
+        }
+        self.run_cells(scenario, cells, progress)
+    }
+
+    /// The shared execution core of [`SweepRunner::run_with_progress`]
+    /// and [`SweepRunner::run_subset`]: generate the unique traces of
+    /// `cells`, then simulate each cell, reporting in `cells` order.
+    fn run_cells(
+        &self,
+        scenario: &Scenario,
+        cells: Vec<crate::scenario::Cell>,
+        progress: impl Fn(&SweepProgress) + Sync,
+    ) -> Result<SweepReport, ScenarioError> {
         let t0 = Instant::now();
         let (hits0, misses0) = (self.cache.hits(), self.cache.misses());
-        let cells = scenario.cells();
         let emit = |phase: SweepPhase, done: usize, total: usize, phase_t0: Instant| {
             let phase_elapsed = phase_t0.elapsed();
             let eta = (done > 0 && done < total)

@@ -355,6 +355,28 @@ impl Scenario {
         out
     }
 
+    /// The content-addressed identity of one cell: FNV-1a over the
+    /// engine fingerprint, tracegen fingerprint, workload name, seed,
+    /// budget and execution-mode name.
+    ///
+    /// Everything that determines the cell's [`SimStats`] is included;
+    /// everything that does not — the config's *display name*, thread
+    /// counts, trace-file paths — is deliberately excluded, so two
+    /// scenarios that simulate the same machine on the same input share
+    /// the key. This is what `resim-serve`'s result cache stores under.
+    ///
+    /// [`SimStats`]: resim_core::SimStats
+    pub fn cell_fingerprint(&self, cell: &Cell) -> u64 {
+        let mut h = resim_core::Fnv64::new();
+        h.write_u64(self.configs[cell.config].engine.fingerprint());
+        h.write_u64(self.configs[cell.config].tracegen.fingerprint());
+        h.write_str(&self.workloads[cell.workload].name);
+        h.write_u64(cell.seed);
+        h.write_u64(cell.budget as u64);
+        h.write_str(&self.cell_mode(cell).name());
+        h.finish()
+    }
+
     /// The trace-cache key of one cell.
     pub fn trace_key(&self, cell: &Cell) -> TraceKey {
         TraceKey {
@@ -400,6 +422,13 @@ pub enum ScenarioError {
     Config(String, ConfigError),
     /// A sampled execution mode carries a degenerate plan.
     Mode(String, PlanError),
+    /// A subset run named a cell index outside the grid.
+    CellIndex {
+        /// The offending index.
+        index: usize,
+        /// Number of cells in the grid.
+        cells: usize,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -414,6 +443,9 @@ impl fmt::Display for ScenarioError {
             ScenarioError::ZeroBudget => write!(f, "instruction budgets must be non-zero"),
             ScenarioError::Config(name, e) => write!(f, "config {name:?} is invalid: {e}"),
             ScenarioError::Mode(name, e) => write!(f, "mode {name:?} is invalid: {e}"),
+            ScenarioError::CellIndex { index, cells } => {
+                write!(f, "cell index {index} is outside the grid ({cells} cells)")
+            }
         }
     }
 }

@@ -149,3 +149,65 @@ fn sampled_sweeps_are_thread_count_invariant() {
         );
     }
 }
+
+#[test]
+fn subset_runs_match_the_full_run_cell_for_cell() {
+    let scenario = eight_cell_scenario();
+    let full = SweepRunner::new(2).run(&scenario).expect("valid scenario");
+
+    // A scattered subset, out of dispatch order and at several thread
+    // counts: each cell must be bit-identical to the full run's, and the
+    // report must follow the requested order.
+    let indices = [5usize, 0, 3];
+    for threads in [1usize, 4] {
+        let subset = SweepRunner::new(threads)
+            .run_subset(&scenario, &indices, |_| {})
+            .expect("valid subset");
+        assert_eq!(subset.cells.len(), indices.len());
+        for (slot, &index) in indices.iter().enumerate() {
+            assert_eq!(
+                subset.cells[slot].stats.digest(),
+                full.cells[index].stats.digest(),
+                "cell {index} diverges at {threads} threads"
+            );
+            assert_eq!(subset.cells[slot].config, full.cells[index].config);
+            assert_eq!(subset.cells[slot].workload, full.cells[index].workload);
+        }
+    }
+
+    // A subset generates only the traces it needs.
+    let runner = SweepRunner::new(1);
+    let report = runner
+        .run_subset(&scenario, &[0, 1], |_| {})
+        .expect("valid subset");
+    assert_eq!(report.trace_cache_misses, 1, "cells 0 and 1 share one trace");
+
+    // An index outside the grid is a typed error, not a panic.
+    let err = SweepRunner::new(1)
+        .run_subset(&scenario, &[8], |_| {})
+        .unwrap_err();
+    assert!(err.to_string().contains("outside the grid"), "{err}");
+}
+
+#[test]
+fn cell_fingerprints_key_on_content_not_names() {
+    let scenario = eight_cell_scenario();
+    let cells = scenario.cells();
+    // All 8 cells are distinct design points: distinct fingerprints.
+    let mut fps: Vec<u64> = cells.iter().map(|c| scenario.cell_fingerprint(c)).collect();
+    fps.sort_unstable();
+    fps.dedup();
+    assert_eq!(fps.len(), 8);
+
+    // Renaming a config does not move the fingerprint; changing the
+    // engine does.
+    let renamed = Scenario::new()
+        .config("other-name", EngineConfig::paper_4wide(), TraceGenConfig::paper())
+        .workload(WorkloadPoint::spec(SpecBenchmark::Gzip))
+        .budgets([BUDGET])
+        .seeds([2009]);
+    assert_eq!(
+        renamed.cell_fingerprint(&renamed.cells()[0]),
+        scenario.cell_fingerprint(&cells[0]),
+    );
+}

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod json;
 mod parser;
 mod value;
 

@@ -19,6 +19,7 @@
 //! | [`sample`] | `resim-sample` | SMARTS-style sampled simulation: functional warmup, checkpoints, confidence-bounded IPC |
 //! | [`session`] | `resim-session` | RSSN record/replay artifacts: every nondeterministic input of a run plus its stats digest |
 //! | [`sweep`] | `resim-sweep` | deterministic multi-threaded scenario-grid sweeps with trace sharing |
+//! | [`serve`] | `resim-serve` | persistent TCP simulation service with a content-addressed, restart-surviving result cache |
 //! | [`fpga`] | `resim-fpga` | device/frequency/area/bandwidth models and Table 2 comparison data |
 //! | [`toml`] | `resim-toml` | dependency-free TOML reader with line-numbered diagnostics (scenario files) |
 //!
@@ -59,6 +60,7 @@ pub use resim_isa as isa;
 pub use resim_mem as mem;
 pub use resim_obs as obs;
 pub use resim_sample as sample;
+pub use resim_serve as serve;
 pub use resim_session as session;
 pub use resim_sweep as sweep;
 pub use resim_toml as toml;
