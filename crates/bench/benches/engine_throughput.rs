@@ -8,43 +8,85 @@
 //! * `file` — the on-disk container replayed through a buffered reader
 //!   (`FileSource`), the bulk-simulation deployment mode.
 //!
-//! The numbers before/after the batched-frontend change are recorded in
-//! `EXPERIMENTS.md` ("Engine throughput"); the encoded and file rows are
-//! where per-record virtual-dispatch + bit-decode cost shows, and where
-//! batching must win.
+//! Each frontend runs over **all five SPEC workload profiles** so that
+//! data-layout wins are not tuned to one branch/memory mix — gzip's
+//! streaming loops, bzip2's high ILP, parser's branchy pointer chasing,
+//! vortex's call-heavy working set and vpr's mispredict-prone inner
+//! loops stress different engine paths. Three extra axes on top:
 //!
-//! Set `RESIM_BENCH_QUICK=1` to shrink the workload for CI smoke runs
-//! (the number still prints and must be > 0).
+//! * `slice-lite/<workload>` — the stats-lite engine (occupancy and
+//!   stage-activity bookkeeping compiled out) on the cheapest supply,
+//!   where the bookkeeping share is largest;
+//! * `encoded-lite/gzip`, `file-lite/gzip` — lite on the decoding
+//!   frontends, pinning the "lite is never slower" claim per frontend;
+//! * `slice-2n3/gzip`, `slice-n4/gzip` (+ `-lite` twins) — the paper's
+//!   simple (2N+3) and improved (N+4) pipeline organizations next to
+//!   the default optimized N+3, for the per-organization table in
+//!   `EXPERIMENTS.md` ("Engine throughput").
+//!
+//! Set `RESIM_BENCH_QUICK=1` to shrink the budget and sample two
+//! workloads (gzip, parser) for CI smoke runs.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use resim_core::{Engine, EngineConfig};
-use resim_trace::{save_trace_file, FileSource, Trace, TraceFileHeader};
+use resim_core::{Engine, EngineConfig, PipelineDescription};
+use resim_trace::{save_trace_file, EncodedTrace, FileSource, Trace, TraceFileHeader};
 use resim_tracegen::{generate_trace, TraceGenConfig};
 use resim_workloads::{SpecBenchmark, Workload};
+use std::path::PathBuf;
 
 fn budget() -> usize {
-    if std::env::var_os("RESIM_BENCH_QUICK").is_some() {
+    if quick() {
         20_000
     } else {
         200_000
     }
 }
 
-fn engine_throughput(c: &mut Criterion) {
-    let n = budget();
-    let trace: Trace = generate_trace(
-        Workload::spec(SpecBenchmark::Gzip, 2009),
-        n,
-        &TraceGenConfig::paper(),
-    );
+fn quick() -> bool {
+    std::env::var_os("RESIM_BENCH_QUICK").is_some()
+}
+
+fn workloads() -> Vec<SpecBenchmark> {
+    if quick() {
+        vec![SpecBenchmark::Gzip, SpecBenchmark::Parser]
+    } else {
+        SpecBenchmark::ALL.to_vec()
+    }
+}
+
+/// One workload's pre-generated trace in all three supply forms.
+struct Prepared {
+    name: &'static str,
+    trace: Trace,
+    encoded: EncodedTrace,
+    path: PathBuf,
+}
+
+fn prepare(bench: SpecBenchmark, n: usize) -> Prepared {
+    let trace = generate_trace(Workload::spec(bench, 2009), n, &TraceGenConfig::paper());
     let encoded = trace.encode();
-    let header = TraceFileHeader::for_trace(&encoded, "gzip", 2009, 0)
+    let header = TraceFileHeader::for_trace(&encoded, bench.name(), 2009, 0)
         .with_correct_records(trace.correct_path_len() as u64);
     let path = std::env::temp_dir().join(format!(
-        "resim-engine-throughput-{}.trace",
+        "resim-engine-throughput-{}-{}.trace",
+        bench.name(),
         std::process::id()
     ));
     save_trace_file(&path, &header, &encoded).expect("write bench trace");
+    Prepared { name: bench.name(), trace, encoded, path }
+}
+
+fn make_engine(config: &EngineConfig, lite: bool) -> Engine {
+    if lite {
+        Engine::new_lite(config.clone()).expect("valid config")
+    } else {
+        Engine::new(config.clone()).expect("valid config")
+    }
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let n = budget();
+    let prepared: Vec<Prepared> = workloads().into_iter().map(|b| prepare(b, n)).collect();
 
     let config = EngineConfig::paper_4wide();
     let mut group = c.benchmark_group("engine_throughput");
@@ -53,38 +95,97 @@ fn engine_throughput(c: &mut Criterion) {
     group.throughput(Throughput::Elements(n as u64));
     group.sample_size(10);
 
-    group.bench_function("slice", |b| {
+    for p in &prepared {
+        group.bench_function(&format!("slice/{}", p.name), |b| {
+            b.iter_batched(
+                || make_engine(&config, false),
+                |mut engine| engine.run(p.trace.source()),
+                BatchSize::PerIteration,
+            )
+        });
+        group.bench_function(&format!("encoded/{}", p.name), |b| {
+            b.iter_batched(
+                || make_engine(&config, false),
+                |mut engine| engine.run(p.encoded.source()),
+                BatchSize::PerIteration,
+            )
+        });
+        group.bench_function(&format!("file/{}", p.name), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        make_engine(&config, false),
+                        FileSource::open(&p.path).expect("bench trace readable"),
+                    )
+                },
+                |(mut engine, src)| {
+                    let stats = engine.run(src);
+                    assert!(stats.committed > 0, "file-backed run must make progress");
+                    stats
+                },
+                BatchSize::PerIteration,
+            )
+        });
+        // Stats-lite on the cheapest supply, where the bookkeeping
+        // share of the cycle loop is largest.
+        group.bench_function(&format!("slice-lite/{}", p.name), |b| {
+            b.iter_batched(
+                || make_engine(&config, true),
+                |mut engine| engine.run(p.trace.source()),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+
+    // Lite on the decoding frontends (gzip): together with the
+    // full-stats rows above this pins "lite is never slower" for every
+    // frontend. bench_guard enforces the same claim in CI at the quick
+    // budget.
+    let gzip = &prepared[0];
+    group.bench_function("encoded-lite/gzip", |b| {
         b.iter_batched(
-            || Engine::new(config.clone()).expect("valid config"),
-            |mut engine| engine.run(trace.source()),
+            || make_engine(&config, true),
+            |mut engine| engine.run(gzip.encoded.source()),
             BatchSize::PerIteration,
         )
     });
-    group.bench_function("encoded", |b| {
-        b.iter_batched(
-            || Engine::new(config.clone()).expect("valid config"),
-            |mut engine| engine.run(encoded.source()),
-            BatchSize::PerIteration,
-        )
-    });
-    group.bench_function("file", |b| {
+    group.bench_function("file-lite/gzip", |b| {
         b.iter_batched(
             || {
                 (
-                    Engine::new(config.clone()).expect("valid config"),
-                    FileSource::open(&path).expect("bench trace readable"),
+                    make_engine(&config, true),
+                    FileSource::open(&gzip.path).expect("bench trace readable"),
                 )
             },
-            |(mut engine, src)| {
-                let stats = engine.run(src);
-                assert!(stats.committed > 0, "file-backed run must make progress");
-                stats
-            },
+            |(mut engine, src)| engine.run(src),
             BatchSize::PerIteration,
         )
     });
+
+    // Organization axis (slice, gzip): the paper's simple 2N+3 and
+    // improved N+4 grids next to the default optimized N+3, full and
+    // lite, for the per-organization table in EXPERIMENTS.md.
+    for (org, desc) in [
+        ("2n3", PipelineDescription::simple()),
+        ("n4", PipelineDescription::improved()),
+    ] {
+        let org_config = EngineConfig { pipeline: desc, ..EngineConfig::paper_4wide() };
+        for lite in [false, true] {
+            let id = format!("slice-{org}{}/gzip", if lite { "-lite" } else { "" });
+            group.bench_function(&id, |b| {
+                b.iter_batched(
+                    || make_engine(&org_config, lite),
+                    |mut engine| engine.run(gzip.trace.source()),
+                    BatchSize::PerIteration,
+                )
+            });
+        }
+    }
+
     group.finish();
-    let _ = std::fs::remove_file(&path);
+    for p in &prepared {
+        let _ = std::fs::remove_file(&p.path);
+    }
 }
 
 criterion_group!(benches, engine_throughput);

@@ -54,14 +54,14 @@ impl SatCounter {
     }
 
     /// Trains the counter toward the resolved direction.
+    ///
+    /// Branchless: the ±1 move is computed arithmetically and saturated
+    /// with a clamp (which lowers to conditional moves), so the hottest
+    /// predictor write in the simulator never takes a data-dependent
+    /// branch. Bit-identical to the classic two-branch formulation.
     pub fn update(&mut self, taken: bool) {
-        if taken {
-            if self.value < self.max {
-                self.value += 1;
-            }
-        } else if self.value > 0 {
-            self.value -= 1;
-        }
+        let next = i16::from(self.value) + (i16::from(taken) * 2 - 1);
+        self.value = next.clamp(0, i16::from(self.max)) as u8;
     }
 }
 

@@ -141,6 +141,19 @@ impl<S: TraceSource> TraceFeed for TraceCursor<S> {
     fn take(&mut self) -> Option<TraceRecord> {
         TraceCursor::next(self)
     }
+
+    fn buffered(&mut self) -> &[TraceRecord] {
+        if self.head == self.len {
+            self.refill();
+        }
+        &self.buf[self.head..self.len]
+    }
+
+    fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.len - self.head, "consume past the buffered run");
+        self.head += n;
+        self.consumed += n as u64;
+    }
 }
 
 #[cfg(test)]

@@ -69,6 +69,7 @@ mod scheduler;
 mod state;
 pub mod stages;
 mod stats;
+mod stats_policy;
 
 pub use checkpoint::{
     Checkpoint, CheckpointError, ResumeError, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
@@ -86,11 +87,12 @@ pub use grid::ConfigGrid;
 pub use lsq::{LoadReady, LoadStoreQueue, LsqEntry};
 pub use multicore::{MultiCore, MultiCoreError};
 pub use pipeline::{PipelineOrganization, Schedule, ScheduleRow};
-pub use rob::{InstState, PendingSet, ReorderBuffer, RobEntry};
+pub use rob::{InstState, PendingSet, ReorderBuffer, RobEntry, RobEntryMut, RobEntryView};
 pub use scheduler::MinorCycleScheduler;
 pub use stages::{Stage, StageActivity, TraceFeed};
 pub use state::CoreState;
 pub use stats::{SimStats, SIM_STATS_FIELDS};
+pub use stats_policy::{FullStats, LiteStats, StatsPolicy};
 
 // The instrumentation seam the engine is generic over, re-exported so
 // engine users can attach a recorder without naming `resim-obs`.

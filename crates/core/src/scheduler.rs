@@ -25,6 +25,7 @@ use crate::stages::{
     WritebackStage,
 };
 use crate::state::CoreState;
+use crate::stats_policy::StatsPolicy;
 use resim_obs::{NullRecorder, Recorder, SpanId};
 
 /// Wall-time span ids aligned with the stage roster's evaluation order.
@@ -142,7 +143,15 @@ impl<R: Recorder> MinorCycleScheduler<R> {
 
     /// Evaluates every stage once (one major cycle) and returns the
     /// minor cycles charged for it.
-    pub(crate) fn step(&mut self, core: &mut CoreState<R>, feed: &mut dyn TraceFeed) -> u64 {
+    ///
+    /// Per-stage activity accumulation is compiled out under
+    /// [`LiteStats`](crate::LiteStats) — the lite mode's
+    /// [`activity`](Self::activity) totals read as zero.
+    pub(crate) fn step<P: StatsPolicy>(
+        &mut self,
+        core: &mut CoreState<R>,
+        feed: &mut dyn TraceFeed,
+    ) -> u64 {
         for (i, (stage, total)) in self
             .stages
             .iter_mut()
@@ -152,7 +161,10 @@ impl<R: Recorder> MinorCycleScheduler<R> {
             if R::ENABLED {
                 core.recorder.span_enter(STAGE_SPANS[i]);
             }
-            *total += stage.evaluate(core, feed).ops;
+            let activity = stage.evaluate(core, feed);
+            if P::FULL {
+                *total += activity.ops;
+            }
             if R::ENABLED {
                 core.recorder.span_exit(STAGE_SPANS[i]);
             }

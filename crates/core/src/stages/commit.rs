@@ -22,7 +22,7 @@ impl<R: Recorder> Stage<R> for CommitStage {
         let mut committed = 0u64;
         for _ in 0..core.config.width {
             let Some(head) = core.rob.head() else { break };
-            let InstState::Completed { at } = head.state else {
+            let InstState::Completed { at } = head.state() else {
                 break;
             };
             // Strictly-earlier completion: the paper's same-cycle flag.
@@ -30,17 +30,17 @@ impl<R: Recorder> Stage<R> for CommitStage {
                 break;
             }
             debug_assert!(
-                !head.record.wrong_path(),
+                !head.record().wrong_path(),
                 "wrong-path instructions must be squashed before commit"
             );
-            if head.record.is_store() {
+            if head.record().is_store() {
                 if write_ports == 0 {
                     break;
                 }
                 write_ports -= 1;
             }
-            let entry = core.rob.pop_head().expect("head checked above");
-            match &entry.record {
+            let (seq, in_lsq) = (head.seq(), head.in_lsq());
+            match head.record() {
                 TraceRecord::Mem(m) => {
                     if m.is_store() {
                         let acc = core.memory.data_access(m.addr, true);
@@ -65,8 +65,11 @@ impl<R: Recorder> Stage<R> for CommitStage {
                 }
                 TraceRecord::Other(_) => {}
             }
-            if entry.in_lsq {
-                core.lsq.remove(entry.seq);
+            // Retire in place: everything needed was read through the
+            // view, so the owned-entry copy of `pop_head` is skipped.
+            core.rob.drop_head();
+            if in_lsq {
+                core.lsq.remove(seq);
             }
             core.stats.committed += 1;
             core.last_commit_cycle = core.cycle;

@@ -10,8 +10,90 @@ use resim_trace::TraceRecord;
 /// Fetch: pull up to N records from the trace into the IFQ, stopping at
 /// a control-flow bubble, an IFQ-full condition, an I-cache miss, a
 /// misfetch bubble or wrong-path exhaustion (§III).
+///
+/// The stage is batch-aware: it asks the feed for its whole decoded run
+/// ([`TraceFeed::buffered`]) and walks it with in-slice lookahead,
+/// paying one `consume` call for the records it admitted instead of a
+/// `peek`/`take` virtual-call pair per record. Only the final record of
+/// a buffer — whose lookahead crosses a refill boundary — goes through
+/// the classic single-record path, so any batch size replays the exact
+/// record-by-record semantics (pinned by `batched_cursor.rs`).
 #[derive(Debug, Default)]
 pub struct FetchStage;
+
+/// Admits one record into the IFQ: I-cache probe, statistics, branch
+/// prediction against `next` (the following trace record, if visible),
+/// and stall bookkeeping. Returns whether the fetch group must stop.
+fn admit<R: Recorder>(
+    core: &mut CoreState<R>,
+    record: TraceRecord,
+    next: Option<&TraceRecord>,
+    fetched: &mut u64,
+) -> bool {
+    // I-cache probe; a miss stalls fetch for the fill time.
+    let acc = core.memory.inst_access(record.pc());
+    core.stats.fetched += 1;
+    if record.wrong_path() {
+        core.stats.wrong_path_fetched += 1;
+    }
+    if R::ENABLED {
+        core.recorder.counter(Counter::Fetched, 1);
+        if !acc.hit {
+            core.recorder.counter(Counter::IcacheMisses, 1);
+            core.recorder.event(
+                core.cycle,
+                EventKind::CacheMiss {
+                    cache: CacheKind::L1i,
+                    addr: record.pc(),
+                },
+            );
+        }
+    }
+
+    let mut mispredicted = false;
+    let mut stop_group = false;
+    if let TraceRecord::Branch(b) = &record {
+        if !record.wrong_path() {
+            let pred = core.predictor.predict(b.pc, b.kind, b.taken, b.target);
+            if next.is_some_and(|r| r.wrong_path()) {
+                // The trace says this branch was mispredicted:
+                // fetch continues down the tagged block.
+                mispredicted = true;
+                core.in_wrong_path = true;
+                stop_group = true;
+            } else if pred.outcome() == Resolution::Misfetch {
+                // Right direction, wrong target: fetch bubble.
+                core.stats.misfetches += 1;
+                if R::ENABLED {
+                    core.recorder.counter(Counter::Misfetches, 1);
+                    core.recorder
+                        .event(core.cycle, EventKind::Misfetch { pc: b.pc });
+                }
+                core.fetch_stall_until = core.cycle + 1 + u64::from(core.config.misfetch_penalty);
+                stop_group = true;
+            }
+        }
+    }
+
+    core.ifq.push_back(FetchedInst {
+        record,
+        mispredicted,
+    });
+    *fetched += 1;
+
+    if acc.latency > 1 {
+        // Miss: the line arrives after `latency` cycles in total.
+        core.fetch_stall_until = core
+            .fetch_stall_until
+            .max(core.cycle + u64::from(acc.latency) - 1);
+        return true;
+    }
+    if stop_group {
+        return true;
+    }
+    // Control-flow bubble: fetch cannot cross a discontinuity.
+    next.is_some_and(|n| n.pc() != record.pc().wrapping_add(4))
+}
 
 impl<R: Recorder> Stage<R> for FetchStage {
     fn name(&self) -> &'static str {
@@ -23,89 +105,56 @@ impl<R: Recorder> Stage<R> for FetchStage {
             core.stats.fetch_stall_cycles += 1;
             return StageActivity::ops(0);
         }
+        let width = core.config.width as u64;
         let mut fetched = 0u64;
-        while fetched < core.config.width as u64 {
+        'group: while fetched < width {
             if core.ifq.len() == core.config.ifq_size {
                 break;
             }
-            let Some(peeked) = feed.peek() else { break };
-            if core.in_wrong_path && !peeked.wrong_path() {
-                // Wrong-path block exhausted: fetch starves until the
-                // branch resolves (the block size is chosen so this is
-                // rare — "a very conservative assumption", §V.A).
-                core.stats.fetch_stall_cycles += 1;
+            let buf = feed.buffered();
+            if buf.is_empty() {
                 break;
             }
-            let record = feed.take().expect("peeked above");
-
-            // I-cache probe; a miss stalls fetch for the fill time.
-            let acc = core.memory.inst_access(record.pc());
-            core.stats.fetched += 1;
-            if record.wrong_path() {
-                core.stats.wrong_path_fetched += 1;
-            }
-            if R::ENABLED {
-                core.recorder.counter(Counter::Fetched, 1);
-                if !acc.hit {
-                    core.recorder.counter(Counter::IcacheMisses, 1);
-                    core.recorder.event(
-                        core.cycle,
-                        EventKind::CacheMiss {
-                            cache: CacheKind::L1i,
-                            addr: record.pc(),
-                        },
-                    );
+            if buf.len() == 1 {
+                // Last record of the buffer: its lookahead crosses a
+                // refill boundary, so use the single-record path.
+                if core.in_wrong_path && !buf[0].wrong_path() {
+                    // Wrong-path block exhausted: fetch starves until the
+                    // branch resolves (the block size is chosen so this
+                    // is rare — "a very conservative assumption", §V.A).
+                    core.stats.fetch_stall_cycles += 1;
+                    break;
                 }
-            }
-
-            let mut mispredicted = false;
-            let mut stop_group = false;
-            if let TraceRecord::Branch(b) = &record {
-                if !record.wrong_path() {
-                    let pred = core.predictor.predict(b.pc, b.kind, b.taken, b.target);
-                    if feed.peek().is_some_and(|r| r.wrong_path()) {
-                        // The trace says this branch was mispredicted:
-                        // fetch continues down the tagged block.
-                        mispredicted = true;
-                        core.in_wrong_path = true;
-                        stop_group = true;
-                    } else if pred.outcome() == Resolution::Misfetch {
-                        // Right direction, wrong target: fetch bubble.
-                        core.stats.misfetches += 1;
-                        if R::ENABLED {
-                            core.recorder.counter(Counter::Misfetches, 1);
-                            core.recorder
-                                .event(core.cycle, EventKind::Misfetch { pc: b.pc });
-                        }
-                        core.fetch_stall_until =
-                            core.cycle + 1 + u64::from(core.config.misfetch_penalty);
-                        stop_group = true;
-                    }
+                let record = feed.take().expect("buffered run is non-empty");
+                if admit(core, record, feed.peek(), &mut fetched) {
+                    break;
                 }
+                continue;
             }
-
-            core.ifq.push_back(FetchedInst {
-                record,
-                mispredicted,
-            });
-            fetched += 1;
-
-            if acc.latency > 1 {
-                // Miss: the line arrives after `latency` cycles in total.
-                core.fetch_stall_until = core
-                    .fetch_stall_until
-                    .max(core.cycle + u64::from(acc.latency) - 1);
-                break;
-            }
-            if stop_group {
-                break;
-            }
-            // Control-flow bubble: fetch cannot cross a discontinuity.
-            if feed
-                .peek()
-                .is_some_and(|n| n.pc() != record.pc().wrapping_add(4))
+            // Batch path: every record but the buffer's last sees its
+            // successor in the same slice.
+            let mut taken = 0usize;
+            let mut stop = false;
+            while taken + 1 < buf.len()
+                && fetched < width
+                && core.ifq.len() < core.config.ifq_size
             {
-                break;
+                let record = buf[taken];
+                if core.in_wrong_path && !record.wrong_path() {
+                    core.stats.fetch_stall_cycles += 1;
+                    stop = true;
+                    break;
+                }
+                let next = &buf[taken + 1];
+                taken += 1;
+                if admit(core, record, Some(next), &mut fetched) {
+                    stop = true;
+                    break;
+                }
+            }
+            feed.consume(taken);
+            if stop {
+                break 'group;
             }
         }
         if R::ENABLED {

@@ -52,15 +52,10 @@ impl<R: Recorder> Stage<R> for IssueStage {
         let mut loads_issued = 0usize;
 
         // Positions are stable for the whole loop: issue only flips
-        // entry states, never adds or removes entries.
+        // entry states, never adds or removes entries. The wakeup scan
+        // walks only the packed state/pending/seq lanes.
         self.candidates.clear();
-        self.candidates.extend(
-            core.rob
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| e.is_waiting() && e.operands_ready())
-                .map(|(idx, e)| (idx, e.seq)),
-        );
+        core.rob.scan_ready(&mut self.candidates);
 
         let mut issued = 0u64;
         for &(idx, seq) in &self.candidates {
@@ -68,8 +63,8 @@ impl<R: Recorder> Stage<R> for IssueStage {
                 break;
             }
             let entry = core.rob.at(idx).expect("candidate cannot vanish mid-issue");
-            debug_assert_eq!(entry.seq, seq, "issue positions must be stable");
-            let record = entry.record;
+            debug_assert_eq!(entry.seq(), seq, "issue positions must be stable");
+            let record = *entry.record();
             let done_at = match &record {
                 TraceRecord::Other(o) => match o.class {
                     OpClass::IntAlu => {
@@ -170,8 +165,8 @@ impl<R: Recorder> Stage<R> for IssueStage {
                     "optimized pipeline issued {loads_issued} loads at width {width}"
                 );
             }
-            let e = core.rob.at_mut(idx).expect("candidate present");
-            e.state = InstState::Executing { done_at };
+            let mut e = core.rob.at_mut(idx).expect("candidate present");
+            e.set_state(InstState::Executing { done_at });
             core.stats.issued += 1;
             issued += 1;
             slots -= 1;

@@ -67,6 +67,32 @@ pub trait TraceFeed {
 
     /// Consumes and returns the next record.
     fn take(&mut self) -> Option<TraceRecord>;
+
+    /// The contiguous run of already-decoded records at the read
+    /// position, refilling the underlying buffer first if it is drained.
+    /// An empty slice means the feed is exhausted.
+    ///
+    /// Fetch uses this to process a whole decoded batch per cycle group
+    /// with in-slice lookahead instead of a `peek`/`take` virtual-call
+    /// pair per record. The default implementation exposes one record
+    /// (via [`TraceFeed::peek`]), which preserves exact single-record
+    /// semantics for simple feeds.
+    fn buffered(&mut self) -> &[TraceRecord] {
+        match self.peek() {
+            Some(r) => std::slice::from_ref(r),
+            None => &[],
+        }
+    }
+
+    /// Discards the first `n` records of [`TraceFeed::buffered`].
+    ///
+    /// Callers must not pass `n` larger than the slice the last
+    /// `buffered` call returned.
+    fn consume(&mut self, n: usize) {
+        for _ in 0..n {
+            self.take().expect("consume within the buffered run");
+        }
+    }
 }
 
 /// What a stage did during one major-cycle evaluation, as reported back

@@ -21,17 +21,10 @@ impl<R: Recorder> Stage<R> for WritebackStage {
     }
 
     fn evaluate(&mut self, core: &mut CoreState<R>, feed: &mut dyn TraceFeed) -> StageActivity {
+        // The select scan walks only the packed state/time/seq lanes.
         self.done.clear();
-        self.done.extend(
-            core.rob
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| {
-                    matches!(e.state, InstState::Executing { done_at } if done_at <= core.cycle)
-                })
-                .map(|(idx, e)| (idx, e.seq))
-                .take(core.config.width),
-        );
+        core.rob
+            .scan_done(core.cycle, core.config.width, &mut self.done);
         let mut written_back = 0u64;
         for &(idx, seq) in &self.done {
             // A recovery triggered by an older entry in this batch may
@@ -39,11 +32,11 @@ impl<R: Recorder> Stage<R> for WritebackStage {
             // branch, so surviving positions are unchanged and a stale
             // position is either out of range or (impossibly, guarded by
             // the seq check) someone else.
-            let Some(e) = core.rob.at_mut(idx).filter(|e| e.seq == seq) else {
+            let Some(mut e) = core.rob.at_mut(idx).filter(|e| e.seq() == seq) else {
                 continue;
             };
-            e.state = InstState::Completed { at: core.cycle };
-            let recover = e.mispredicted_branch;
+            e.set_state(InstState::Completed { at: core.cycle });
+            let recover = e.mispredicted_branch();
             core.rob.broadcast(seq);
             written_back += 1;
             if recover {

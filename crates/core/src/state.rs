@@ -16,6 +16,7 @@ use crate::lsq::LoadStoreQueue;
 use crate::rob::ReorderBuffer;
 use crate::stages::TraceFeed;
 use crate::stats::SimStats;
+use crate::stats_policy::StatsPolicy;
 use resim_bpred::BranchPredictor;
 use resim_mem::MemorySystem;
 use resim_obs::{Counter, EventKind, Gauge, Hist, NullRecorder, Recorder};
@@ -143,16 +144,19 @@ impl<R: Recorder> CoreState<R> {
         s
     }
 
-    /// End-of-major-cycle bookkeeping: occupancy statistics, then the
-    /// cycle counters advance (`minor_cycles` by whatever the scheduler
+    /// End-of-major-cycle bookkeeping: occupancy statistics (compiled
+    /// out under [`LiteStats`](crate::LiteStats)), then the cycle
+    /// counters advance (`minor_cycles` by whatever the scheduler
     /// charged for the cycle just executed).
-    pub(crate) fn finish_cycle(&mut self, minor_cycles: u64) {
-        self.stats.ifq_occupancy_sum += self.ifq.len() as u64;
-        self.stats.rb_occupancy_sum += self.rob.len() as u64;
-        self.stats.lsq_occupancy_sum += self.lsq.len() as u64;
-        self.stats.ifq_occupancy_max = self.stats.ifq_occupancy_max.max(self.ifq.len() as u64);
-        self.stats.rb_occupancy_max = self.stats.rb_occupancy_max.max(self.rob.len() as u64);
-        self.stats.lsq_occupancy_max = self.stats.lsq_occupancy_max.max(self.lsq.len() as u64);
+    pub(crate) fn finish_cycle<P: StatsPolicy>(&mut self, minor_cycles: u64) {
+        if P::FULL {
+            self.stats.ifq_occupancy_sum += self.ifq.len() as u64;
+            self.stats.rb_occupancy_sum += self.rob.len() as u64;
+            self.stats.lsq_occupancy_sum += self.lsq.len() as u64;
+            self.stats.ifq_occupancy_max = self.stats.ifq_occupancy_max.max(self.ifq.len() as u64);
+            self.stats.rb_occupancy_max = self.stats.rb_occupancy_max.max(self.rob.len() as u64);
+            self.stats.lsq_occupancy_max = self.stats.lsq_occupancy_max.max(self.lsq.len() as u64);
+        }
         if R::ENABLED {
             let (ifq, rb, lsq) = (self.ifq.len() as u64, self.rob.len() as u64, self.lsq.len() as u64);
             self.recorder.gauge(Gauge::IfqOccupancy, ifq);
@@ -204,10 +208,19 @@ impl<R: Recorder> CoreState<R> {
         }
         self.ifq.clear();
         // "Tagged instructions that have not been fetched by the branch
-        // resolution point ... are discarded" (§V.A).
-        while feed.peek().is_some_and(|r| r.wrong_path()) {
-            feed.take();
-            self.stats.wrong_path_discarded += 1;
+        // resolution point ... are discarded" (§V.A). Skip them a whole
+        // decoded batch at a time.
+        loop {
+            let (n, drained_buffer) = {
+                let buf = feed.buffered();
+                let n = buf.iter().take_while(|r| r.wrong_path()).count();
+                (n, n == buf.len())
+            };
+            feed.consume(n);
+            self.stats.wrong_path_discarded += n as u64;
+            if n == 0 || !drained_buffer {
+                break;
+            }
         }
         self.in_wrong_path = false;
         self.rebuild_rename();
@@ -222,8 +235,8 @@ impl<R: Recorder> CoreState<R> {
         let Self { rob, rename, .. } = self;
         *rename = [None; 64];
         for e in rob.iter() {
-            if let Some(d) = e.record.dest() {
-                rename[d.index() as usize] = Some(e.seq);
+            if let Some(d) = e.record().dest() {
+                rename[d.index() as usize] = Some(e.seq());
             }
         }
     }

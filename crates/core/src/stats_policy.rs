@@ -1,0 +1,56 @@
+//! Compile-time statistics policy: the stats-lite engine mode.
+//!
+//! The engine's hot loop pays for bookkeeping nobody asked for when a
+//! sweep only reads IPC and the hit/mispredict counters: per-cycle
+//! occupancy sums and maxima (six read-modify-write chains on `SimStats`
+//! every major cycle) and the per-stage activity accumulation in the
+//! scheduler. The stats-lite mode drops exactly that bookkeeping — and
+//! nothing else — so the architectural counters (committed counts, IPC,
+//! mispredicts, cache hits, squashes, stalls) stay **bit-identical** to
+//! a full-stats run, pinned by `crates/core/tests/stats_lite_identity.rs`.
+//!
+//! The mode is selected at run time ([`Engine::new_lite`]) but paid for
+//! at compile time: the engine hoists one branch out of the cycle loop
+//! and runs a loop monomorphized over a [`StatsPolicy`], so the full
+//! path keeps its exact historical code and the lite path contains no
+//! trace of the dropped bookkeeping — a zero-cost mode switch rather
+//! than a per-cycle `if`.
+//!
+//! [`Engine::new_lite`]: crate::Engine::new_lite
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for super::FullStats {}
+    impl Sealed for super::LiteStats {}
+}
+
+/// Selects, at monomorphization time, how much statistics bookkeeping
+/// the cycle loop performs.
+///
+/// Sealed: the two policies ([`FullStats`], [`LiteStats`]) are the whole
+/// design space — "lite" is defined by what it *provably does not
+/// change*, and every new policy would need its own identity suite.
+pub trait StatsPolicy: sealed::Sealed + Send + Sync + 'static {
+    /// Whether occupancy statistics and per-stage activity are
+    /// maintained. `false` compiles that bookkeeping out of the loop.
+    const FULL: bool;
+}
+
+/// The historical default: every [`SimStats`](crate::SimStats) field and
+/// the scheduler's per-stage activity totals are maintained.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullStats;
+
+/// The throughput mode: occupancy sums/maxima and per-stage activity are
+/// compiled out (they read as zero); every architectural counter is
+/// bit-identical to [`FullStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LiteStats;
+
+impl StatsPolicy for FullStats {
+    const FULL: bool = true;
+}
+
+impl StatsPolicy for LiteStats {
+    const FULL: bool = false;
+}

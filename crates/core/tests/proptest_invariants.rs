@@ -66,14 +66,16 @@ proptest! {
                 }
                 1 => {
                     if let Some(head) = rob.head() {
-                        let seq = head.seq;
-                        rob.find_mut(seq).unwrap().state = InstState::Completed { at: 0 };
+                        let seq = head.seq();
+                        rob.find_mut(seq)
+                            .unwrap()
+                            .set_state(InstState::Completed { at: 0 });
                     }
                 }
                 2 => {
                     let head_done = rob
                         .head()
-                        .is_some_and(|h| matches!(h.state, InstState::Completed { .. }));
+                        .is_some_and(|h| matches!(h.state(), InstState::Completed { .. }));
                     if head_done {
                         let e = rob.pop_head().unwrap();
                         prop_assert!(
@@ -87,7 +89,7 @@ proptest! {
                 }
                 _ => {
                     // Squash everything younger than the middle live entry.
-                    let mid = rob.iter().map(|e| e.seq).nth(rob.len() / 2);
+                    let mid = rob.iter().map(|e| e.seq()).nth(rob.len() / 2);
                     if let Some(mid) = mid {
                         let squashed = rob.squash_younger(mid);
                         prop_assert!(squashed.iter().all(|e| e.seq > mid));

@@ -1,0 +1,123 @@
+//! The stats-lite contract: lite mode drops bookkeeping, never behavior.
+//!
+//! A stats-lite engine ([`Engine::new_lite`]) must produce **bit-identical**
+//! architectural statistics — committed counts, IPC, mispredict and cache
+//! counters, stalls, squashes — to a full-stats run on every workload,
+//! with exactly the six occupancy fields (and the scheduler's per-stage
+//! activity) reading as zero. This is the `recorder_identity.rs` of the
+//! stats knob: the mode is defined by what it provably does not change.
+
+use resim_core::{Engine, EngineConfig, SimStats, SIM_STATS_FIELDS};
+use resim_tracegen::{generate_trace, TraceGenConfig};
+use resim_trace::Trace;
+use resim_workloads::{SpecBenchmark, Workload};
+
+const BUDGET: usize = 20_000;
+const SEEDS: [u64; 2] = [2009, 7];
+
+/// The six `SimStats` word positions lite mode zeroes: the occupancy
+/// sums and maxima (see `SIM_STATS_FIELDS`).
+const OCCUPANCY_WORDS: std::ops::Range<usize> = 17..23;
+
+fn trace_for(bench: SpecBenchmark, seed: u64) -> Trace {
+    generate_trace(Workload::spec(bench, seed), BUDGET, &TraceGenConfig::paper())
+}
+
+/// Asserts `lite` is `full` with the occupancy words zeroed, naming any
+/// drifted counter.
+fn assert_lite_matches(full: &SimStats, lite: &SimStats, label: &str) {
+    let full_words = full.to_words();
+    let lite_words = lite.to_words();
+    for (i, (f, l)) in full_words.iter().zip(&lite_words).enumerate() {
+        if OCCUPANCY_WORDS.contains(&i) {
+            assert_eq!(*l, 0, "{label}: lite must zero {}", SIM_STATS_FIELDS[i]);
+        } else {
+            assert_eq!(
+                l, f,
+                "{label}: lite drifted on architectural counter {}",
+                SIM_STATS_FIELDS[i]
+            );
+        }
+    }
+    assert_eq!(full.ipc(), lite.ipc(), "{label}: IPC must be exact");
+}
+
+#[test]
+fn lite_is_bit_identical_on_all_workloads_and_seeds() {
+    let config = EngineConfig::paper_4wide();
+    for bench in SpecBenchmark::ALL {
+        for seed in SEEDS {
+            let trace = trace_for(bench, seed);
+            let full = Engine::new(config.clone())
+                .expect("valid config")
+                .run(trace.source());
+            let lite = Engine::new_lite(config.clone())
+                .expect("valid config")
+                .run(trace.source());
+            assert_lite_matches(&full, &lite, &format!("{bench:?} seed {seed}"));
+            // The occupancy sums are genuinely nonzero in full mode, so
+            // the zero assertion above is not vacuous.
+            assert!(full.rb_occupancy_sum > 0, "{bench:?}: full run saw occupancy");
+        }
+    }
+}
+
+#[test]
+fn lite_is_bit_identical_under_caches_and_real_predictor() {
+    // The cached 2-wide profile exercises the I/D-cache miss and stall
+    // paths that paper_4wide's perfect memory never reaches.
+    let config = EngineConfig::paper_2wide_cached();
+    let trace = trace_for(SpecBenchmark::Vortex, 2009);
+    let full = Engine::new(config.clone())
+        .expect("valid config")
+        .run(trace.source());
+    let lite = Engine::new_lite(config)
+        .expect("valid config")
+        .run(trace.source());
+    assert_lite_matches(&full, &lite, "paper_2wide_cached vortex");
+    assert!(full.memory.l1d.accesses() > 0, "caches were exercised");
+}
+
+#[test]
+fn lite_skips_scheduler_activity_and_reports_its_mode() {
+    let config = EngineConfig::paper_4wide();
+    let trace = trace_for(SpecBenchmark::Gzip, 2009);
+
+    let mut full = Engine::new(config.clone()).expect("valid config");
+    assert!(!full.is_stats_lite());
+    full.run(trace.source());
+    assert!(
+        full.scheduler().activity().iter().any(|&(_, ops)| ops > 0),
+        "full mode accumulates stage activity"
+    );
+
+    let mut lite = Engine::new_lite(config).expect("valid config");
+    assert!(lite.is_stats_lite());
+    lite.run(trace.source());
+    assert!(
+        lite.scheduler().activity().iter().all(|&(_, ops)| ops == 0),
+        "lite mode compiles activity accumulation out"
+    );
+}
+
+#[test]
+fn lite_windowed_execution_matches_lite_single_run() {
+    // run_window/drain thread the same monomorphized loops as run; a
+    // windowed lite run must equal the one-shot lite run bit-for-bit.
+    let config = EngineConfig::paper_4wide();
+    let trace = trace_for(SpecBenchmark::Parser, 2009);
+    let one_shot = Engine::new_lite(config.clone())
+        .expect("valid config")
+        .run(trace.source());
+
+    let mut windowed = Engine::new_lite(config).expect("valid config");
+    let mut cursor = resim_core::TraceCursor::new(trace.source());
+    while windowed.run_window(&mut cursor, 3_000).committed < one_shot.committed {
+        if cursor.is_exhausted() {
+            break;
+        }
+    }
+    let stats = windowed.drain(&mut cursor);
+    assert_eq!(stats.to_words(), one_shot.to_words());
+    assert_eq!(stats.digest(), one_shot.digest());
+}

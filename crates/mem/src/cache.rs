@@ -153,22 +153,31 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u32,
-    /// Replacement rank: for LRU, 0 = MRU; for FIFO, insertion order.
-    rank: u32,
-    valid: bool,
-}
-
 /// A tag-only set-associative cache with configurable replacement.
+///
+/// The tag array is stored as flat, set-major **lanes** (tags, ranks,
+/// valid bits) rather than per-set line structs: the tag-match probe and
+/// the LRU touch — the two hottest memory-system operations in the
+/// simulator — then run over packed arrays with mask arithmetic instead
+/// of striding over structs and branching per way.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// Block tags, line-indexed (`set * associativity + way`).
+    tags: Box<[u32]>,
+    /// Replacement ranks (LRU: 0 = MRU; FIFO: insertion order).
+    ranks: Box<[u32]>,
+    /// Valid bits.
+    valid: Box<[bool]>,
     stats: CacheStats,
     fifo_counter: u32,
     rng_state: u64,
+    /// `log2(block_bytes)` — address → block number.
+    block_shift: u32,
+    /// `sets - 1` — block number → set index (sets are a power of two).
+    set_mask: u32,
+    /// `log2(sets)` — block number → tag.
+    tag_shift: u32,
 }
 
 impl Cache {
@@ -179,17 +188,18 @@ impl Cache {
     /// Panics on invalid geometry (see [`CacheConfig`] field docs).
     pub fn new(config: CacheConfig) -> Self {
         config.validate();
-        let line = Line {
-            tag: 0,
-            rank: 0,
-            valid: false,
-        };
+        let lines = config.sets() * config.associativity;
         Self {
             config,
-            sets: vec![vec![line; config.associativity]; config.sets()],
+            tags: vec![0; lines].into_boxed_slice(),
+            ranks: vec![0; lines].into_boxed_slice(),
+            valid: vec![false; lines].into_boxed_slice(),
             stats: CacheStats::default(),
             fifo_counter: 0,
             rng_state: 0x9E37_79B9_7F4A_7C15,
+            block_shift: config.block_bytes.trailing_zeros(),
+            set_mask: config.sets() as u32 - 1,
+            tag_shift: config.sets().trailing_zeros(),
         }
     }
 
@@ -204,9 +214,23 @@ impl Cache {
     }
 
     fn set_and_tag(&self, addr: u32) -> (usize, u32) {
-        let block = addr / self.config.block_bytes as u32;
-        let sets = self.config.sets() as u32;
-        ((block % sets) as usize, block / sets)
+        let block = addr >> self.block_shift;
+        ((block & self.set_mask) as usize, block >> self.tag_shift)
+    }
+
+    /// The line index of `tag` in set `set_idx`, or `None` — the
+    /// branchless tag-match probe. A set holds at most one copy of a
+    /// tag, so a mask-select over the ways loses nothing to match order.
+    #[inline]
+    fn probe(&self, set_idx: usize, tag: u32) -> Option<usize> {
+        let base = set_idx * self.config.associativity;
+        let mut found = usize::MAX;
+        for idx in base..base + self.config.associativity {
+            let hit = (self.valid[idx] & (self.tags[idx] == tag)) as usize;
+            // found = hit ? idx : found, as a mask select (no branch).
+            found ^= (found ^ idx) & hit.wrapping_neg();
+        }
+        (found != usize::MAX).then_some(found)
     }
 
     /// Performs one access; allocates on miss (write-allocate).
@@ -220,18 +244,15 @@ impl Cache {
         } else {
             self.stats.reads += 1;
         }
-        let hit_way = self.sets[set_idx]
-            .iter()
-            .position(|l| l.valid && l.tag == tag);
-        match hit_way {
-            Some(way) => {
+        match self.probe(set_idx, tag) {
+            Some(line) => {
                 if is_write {
                     self.stats.write_hits += 1;
                 } else {
                     self.stats.read_hits += 1;
                 }
                 if self.config.replacement == Replacement::Lru {
-                    self.touch_lru(set_idx, way);
+                    self.touch_lru(set_idx, line);
                 }
                 AccessResult {
                     hit: true,
@@ -257,13 +278,10 @@ impl Cache {
     /// resumed window sees realistic hit rates instead of cold misses.
     pub fn warm(&mut self, addr: u32) {
         let (set_idx, tag) = self.set_and_tag(addr);
-        let hit_way = self.sets[set_idx]
-            .iter()
-            .position(|l| l.valid && l.tag == tag);
-        match hit_way {
-            Some(way) => {
+        match self.probe(set_idx, tag) {
+            Some(line) => {
                 if self.config.replacement == Replacement::Lru {
-                    self.touch_lru(set_idx, way);
+                    self.touch_lru(set_idx, line);
                 }
             }
             None => {
@@ -275,33 +293,46 @@ impl Cache {
     /// Whether `addr`'s block is currently resident (no state change).
     pub fn contains(&self, addr: u32) -> bool {
         let (set_idx, tag) = self.set_and_tag(addr);
-        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+        self.probe(set_idx, tag).is_some()
     }
 
     /// Fills `tag` into `set_idx`, returning whether a valid line was
     /// evicted (the caller decides whether that counts as a statistic).
+    ///
+    /// Victim selection reproduces the historical per-set scan exactly:
+    /// first invalid way, else last-maximal rank for LRU (ranks are a
+    /// permutation, so "last maximal" is simply *the* maximum), first
+    /// minimal for FIFO, xorshift64* for Random.
     fn fill(&mut self, set_idx: usize, tag: u32) -> bool {
         let assoc = self.config.associativity;
+        let base = set_idx * assoc;
         let mut evicted = false;
         let victim = {
-            let set = &self.sets[set_idx];
-            if let Some(way) = set.iter().position(|l| !l.valid) {
+            let set_valid = &self.valid[base..base + assoc];
+            if let Some(way) = set_valid.iter().position(|v| !v) {
                 way
             } else {
                 evicted = true;
+                let ranks = &self.ranks[base..base + assoc];
                 match self.config.replacement {
-                    Replacement::Lru => set
-                        .iter()
-                        .enumerate()
-                        .max_by_key(|(_, l)| l.rank)
-                        .map(|(i, _)| i)
-                        .expect("cache set cannot be empty"),
-                    Replacement::Fifo => set
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, l)| l.rank)
-                        .map(|(i, _)| i)
-                        .expect("cache set cannot be empty"),
+                    Replacement::Lru => {
+                        let mut best = 0;
+                        for (w, &r) in ranks.iter().enumerate() {
+                            if r >= ranks[best] {
+                                best = w;
+                            }
+                        }
+                        best
+                    }
+                    Replacement::Fifo => {
+                        let mut best = 0;
+                        for (w, &r) in ranks.iter().enumerate() {
+                            if r < ranks[best] {
+                                best = w;
+                            }
+                        }
+                        best
+                    }
                     Replacement::Random => {
                         // xorshift64*: deterministic but well mixed.
                         self.rng_state ^= self.rng_state << 13;
@@ -319,11 +350,9 @@ impl Cache {
             }
             _ => 0,
         };
-        self.sets[set_idx][victim] = Line {
-            tag,
-            rank,
-            valid: true,
-        };
+        self.tags[base + victim] = tag;
+        self.ranks[base + victim] = rank;
+        self.valid[base + victim] = true;
         if self.config.replacement == Replacement::Lru {
             // A freshly filled line must age every other resident line.
             self.promote(set_idx, victim, u32::MAX);
@@ -335,14 +364,11 @@ impl Cache {
     /// describe a measurement window, not the machine state).
     pub fn state(&self) -> CacheState {
         CacheState {
-            lines: self
-                .sets
-                .iter()
-                .flatten()
-                .map(|l| LineState {
-                    tag: l.tag,
-                    rank: l.rank,
-                    valid: l.valid,
+            lines: (0..self.tags.len())
+                .map(|i| LineState {
+                    tag: self.tags[i],
+                    rank: self.ranks[i],
+                    valid: self.valid[i],
                 })
                 .collect(),
             fifo_counter: self.fifo_counter,
@@ -365,31 +391,31 @@ impl Cache {
                 got: state.lines.len(),
             });
         }
-        for (line, snap) in self.sets.iter_mut().flatten().zip(&state.lines) {
-            *line = Line {
-                tag: snap.tag,
-                rank: snap.rank,
-                valid: snap.valid,
-            };
+        for (i, snap) in state.lines.iter().enumerate() {
+            self.tags[i] = snap.tag;
+            self.ranks[i] = snap.rank;
+            self.valid[i] = snap.valid;
         }
         self.fifo_counter = state.fifo_counter;
         self.rng_state = state.rng_state;
         Ok(())
     }
 
-    fn touch_lru(&mut self, set_idx: usize, way: usize) {
-        let old = self.sets[set_idx][way].rank;
-        self.promote(set_idx, way, old);
+    fn touch_lru(&mut self, set_idx: usize, line: usize) {
+        let old = self.ranks[line];
+        self.promote(set_idx, line - set_idx * self.config.associativity, old);
     }
 
-    /// Makes `way` the MRU line, aging every valid line younger than `old`.
+    /// Makes `way` the MRU line, aging every valid line younger than
+    /// `old` — as straight-line bool arithmetic over the rank lane (an
+    /// LRU touch happens on every cache hit, so this loop must not
+    /// branch per way).
     fn promote(&mut self, set_idx: usize, way: usize, old: u32) {
-        for l in &mut self.sets[set_idx] {
-            if l.valid && l.rank < old {
-                l.rank += 1;
-            }
+        let base = set_idx * self.config.associativity;
+        for idx in base..base + self.config.associativity {
+            self.ranks[idx] += (self.valid[idx] & (self.ranks[idx] < old)) as u32;
         }
-        self.sets[set_idx][way].rank = 0;
+        self.ranks[base + way] = 0;
     }
 }
 
